@@ -1,0 +1,24 @@
+"""Infrastructure benchmark: compiled-simulator throughput.
+
+Not a paper artifact, but the quantity every experiment's wall-clock rests
+on: cycles per second through the AXI-wrapped optimized Verilog IDCT.
+"""
+
+from repro.axis import StreamHarness
+from repro.eval.verify import random_matrices
+from repro.frontends.vlog import verilog_opt
+from repro.sim import Simulator
+
+
+def test_sim_throughput(benchmark):
+    design = verilog_opt()
+    sim = Simulator(design.top)
+    harness = StreamHarness(sim, design.spec)
+    matrices = random_matrices(8)
+
+    def run():
+        outs, timing = harness.run_matrices(matrices)
+        return timing.total_cycles
+
+    cycles = benchmark(run)
+    assert cycles > 60

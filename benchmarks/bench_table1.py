@@ -1,0 +1,9 @@
+"""Regenerates the paper's Table I (languages and tools under evaluation)."""
+
+from repro.eval import generate_table1, render_table1
+
+
+def test_table1(benchmark):
+    table = benchmark(generate_table1)
+    assert len(table) == 7
+    print("\n" + render_table1())

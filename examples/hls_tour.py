@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A tour of the mini-C HLS compiler.
+
+Compiles a small C program four ways — default, wider memory, chaining
+off, and loop-pipelined — and shows how each tool decision changes the
+schedule, exactly the cause-and-effect the paper studies for Bambu and
+Vivado HLS.
+
+Run:  python examples/hls_tour.py
+"""
+
+from repro.frontends.chls import HlsOptions, build_function_top, parse
+from repro.frontends.chls.transform import inline_program
+from repro.sim import Simulator
+
+SOURCE = """
+int scale(int v) { return v * 3 + 1; }
+
+void top(short data[16]) {
+  for (i = 0; i < 16; i++)
+    data[i] = scale(data[i]) >> 1;
+}
+"""
+
+PIPELINED = """
+void top(short data[16]) {
+  int t = 0;
+  #pragma HLS PIPELINE
+  for (i = 0; i < 16; i++)
+    data[i] = (data[i] * 3 + 1) >> 1;
+}
+"""
+
+
+def compile_and_run(label, source, options):
+    flat, _ = inline_program(parse(source), "top")
+    result = build_function_top(flat, options)
+    sim = Simulator(result.module)
+    data = list(range(-8, 8))
+    if result.module.memories:
+        sim.write_memory(sim.netlist.memories[0], [v & 0xFFFF for v in data])
+    else:  # partitioned: the bank lives in registers
+        for j, v in enumerate(data):
+            sim.poke_register(f"v_data__{j}", v & 0xFFFF)
+    sim.poke("start", 1)
+    cycles = sim.run_until(lambda s: s.peek_int("done") == 1, timeout=2000)
+    if result.module.memories:
+        raw = sim.read_memory(sim.netlist.memories[0])
+        out = [v - 0x10000 if v & 0x8000 else v for v in raw]
+    else:  # partitioned: read the bank registers
+        out = [sim.peek(f"v_data__{j}").sint for j in range(16)]
+    expected = [(v * 3 + 1) >> 1 for v in data]
+    status = "OK " if out == expected else "BAD"
+    print(f"[{status}] {label:28s} states={result.n_states:3d} cycles={cycles:4d} "
+          f"loops={list(result.loop_info.values())}")
+
+
+def main() -> None:
+    compile_and_run("default (1R/1W BRAM)", SOURCE, HlsOptions())
+    compile_and_run("dual-port memory", SOURCE,
+                    HlsOptions(mem_read_ports=2, mem_write_ports=2))
+    compile_and_run("chaining disabled", SOURCE, HlsOptions(chaining=False))
+    compile_and_run("pipelined + partitioned", PIPELINED,
+                    HlsOptions(partition_arrays=frozenset({"data"})))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the XLS-style auto-pipeliner (Fig. 1 slice).
+
+Sweeps the one knob the paper sweeps for XLS — the number of pipeline
+stages — and prints the Performance x Area trajectory plus an ASCII
+scatter, showing the paper's central XLS finding: frequency scales with
+depth but the sequential AXI adapter pins the periodicity at 8, so quality
+peaks at a moderate depth and then falls as flip-flop area explodes.
+
+Run:  python examples/xls_design_space.py
+"""
+
+from repro.eval import measure_design
+from repro.frontends.flow import xls_design
+
+
+def main() -> None:
+    stages = [0, 1, 2, 3, 4, 6, 8, 10, 12, 14, 16]
+    rows = []
+    for n in stages:
+        measured = measure_design(xls_design(n))
+        rows.append((n, measured))
+        print(
+            f"stages={n:2d}  fmax={measured.fmax_mhz:7.2f} MHz  "
+            f"latency={measured.latency:2d}  P={measured.throughput_mops:6.2f} MOPS  "
+            f"A={measured.area:6d}  Q={measured.quality:7.1f}"
+        )
+
+    best = max(rows, key=lambda r: r[1].quality)
+    print(f"\nbest quality at {best[0]} stages (Q={best[1].quality:.1f})")
+
+    # ASCII scatter: x = area (log-ish buckets), y = throughput.
+    print("\n  P (MOPS)")
+    max_p = max(m.throughput_mops for _n, m in rows)
+    max_a = max(m.area for _n, m in rows)
+    grid = [[" "] * 61 for _ in range(12)]
+    for n, m in rows:
+        x = int(m.area / max_a * 59)
+        y = int(m.throughput_mops / max_p * 10)
+        grid[10 - y][x] = "*"
+    for line in grid:
+        print("  |" + "".join(line))
+    print("  +" + "-" * 60 + "> A (LUT+FF)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — reproduction of "High-Level Synthesis versus Hardware Construction".
+
+A Python EDA framework reproducing the DATE 2023 study by Kamkin et al.:
+an RTL IR with a cycle-accurate simulator and an FPGA synthesis cost model,
+six frontend "languages" modeled after the paper's tools (Verilog baseline,
+Chisel-like HC, BSV-like rules, DSLX/XLS-like functional flow, MaxJ-like
+dataflow, mini-C HLS), 8x8 IDCT designs in each, AXI-Stream system wrappers,
+and the evaluation harness that regenerates the paper's Table I, Table II,
+and Figure 1.
+"""
+
+__version__ = "1.0.0"
+
+from .core.bits import BV
+
+__all__ = ["BV", "__version__"]

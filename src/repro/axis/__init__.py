@@ -1,0 +1,23 @@
+"""AXI-Stream system integration: kernel specs, wrapper generator, harness."""
+
+from .harness import StreamHarness, StreamTiming, always, every, pack_row, unpack_row
+from .spec import MATRIX_SPEC_12_9, KernelSpec, KernelStyle
+from .elastic import build_elastic_wrapper
+from .fifo import build_fifo
+from .wrapper import AxisPorts, build_axis_wrapper
+
+__all__ = [
+    "KernelSpec",
+    "KernelStyle",
+    "MATRIX_SPEC_12_9",
+    "build_axis_wrapper",
+    "build_elastic_wrapper",
+    "build_fifo",
+    "AxisPorts",
+    "StreamHarness",
+    "StreamTiming",
+    "always",
+    "every",
+    "pack_row",
+    "unpack_row",
+]

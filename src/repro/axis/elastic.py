@@ -1,0 +1,142 @@
+"""Elastic (credit + FIFO) AXI-Stream wrapper — the global-stall alternative.
+
+:mod:`repro.axis.wrapper` freezes the whole kernel on backpressure via a
+global clock enable.  The classic alternative never stalls the kernel:
+an output FIFO absorbs in-flight results and a credit counter throttles
+the *input* so the FIFO can never overflow — the scheme BSV programs get
+from ``mkFIFO`` and latency-insensitive design advocates by default.
+
+Both wrappers are functionally interchangeable for ROW_SERIAL kernels;
+the ablation benchmark compares their costs (FIFO area vs enable fanout).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FrontendError
+from ..rtl import Module, ops
+from ..rtl.ir import Ref
+from .fifo import build_fifo
+from .spec import KernelSpec, KernelStyle
+from .wrapper import AxisPorts
+
+__all__ = ["build_elastic_wrapper"]
+
+
+def build_elastic_wrapper(
+    kernel: Module,
+    spec: KernelSpec,
+    name: str | None = None,
+    fifo_margin: int = 4,
+) -> Module:
+    """Wrap a ROW_SERIAL kernel with an output FIFO and input credits.
+
+    The FIFO holds ``latency + rows + fifo_margin`` beats, enough for
+    every row that can be in flight when the sink stops; the credit
+    counter admits exactly that many unacknowledged rows.
+    """
+    if spec.style is not KernelStyle.ROW_SERIAL:
+        raise FrontendError("the elastic wrapper supports ROW_SERIAL kernels")
+    ports = {sig.name for sig in kernel.inputs + kernel.outputs}
+    needed = {"in_row", "in_valid", "out_row", "out_valid"}
+    if not needed <= ports:
+        raise FrontendError(
+            f"row-serial kernel {kernel.name} must expose {sorted(needed)} ports"
+        )
+
+    rows = spec.rows
+    depth = spec.latency + rows + fifo_margin
+    m = Module(name or f"{kernel.name}_axis_elastic")
+    s_tdata = m.input(AxisPorts.S_TDATA, spec.in_row_bits)
+    s_tvalid = m.input(AxisPorts.S_TVALID, 1)
+    s_tlast = m.input(AxisPorts.S_TLAST, 1)
+    m_tready = m.input(AxisPorts.M_TREADY, 1)
+    s_tready = m.output(AxisPorts.S_TREADY, 1)
+    m_tdata = m.output(AxisPorts.M_TDATA, spec.out_row_bits)
+    m_tvalid = m.output(AxisPorts.M_TVALID, 1)
+    m_tlast = m.output(AxisPorts.M_TLAST, 1)
+    error = m.output(AxisPorts.ERROR, 1)
+
+    # ------------------------------------------------------------------
+    # credit accounting: one credit per FIFO slot not yet spoken for
+    # ------------------------------------------------------------------
+    credit_w = depth.bit_length()
+    credits = m.reg("credits", credit_w, init=depth)
+    have_credit = m.connect("have_credit", 1,
+                            ops.ne(credits, ops.const(0, credit_w)))
+    m.assign(s_tready, Ref(have_credit))
+    accept = m.connect("accept", 1, ops.band(Ref(s_tvalid), Ref(have_credit)))
+
+    # ------------------------------------------------------------------
+    # kernel runs freely (never stalled)
+    # ------------------------------------------------------------------
+    out_row = m.wire("out_row", spec.out_row_bits)
+    out_valid = m.wire("out_valid", 1)
+    conns: dict[str, object] = {
+        "in_row": Ref(s_tdata),
+        "in_valid": Ref(accept),
+        "out_row": out_row,
+        "out_valid": out_valid,
+    }
+    if "ce" in ports:
+        conns["ce"] = ops.const(1, 1)
+    m.instance(kernel, "kernel", **conns)
+
+    # ------------------------------------------------------------------
+    # output FIFO + TLAST framing
+    # ------------------------------------------------------------------
+    fifo = build_fifo(f"{kernel.name}_ofifo", spec.out_row_bits, depth)
+    fifo_wr_ready = m.wire("fifo_wr_ready", 1)
+    fifo_rd_data = m.wire("fifo_rd_data", spec.out_row_bits)
+    fifo_rd_valid = m.wire("fifo_rd_valid", 1)
+    m.instance(
+        fifo,
+        "ofifo",
+        wr_data=Ref(out_row),
+        wr_valid=Ref(out_valid),
+        rd_ready=Ref(m_tready),
+        wr_ready=fifo_wr_ready,
+        rd_data=fifo_rd_data,
+        rd_valid=fifo_rd_valid,
+    )
+    out_fire = m.connect("out_fire", 1,
+                         ops.band(Ref(fifo_rd_valid), Ref(m_tready)))
+    delta = ops.sub(ops.zext(Ref(out_fire), credit_w),
+                    ops.zext(Ref(accept), credit_w))
+    m.set_next(credits, ops.trunc(ops.add(credits, delta), credit_w))
+
+    out_cnt = m.reg("out_cnt", 4)
+    last_out = m.connect("last_out", 1,
+                         ops.eq(out_cnt, ops.const(rows - 1, 4)))
+    m.set_next(
+        out_cnt,
+        ops.mux(Ref(out_fire),
+                ops.mux(last_out, ops.const(0, 4),
+                        ops.trunc(ops.add(out_cnt, 1), 4)),
+                Ref(out_cnt)),
+    )
+
+    # TLAST alignment check on the input.
+    in_cnt = m.reg("in_cnt", 4)
+    last_in = m.connect("last_in", 1, ops.eq(in_cnt, ops.const(rows - 1, 4)))
+    m.set_next(
+        in_cnt,
+        ops.mux(Ref(accept),
+                ops.mux(last_in, ops.const(0, 4),
+                        ops.trunc(ops.add(in_cnt, 1), 4)),
+                Ref(in_cnt)),
+    )
+    err = m.reg("err", 1)
+    overflow = ops.band(Ref(out_valid), ops.bnot(Ref(fifo_wr_ready)))
+    m.set_next(
+        err,
+        ops.bor(Ref(err),
+                ops.bor(ops.band(Ref(accept),
+                                 ops.bxor(Ref(s_tlast), Ref(last_in))),
+                        overflow)),
+    )
+
+    m.assign(m_tdata, Ref(fifo_rd_data))
+    m.assign(m_tvalid, Ref(fifo_rd_valid))
+    m.assign(m_tlast, ops.band(Ref(fifo_rd_valid), Ref(last_out)))
+    m.assign(error, Ref(err))
+    return m

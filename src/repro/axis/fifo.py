@@ -1,0 +1,79 @@
+"""Synchronous FIFO generator.
+
+A parameterizable single-clock FIFO with registered occupancy, the basic
+elastic element of stream architectures (BSV's ``mkFIFO``, Vivado HLS's
+``hls::stream``).  Used by the elastic wrapper variant and available as a
+library block for custom kernels.
+
+Interface convention of the generated module::
+
+    in:  wr_data[width], wr_valid, rd_ready
+    out: wr_ready, rd_data[width], rd_valid
+
+``wr_valid & wr_ready`` enqueues; ``rd_valid & rd_ready`` dequeues; both
+may fire in the same cycle (including when full: simultaneous enq+deq is
+legal because the dequeue frees the slot).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FrontendError
+from ..rtl import Module, ops
+from ..rtl.ir import Ref
+
+__all__ = ["build_fifo"]
+
+
+def build_fifo(name: str, width: int, depth: int) -> Module:
+    """Generate a ``depth``-entry FIFO of ``width``-bit words."""
+    if depth < 1:
+        raise FrontendError("FIFO depth must be at least 1")
+    if width < 1:
+        raise FrontendError("FIFO width must be at least 1")
+
+    m = Module(name)
+    wr_data = m.input("wr_data", width)
+    wr_valid = m.input("wr_valid", 1)
+    rd_ready = m.input("rd_ready", 1)
+    wr_ready = m.output("wr_ready", 1)
+    rd_data = m.output("rd_data", width)
+    rd_valid = m.output("rd_valid", 1)
+
+    ptr_w = max(1, (depth - 1).bit_length())
+    cnt_w = depth.bit_length()
+
+    count = m.reg("count", cnt_w)
+    rd_ptr = m.reg("rd_ptr", ptr_w)
+    wr_ptr = m.reg("wr_ptr", ptr_w)
+    slots = [m.reg(f"slot{i}", width) for i in range(depth)]
+
+    not_empty = m.connect("not_empty", 1, ops.ne(count, ops.const(0, cnt_w)))
+    not_full = m.connect("not_full", 1, ops.ne(count, ops.const(depth, cnt_w)))
+
+    do_deq = m.connect("do_deq", 1, ops.band(Ref(rd_ready), not_empty))
+    # Enqueue is allowed when not full, or when a simultaneous dequeue
+    # frees a slot.
+    can_enq = m.connect("can_enq", 1, ops.bor(not_full, do_deq))
+    do_enq = m.connect("do_enq", 1, ops.band(Ref(wr_valid), can_enq))
+
+    def bump(ptr):
+        return ops.mux(
+            ops.eq(ptr, ops.const(depth - 1, ptr_w)),
+            ops.const(0, ptr_w),
+            ops.trunc(ops.add(ptr, 1), ptr_w),
+        )
+
+    m.set_next(rd_ptr, ops.mux(do_deq, bump(rd_ptr), Ref(rd_ptr)))
+    m.set_next(wr_ptr, ops.mux(do_enq, bump(wr_ptr), Ref(wr_ptr)))
+    delta = ops.sub(ops.zext(do_enq, cnt_w), ops.zext(do_deq, cnt_w))
+    m.set_next(count, ops.trunc(ops.add(count, delta), cnt_w))
+
+    for i, slot in enumerate(slots):
+        hit = ops.band(do_enq, ops.eq(wr_ptr, ops.const(i, ptr_w)))
+        m.set_next(slot, Ref(wr_data), en=hit)
+
+    m.assign(wr_ready, can_enq)
+    m.assign(rd_valid, not_empty)
+    m.assign(rd_data, ops.select(Ref(rd_ptr), [Ref(s) for s in slots],
+                                 signed=False))
+    return m

@@ -1,0 +1,193 @@
+"""Stream testbench harness: drivers, protocol monitor, timing measurement.
+
+:class:`StreamHarness` pushes matrices through a generated AXI-Stream
+wrapper, applies configurable valid/ready patterns, checks the AXI-Stream
+protocol rules every cycle, and measures the paper's timing indicators:
+
+* latency ``T_L``     — cycles from a matrix's first accepted input beat to
+  its last output beat (inclusive), "including I/O transmission";
+* periodicity ``T_P`` — steady-state distance in cycles between the starts
+  (first accepted beats) of consecutive operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.bits import to_signed, to_unsigned
+from ..core.errors import ProtocolError, SimulationError
+from ..sim import Simulator
+from .spec import KernelSpec
+from .wrapper import AxisPorts
+
+__all__ = ["StreamTiming", "StreamHarness", "pack_row", "unpack_row", "always", "every"]
+
+
+def pack_row(values: Sequence[int], width: int) -> int:
+    """Pack signed element values into one stream beat (element 0 = LSBs)."""
+    word = 0
+    for i, value in enumerate(values):
+        word |= to_unsigned(value, width) << (i * width)
+    return word
+
+
+def unpack_row(word: int, count: int, width: int, signed: bool = True) -> list[int]:
+    """Unpack one stream beat into element values."""
+    out = []
+    for i in range(count):
+        raw = (word >> (i * width)) & ((1 << width) - 1)
+        out.append(to_signed(raw, width) if signed else raw)
+    return out
+
+
+def always(_cycle: int) -> bool:
+    """Valid/ready pattern: asserted every cycle."""
+    return True
+
+
+def every(n: int, offset: int = 0) -> Callable[[int], bool]:
+    """Valid/ready pattern: asserted one cycle in ``n``."""
+    def pattern(cycle: int) -> bool:
+        return (cycle + offset) % n == 0
+    return pattern
+
+
+@dataclass
+class StreamTiming:
+    """Measured timing of a streamed run."""
+
+    latency: int          # T_L of the first matrix
+    periodicity: int      # steady-state T_P (max start distance after warm-up)
+    start_cycles: list[int] = field(default_factory=list)
+    finish_cycles: list[int] = field(default_factory=list)
+    total_cycles: int = 0
+
+
+class StreamHarness:
+    """Drives one wrapped design through a sequence of matrices."""
+
+    def __init__(self, simulator: Simulator, spec: KernelSpec) -> None:
+        self.sim = simulator
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def run_matrices(
+        self,
+        matrices: Sequence[Sequence[Sequence[int]]],
+        valid_pattern: Callable[[int], bool] = always,
+        ready_pattern: Callable[[int], bool] = always,
+        timeout: int | None = None,
+        signed_output: bool = True,
+    ) -> tuple[list[list[list[int]]], StreamTiming]:
+        """Stream ``matrices`` in and collect the same number out.
+
+        Returns ``(output_matrices, timing)``.  Raises
+        :class:`ProtocolError` on any AXI-Stream violation (TVALID
+        retraction, TDATA instability during a stall, TLAST misalignment,
+        or the wrapper's sticky error flag).
+        """
+        sim, spec = self.sim, self.spec
+        rows, cols = spec.rows, spec.cols
+        beats: list[tuple[int, bool]] = []
+        for matrix in matrices:
+            if len(matrix) != rows:
+                raise SimulationError(f"matrix must have {rows} rows")
+            for r, row in enumerate(matrix):
+                beats.append((pack_row(row, spec.in_width), r == rows - 1))
+
+        expected_out_beats = len(matrices) * rows
+        out_beats: list[int] = []
+        out_beat_cycles: list[int] = []
+        in_beat_cycles: list[int] = []
+        next_beat = 0
+        cycle = 0
+        if timeout is None:
+            timeout = 64 * (len(beats) + 64)
+
+        prev_m_valid = False
+        prev_m_ready = True
+        prev_m_data = 0
+        prev_m_last = 0
+        out_row_in_frame = 0
+
+        while len(out_beats) < expected_out_beats:
+            if cycle > timeout:
+                raise SimulationError(
+                    f"stream run timed out at cycle {cycle} "
+                    f"({len(out_beats)}/{expected_out_beats} beats out)"
+                )
+            # Drive inputs for this cycle.
+            want_valid = next_beat < len(beats) and valid_pattern(cycle)
+            data, last = beats[next_beat] if next_beat < len(beats) else (0, False)
+            sim.poke(AxisPorts.S_TVALID, int(want_valid))
+            sim.poke(AxisPorts.S_TDATA, data)
+            sim.poke(AxisPorts.S_TLAST, int(last))
+            ready = ready_pattern(cycle)
+            sim.poke(AxisPorts.M_TREADY, int(ready))
+
+            # Observe the settled cycle.
+            s_tready = bool(sim.peek_int(AxisPorts.S_TREADY))
+            m_tvalid = bool(sim.peek_int(AxisPorts.M_TVALID))
+            m_tdata = sim.peek_int(AxisPorts.M_TDATA)
+            m_tlast = sim.peek_int(AxisPorts.M_TLAST)
+
+            # Protocol monitor: no TVALID retraction / TDATA change while
+            # stalled.
+            if prev_m_valid and not prev_m_ready:
+                if not m_tvalid:
+                    raise ProtocolError(f"TVALID retracted during stall at cycle {cycle}")
+                if m_tdata != prev_m_data or m_tlast != prev_m_last:
+                    raise ProtocolError(f"TDATA/TLAST changed during stall at cycle {cycle}")
+
+            if want_valid and s_tready:
+                in_beat_cycles.append(cycle)
+                next_beat += 1
+            if m_tvalid and ready:
+                out_beats.append(m_tdata)
+                out_beat_cycles.append(cycle)
+                expect_last = out_row_in_frame == rows - 1
+                if bool(m_tlast) != expect_last:
+                    raise ProtocolError(
+                        f"TLAST misaligned at output beat {len(out_beats) - 1} "
+                        f"(cycle {cycle})"
+                    )
+                out_row_in_frame = 0 if expect_last else out_row_in_frame + 1
+
+            prev_m_valid, prev_m_ready = m_tvalid, ready
+            prev_m_data, prev_m_last = m_tdata, m_tlast
+
+            sim.step()
+            cycle += 1
+
+            if sim.peek_int(AxisPorts.ERROR):
+                raise ProtocolError(f"wrapper raised sticky error at cycle {cycle}")
+
+        # Unpack outputs.
+        outputs: list[list[list[int]]] = []
+        for mi in range(len(matrices)):
+            matrix = []
+            for r in range(rows):
+                word = out_beats[mi * rows + r]
+                matrix.append(unpack_row(word, cols, spec.out_width, signed_output))
+            outputs.append(matrix)
+
+        starts = [in_beat_cycles[mi * rows] for mi in range(len(matrices))]
+        finishes = [out_beat_cycles[(mi + 1) * rows - 1] for mi in range(len(matrices))]
+        latency = finishes[0] - starts[0] + 1
+        if len(starts) >= 3:
+            # Steady state: skip the first interval (pipeline warm-up).
+            deltas = [b - a for a, b in zip(starts[1:], starts[2:])]
+            periodicity = max(deltas)
+        elif len(starts) == 2:
+            periodicity = starts[1] - starts[0]
+        else:
+            periodicity = latency
+        timing = StreamTiming(
+            latency=latency,
+            periodicity=periodicity,
+            start_cycles=starts,
+            finish_cycles=finishes,
+            total_cycles=cycle,
+        )
+        return outputs, timing

@@ -1,0 +1,77 @@
+"""Kernel interface conventions for AXI-Stream system wrappers.
+
+The paper wraps every IDCT implementation in a row-by-row AXI-Stream
+adapter before measuring it.  Our wrapper generator supports the three
+kernel shapes the evaluated designs take:
+
+* ``COMB_MATRIX``     — a combinational whole-matrix transform
+  (port ``in_mat`` -> ``out_mat``); the paper's "initial" RTL designs.
+* ``PIPELINED_MATRIX`` — the same dataflow cut into ``latency`` register
+  stages (XLS-style auto-pipelined kernels); ports ``in_mat``/``out_mat``
+  plus a clock-enable ``ce``.
+* ``ROW_SERIAL``      — processes one row per cycle with internal
+  transposition (ports ``in_row``/``in_valid``/``out_row``/``out_valid``
+  and ``ce``); the paper's "optimized" 1xIDCTrow + 1xIDCTcol designs.
+
+Kernels with state must expose a 1-bit ``ce`` input and gate every internal
+register with it: the wrapper freezes the whole pipeline on output
+backpressure, which keeps the AXI-Stream contract airtight under any sink
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.errors import FrontendError
+
+__all__ = ["KernelStyle", "KernelSpec", "MATRIX_SPEC_12_9"]
+
+
+class KernelStyle(Enum):
+    COMB_MATRIX = "comb_matrix"
+    PIPELINED_MATRIX = "pipelined_matrix"
+    ROW_SERIAL = "row_serial"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Shape and element widths of a matrix kernel."""
+
+    style: KernelStyle
+    rows: int = 8
+    cols: int = 8
+    in_width: int = 12
+    out_width: int = 9
+    latency: int = 0  # pipeline depth for PIPELINED_MATRIX / ROW_SERIAL info
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 1:
+            raise FrontendError("matrix kernels need rows >= 2 and cols >= 1")
+        if self.style is KernelStyle.PIPELINED_MATRIX and self.latency < 1:
+            raise FrontendError("pipelined kernels need latency >= 1")
+
+    @property
+    def in_row_bits(self) -> int:
+        """Bits per input stream beat (one matrix row)."""
+        return self.cols * self.in_width
+
+    @property
+    def out_row_bits(self) -> int:
+        """Bits per output stream beat (one matrix row)."""
+        return self.cols * self.out_width
+
+    @property
+    def in_mat_bits(self) -> int:
+        return self.rows * self.in_row_bits
+
+    @property
+    def out_mat_bits(self) -> int:
+        return self.rows * self.out_row_bits
+
+
+#: The paper's IDCT shape: 8x8, 12-bit inputs, 9-bit outputs.
+MATRIX_SPEC_12_9 = KernelSpec(
+    style=KernelStyle.COMB_MATRIX, rows=8, cols=8, in_width=12, out_width=9
+)

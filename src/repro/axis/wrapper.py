@@ -1,0 +1,329 @@
+"""AXI-Stream wrapper generation around matrix kernels.
+
+The generated module implements the paper's row-by-row interface: an
+AXI-Stream slave accepts one matrix row per beat, the kernel transforms the
+matrix, and an AXI-Stream master emits one result row per beat.
+
+Flow control uses a global clock-enable (``run``): whenever the output
+register holds a beat the sink has not consumed, every register in the
+wrapper *and* the kernel freezes.  This keeps TDATA/TVALID stable during
+stalls and never drops data, for any sink behaviour, without per-stage
+skid buffers.
+
+Timing in the streaming steady state (always-valid source, always-ready
+sink) for a combinational kernel: latency 17 cycles, initiation interval 8
+— exactly the paper's initial Verilog design.  ``allow_capture_overlap=
+False`` inserts the one-cycle bubble (period 9) that the paper observes in
+the BSV implementation.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FrontendError
+from ..rtl import Module, ops
+from ..rtl.ir import Expr, Ref, Signal
+from .spec import KernelSpec, KernelStyle
+
+__all__ = ["build_axis_wrapper", "AxisPorts"]
+
+
+class AxisPorts:
+    """Names of the generated wrapper's stream ports (fixed convention)."""
+
+    S_TDATA = "s_tdata"
+    S_TVALID = "s_tvalid"
+    S_TLAST = "s_tlast"
+    S_TREADY = "s_tready"
+    M_TDATA = "m_tdata"
+    M_TVALID = "m_tvalid"
+    M_TLAST = "m_tlast"
+    M_TREADY = "m_tready"
+    ERROR = "error"
+
+
+def _count_width(max_value: int) -> int:
+    return max(1, max_value.bit_length())
+
+
+def _kernel_port_names(kernel: Module) -> set[str]:
+    return {sig.name for sig in kernel.inputs + kernel.outputs}
+
+
+def build_axis_wrapper(
+    kernel: Module,
+    spec: KernelSpec,
+    name: str | None = None,
+    allow_capture_overlap: bool = True,
+) -> Module:
+    """Wrap ``kernel`` (matching ``spec``) in a row-by-row AXI-Stream shell."""
+    if spec.style in (KernelStyle.COMB_MATRIX, KernelStyle.PIPELINED_MATRIX):
+        return _build_matrix_wrapper(kernel, spec, name, allow_capture_overlap)
+    if spec.style is KernelStyle.ROW_SERIAL:
+        return _build_row_serial_wrapper(kernel, spec, name)
+    raise FrontendError(f"unsupported kernel style {spec.style}")
+
+
+def _declare_stream_ports(m: Module, spec: KernelSpec):
+    s_tdata = m.input(AxisPorts.S_TDATA, spec.in_row_bits)
+    s_tvalid = m.input(AxisPorts.S_TVALID, 1)
+    s_tlast = m.input(AxisPorts.S_TLAST, 1)
+    m_tready = m.input(AxisPorts.M_TREADY, 1)
+    s_tready = m.output(AxisPorts.S_TREADY, 1)
+    m_tdata = m.output(AxisPorts.M_TDATA, spec.out_row_bits)
+    m_tvalid = m.output(AxisPorts.M_TVALID, 1)
+    m_tlast = m.output(AxisPorts.M_TLAST, 1)
+    error = m.output(AxisPorts.ERROR, 1)
+    return s_tdata, s_tvalid, s_tlast, m_tready, s_tready, m_tdata, m_tvalid, m_tlast, error
+
+
+def _row_mux(m: Module, buf: Signal, count: Signal, rows: int, row_bits: int) -> Expr:
+    """Select row ``count`` from the packed buffer (log-depth mux tree)."""
+    rows_exprs = [
+        ops.bits(buf, (r + 1) * row_bits - 1, r * row_bits) for r in range(rows)
+    ]
+    return ops.select(count, rows_exprs, signed=False)
+
+
+def _build_matrix_wrapper(
+    kernel: Module,
+    spec: KernelSpec,
+    name: str | None,
+    allow_capture_overlap: bool,
+) -> Module:
+    ports = _kernel_port_names(kernel)
+    if "in_mat" not in ports or "out_mat" not in ports:
+        raise FrontendError(
+            f"matrix kernel {kernel.name} must expose in_mat/out_mat ports"
+        )
+    rows = spec.rows
+    m = Module(name or f"{kernel.name}_axis")
+    (s_tdata, s_tvalid, s_tlast, m_tready,
+     s_tready, m_tdata, m_tvalid, m_tlast, error) = _declare_stream_ports(m, spec)
+
+    in_cnt_w = _count_width(rows - 1)
+    out_cnt_w = _count_width(rows)
+
+    out_reg_valid = m.reg("out_reg_valid", 1)
+    run = m.connect("run", 1, ops.bor(ops.bnot(out_reg_valid), Ref(m_tready)))
+
+    in_count = m.reg("in_count", in_cnt_w)
+    out_count = m.reg("out_count", out_cnt_w, init=rows)
+    out_buf = m.reg("out_buf", spec.out_mat_bits)
+    out_reg = m.reg("out_reg", spec.out_row_bits)
+    out_last = m.reg("out_last", 1)
+    err_sticky = m.reg("err_sticky", 1)
+
+    last_in = m.connect("last_in", 1, ops.eq(in_count, ops.const(rows - 1, in_cnt_w)))
+    out_done = m.connect("out_done", 1, ops.eq(out_count, ops.const(rows, out_cnt_w)))
+    out_penult = m.connect(
+        "out_penult", 1, ops.eq(out_count, ops.const(rows - 1, out_cnt_w))
+    )
+    # The final row of a matrix may be accepted while the previous result
+    # is still draining, as long as the drain completes before the new
+    # result lands: ``latency`` cycles after issue for a pipelined kernel,
+    # immediately for a combinational one.
+    latency = spec.latency if spec.style is KernelStyle.PIPELINED_MATRIX else 0
+    lead = latency + (1 if allow_capture_overlap else 0)
+    threshold = rows - lead
+    if threshold <= 0:
+        capture_ok = m.connect("capture_ok", 1, ops.const(1, 1))
+    else:
+        capture_ok = m.connect(
+            "capture_ok",
+            1,
+            ops.bor(
+                out_done,
+                ops.ge(out_count, ops.const(threshold, out_cnt_w), signed=False),
+            ),
+        )
+
+    s_tready_int = m.connect(
+        "s_tready_int",
+        1,
+        ops.band(run, ops.bor(ops.bnot(last_in), capture_ok)),
+    )
+    m.assign(s_tready, Ref(s_tready_int))
+    accept = m.connect("accept", 1, ops.band(Ref(s_tvalid), Ref(s_tready_int)))
+    issue = m.connect("issue", 1, ops.band(accept, last_in))
+
+    # ------------------------------------------------------------------
+    # input row registers (rows-1 of them; the last row feeds the kernel
+    # straight off the bus so a matrix issues the cycle its last row lands)
+    # ------------------------------------------------------------------
+    in_rows: list[Signal] = []
+    for r in range(rows - 1):
+        row_reg = m.reg(
+            f"in_row{r}",
+            spec.in_row_bits,
+            next=Ref(s_tdata),
+            en=ops.band(
+                ops.band(run, accept),
+                ops.eq(in_count, ops.const(r, in_cnt_w)),
+            ),
+        )
+        in_rows.append(row_reg)
+    in_mat = m.connect(
+        "in_mat",
+        spec.in_mat_bits,
+        ops.cat(Ref(s_tdata), *[Ref(r) for r in reversed(in_rows)]),
+    )
+
+    m.set_next(
+        in_count,
+        ops.mux(
+            accept,
+            ops.mux(last_in, ops.const(0, in_cnt_w), ops.add(in_count, 1)),
+            Ref(in_count),
+        ),
+        en=run,
+    )
+
+    # ------------------------------------------------------------------
+    # kernel instance
+    # ------------------------------------------------------------------
+    out_mat = m.wire("out_mat", spec.out_mat_bits)
+    conns: dict[str, object] = {"in_mat": Ref(in_mat), "out_mat": out_mat}
+    if "ce" in ports:
+        conns["ce"] = Ref(run)
+    m.instance(kernel, "kernel", **conns)
+
+    if spec.style is KernelStyle.PIPELINED_MATRIX:
+        # Delay line tracking matrices through the kernel pipeline.
+        valid_chain: Expr = Ref(issue)
+        for stage in range(spec.latency):
+            valid_chain = Ref(m.reg(f"vld{stage}", 1, next=valid_chain, en=run))
+        kernel_out_valid = m.connect("kernel_out_valid", 1, valid_chain)
+    else:
+        kernel_out_valid = m.connect("kernel_out_valid", 1, Ref(issue))
+
+    capture = m.connect("capture", 1, ops.band(run, Ref(kernel_out_valid)))
+    m.set_next(out_buf, Ref(out_mat), en=capture)
+
+    # Overflow: the kernel produced a matrix while the previous one was
+    # still draining (possible only with pathological latency/period
+    # combinations; surfaced as a sticky error rather than silent loss).
+    if spec.style is KernelStyle.PIPELINED_MATRIX:
+        # Capturing while the final drain transfer fires is safe (the last
+        # row moves to the output register the same edge), so only a capture
+        # before the penultimate row has drained loses data.
+        drain_safe = ops.bor(out_done, out_penult)
+        overflow = ops.band(Ref(kernel_out_valid), ops.bnot(drain_safe))
+    else:
+        overflow = ops.const(0, 1)
+
+    # TLAST alignment check on the input stream.
+    tlast_bad = ops.band(
+        accept,
+        ops.bxor(Ref(s_tlast), Ref(last_in)),
+    )
+    m.set_next(
+        err_sticky,
+        ops.bor(Ref(err_sticky), ops.bor(overflow, tlast_bad)),
+    )
+    m.assign(error, Ref(err_sticky))
+
+    # ------------------------------------------------------------------
+    # output drain: move rows from out_buf into the output register
+    # ------------------------------------------------------------------
+    transfer = m.connect("transfer", 1, ops.bnot(out_done))
+    m.set_next(
+        out_count,
+        ops.mux(
+            Ref(capture),
+            ops.const(0, out_cnt_w),
+            ops.mux(transfer, ops.add(out_count, 1), Ref(out_count)),
+        ),
+        en=run,
+    )
+    row_bits = spec.out_row_bits
+    safe_count = m.connect(
+        "row_sel",
+        out_cnt_w,
+        Ref(out_count),
+    )
+    selected = _row_mux(m, out_buf, safe_count, rows, row_bits)
+    m.set_next(out_reg, selected, en=ops.band(run, transfer))
+    m.set_next(out_reg_valid, Ref(transfer), en=run)
+    m.set_next(out_last, Ref(out_penult), en=run)
+
+    m.assign(m_tdata, Ref(out_reg))
+    m.assign(m_tvalid, Ref(out_reg_valid))
+    m.assign(m_tlast, ops.band(Ref(out_last), Ref(out_reg_valid)))
+    return m
+
+
+def _build_row_serial_wrapper(
+    kernel: Module,
+    spec: KernelSpec,
+    name: str | None,
+) -> Module:
+    ports = _kernel_port_names(kernel)
+    needed = {"in_row", "in_valid", "out_row", "out_valid"}
+    if not needed <= ports:
+        raise FrontendError(
+            f"row-serial kernel {kernel.name} must expose {sorted(needed)} ports"
+        )
+    rows = spec.rows
+    m = Module(name or f"{kernel.name}_axis")
+    (s_tdata, s_tvalid, s_tlast, m_tready,
+     s_tready, m_tdata, m_tvalid, m_tlast, error) = _declare_stream_ports(m, spec)
+
+    out_reg_valid = m.reg("out_reg_valid", 1)
+    run = m.connect("run", 1, ops.bor(ops.bnot(out_reg_valid), Ref(m_tready)))
+    m.assign(s_tready, Ref(run))
+    accept = m.connect("accept", 1, ops.band(Ref(s_tvalid), Ref(run)))
+
+    # TLAST alignment on the input.
+    in_cnt_w = _count_width(rows - 1)
+    in_count = m.reg("in_count", in_cnt_w)
+    last_in = m.connect("last_in", 1, ops.eq(in_count, ops.const(rows - 1, in_cnt_w)))
+    m.set_next(
+        in_count,
+        ops.mux(
+            accept,
+            ops.mux(last_in, ops.const(0, in_cnt_w), ops.add(in_count, 1)),
+            Ref(in_count),
+        ),
+        en=run,
+    )
+    err_sticky = m.reg("err_sticky", 1)
+    m.set_next(
+        err_sticky,
+        ops.bor(Ref(err_sticky), ops.band(accept, ops.bxor(Ref(s_tlast), Ref(last_in)))),
+    )
+    m.assign(error, Ref(err_sticky))
+
+    # Kernel hookup.
+    out_row = m.wire("out_row", spec.out_row_bits)
+    out_valid = m.wire("out_valid", 1)
+    conns: dict[str, object] = {
+        "in_row": Ref(s_tdata),
+        "in_valid": Ref(accept),
+        "out_row": out_row,
+        "out_valid": out_valid,
+    }
+    if "ce" in ports:
+        conns["ce"] = Ref(run)
+    m.instance(kernel, "kernel", **conns)
+
+    # Output register + TLAST generation.
+    out_cnt = m.reg("out_row_count", in_cnt_w)
+    last_out = m.connect("last_out", 1, ops.eq(out_cnt, ops.const(rows - 1, in_cnt_w)))
+    m.set_next(
+        out_cnt,
+        ops.mux(
+            Ref(out_valid),
+            ops.mux(last_out, ops.const(0, in_cnt_w), ops.add(out_cnt, 1)),
+            Ref(out_cnt),
+        ),
+        en=run,
+    )
+    out_reg = m.reg("out_reg", spec.out_row_bits, next=Ref(out_row),
+                    en=ops.band(run, Ref(out_valid)))
+    out_last = m.reg("out_last", 1, next=Ref(last_out), en=ops.band(run, Ref(out_valid)))
+    m.set_next(out_reg_valid, Ref(out_valid), en=run)
+
+    m.assign(m_tdata, Ref(out_reg))
+    m.assign(m_tvalid, Ref(out_reg_valid))
+    m.assign(m_tlast, ops.band(Ref(out_last), Ref(out_reg_valid)))
+    return m

@@ -1,0 +1,6 @@
+"""Netlist export backends (Verilog, DOT)."""
+
+from .dot import emit_dot
+from .verilog import emit_verilog
+
+__all__ = ["emit_verilog", "emit_dot"]

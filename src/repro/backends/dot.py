@@ -1,0 +1,55 @@
+"""Graphviz DOT rendering of a netlist's signal-level dataflow graph."""
+
+from __future__ import annotations
+
+import io
+
+from ..rtl.elaborate import Netlist
+from ..rtl.ir import expr_signals
+
+__all__ = ["emit_dot"]
+
+
+def emit_dot(netlist: Netlist) -> str:
+    """Render the signal dependency graph of ``netlist`` as DOT text.
+
+    Nodes are signals (inputs as triangles, registers as boxes, wires as
+    ellipses); edges follow combinational and sequential data dependencies.
+    """
+    out = io.StringIO()
+    out.write(f'digraph "{netlist.name}" {{\n')
+    out.write("  rankdir=LR;\n")
+
+    def node_id(name: str) -> str:
+        return '"' + name.replace('"', "'") + '"'
+
+    reg_signals = {reg.signal for reg in netlist.registers}
+    for sig in netlist.inputs:
+        out.write(f"  {node_id(sig.name)} [shape=triangle, label=\"{sig.name}\\n{sig.width}b\"];\n")
+    for sig in netlist.outputs:
+        out.write(f"  {node_id(sig.name)} [shape=invtriangle, label=\"{sig.name}\\n{sig.width}b\"];\n")
+    for reg in netlist.registers:
+        out.write(
+            f"  {node_id(reg.signal.name)} [shape=box, style=filled, "
+            f"fillcolor=lightblue, label=\"{reg.signal.name}\\n{reg.signal.width}b\"];\n"
+        )
+    for sig, _expr in netlist.assigns:
+        if sig not in reg_signals and sig not in netlist.outputs:
+            out.write(f"  {node_id(sig.name)} [shape=ellipse];\n")
+
+    for sig, expr in netlist.assigns:
+        for source in expr_signals(expr):
+            out.write(f"  {node_id(source.name)} -> {node_id(sig.name)};\n")
+    for reg in netlist.registers:
+        for source in expr_signals(reg.next):
+            out.write(
+                f"  {node_id(source.name)} -> {node_id(reg.signal.name)} [style=dashed];\n"
+            )
+        if reg.en is not None:
+            for source in expr_signals(reg.en):
+                out.write(
+                    f"  {node_id(source.name)} -> {node_id(reg.signal.name)} "
+                    f"[style=dotted, label=en];\n"
+                )
+    out.write("}\n")
+    return out.getvalue()

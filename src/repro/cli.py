@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1``            — print the tool classification (paper Table I);
+* ``table2 [--tools ...] [--csv PATH]`` — regenerate the evaluation table;
+* ``fig1 [--full] [--csv PATH]``        — regenerate the DSE scatter;
+* ``verify <design>``   — build and verify one design by name;
+* ``list``              — list all registered design names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+__all__ = ["main"]
+
+
+def _design_registry() -> dict:
+    from .eval.experiments import PAIRS
+
+    registry = {}
+    for key, factory in PAIRS.items():
+        initial, optimized = factory()
+        registry[initial.name] = initial
+        registry[optimized.name] = optimized
+    return registry
+
+
+def _cmd_table1(_args) -> int:
+    from .eval import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .eval import generate_table2, render_table2
+
+    table = generate_table2(tools=args.tools or None)
+    print(render_table2(table))
+    if args.csv:
+        with open(args.csv, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([
+                "tool", "config", "loc", "fmax_mhz", "latency", "periodicity",
+                "throughput_mops", "area", "lut_star", "ff_star", "lut", "ff",
+                "dsp", "n_io", "quality", "automation_pct",
+                "controllability_pct", "flexibility",
+            ])
+            for key, column in table.columns.items():
+                for measured, alpha in (
+                    (column.initial, column.automation_initial),
+                    (column.optimized, column.automation_opt),
+                ):
+                    writer.writerow([
+                        key, measured.config, measured.loc,
+                        round(measured.fmax_mhz, 2), measured.latency,
+                        measured.periodicity,
+                        round(measured.throughput_mops, 3), measured.area,
+                        measured.lut_star, measured.ff_star, measured.lut,
+                        measured.ff, measured.dsp, measured.n_io,
+                        round(measured.quality, 1), round(alpha, 1),
+                        round(column.controllability, 1),
+                        round(column.flexibility, 1),
+                    ])
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from .eval.experiments import generate_fig1, render_fig1
+
+    if args.full:
+        series = generate_fig1(bsc_configs=26, bambu_configs=42, xls_stages=18)
+    else:
+        series = generate_fig1(bsc_configs=4, bambu_configs=6, xls_stages=8)
+    print(render_fig1(series))
+    if args.csv:
+        with open(args.csv, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["tool", "config", "throughput_mops", "area"])
+            for entry in series:
+                for config, throughput, area in entry.points:
+                    writer.writerow([entry.tool, config,
+                                     round(throughput, 3), area])
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .eval import measure_design
+
+    registry = _design_registry()
+    design = registry.get(args.design)
+    if design is None:
+        print(f"unknown design {args.design!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    measured = measure_design(design)
+    status = "OK (bit-exact)" if measured.bit_exact else "MISMATCH"
+    print(f"{design.name}: {status}")
+    print(f"  latency {measured.latency} cycles, periodicity "
+          f"{measured.periodicity} cycles")
+    print(f"  fmax {measured.fmax_mhz:.2f} MHz, throughput "
+          f"{measured.throughput_mops:.2f} MOPS")
+    print(f"  area {measured.area} (N*LUT {measured.lut_star} + "
+          f"N*FF {measured.ff_star}), {measured.dsp} DSP, {measured.n_io} IO")
+    return 0 if measured.bit_exact else 1
+
+
+def _cmd_list(_args) -> int:
+    for name in sorted(_design_registry()):
+        print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'HLS versus Hardware Construction' (DATE 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I").set_defaults(fn=_cmd_table1)
+
+    p_table2 = sub.add_parser("table2", help="regenerate Table II")
+    p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
+    p_table2.add_argument("--csv", help="also write CSV to this path")
+    p_table2.set_defaults(fn=_cmd_table2)
+
+    p_fig1 = sub.add_parser("fig1", help="regenerate Figure 1 (DSE)")
+    p_fig1.add_argument("--full", action="store_true",
+                        help="full 26/42/19-point sweeps")
+    p_fig1.add_argument("--csv", help="also write CSV to this path")
+    p_fig1.set_defaults(fn=_cmd_fig1)
+
+    p_verify = sub.add_parser("verify", help="verify one design by name")
+    p_verify.add_argument("design")
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    sub.add_parser("list", help="list design names").set_defaults(fn=_cmd_list)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Core value types and utilities shared by every repro subsystem."""
+
+from .bits import BV, mask, min_width_signed, min_width_unsigned, to_signed, to_unsigned
+from .errors import (
+    CombinationalLoopError,
+    DriverError,
+    ElaborationError,
+    EvaluationError,
+    FrontendError,
+    HlsError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SynthesisError,
+    WidthError,
+)
+from .naming import Namespace, legalize
+
+__all__ = [
+    "BV",
+    "mask",
+    "min_width_signed",
+    "min_width_unsigned",
+    "to_signed",
+    "to_unsigned",
+    "Namespace",
+    "legalize",
+    "ReproError",
+    "WidthError",
+    "ElaborationError",
+    "DriverError",
+    "CombinationalLoopError",
+    "SimulationError",
+    "SynthesisError",
+    "ProtocolError",
+    "FrontendError",
+    "HlsError",
+    "ScheduleError",
+    "EvaluationError",
+]

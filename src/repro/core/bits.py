@@ -1,0 +1,236 @@
+"""Fixed-width bit-vector values.
+
+:class:`BV` is the value type exchanged between testbenches and simulated
+hardware.  It is an immutable two's-complement bit pattern of an explicit,
+positive width.  All arithmetic wraps modulo ``2**width`` exactly like the
+hardware it models; nothing here ever grows a width implicitly.
+
+The simulator itself operates on plain masked integers for speed; ``BV`` is
+the user-facing boundary type with the convenience accessors (``uint``,
+``sint``, slicing, concatenation) a testbench needs.
+"""
+
+from __future__ import annotations
+
+from .errors import WidthError
+
+__all__ = ["BV", "mask", "to_signed", "to_unsigned", "min_width_unsigned", "min_width_signed"]
+
+
+def mask(width: int) -> int:
+    """Return the all-ones bit mask for ``width`` bits."""
+    if width <= 0:
+        raise WidthError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Wrap an arbitrary integer into the unsigned range of ``width`` bits."""
+    return value & mask(width)
+
+
+def min_width_unsigned(value: int) -> int:
+    """Minimum width able to hold ``value`` as an unsigned number."""
+    if value < 0:
+        raise ValueError(f"negative value {value} has no unsigned width")
+    return max(1, value.bit_length())
+
+
+def min_width_signed(value: int) -> int:
+    """Minimum width able to hold ``value`` as a two's-complement number."""
+    if value >= 0:
+        return value.bit_length() + 1
+    return (~value).bit_length() + 1
+
+
+class BV:
+    """An immutable fixed-width bit vector.
+
+    >>> BV(5, 4)
+    BV(0x5, 4)
+    >>> BV(-1, 4).uint
+    15
+    >>> BV(0b1010, 4)[3]
+    BV(0x1, 1)
+    >>> (BV(7, 4) + BV(12, 4)).uint    # wraps at 16
+    3
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: int, width: int) -> None:
+        if width <= 0:
+            raise WidthError(f"BV width must be positive, got {width}")
+        self._value = value & ((1 << width) - 1)
+        self._width = width
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def uint(self) -> int:
+        """The value as an unsigned integer."""
+        return self._value
+
+    @property
+    def sint(self) -> int:
+        """The value as a two's-complement signed integer."""
+        return to_signed(self._value, self._width)
+
+    @property
+    def width(self) -> int:
+        """The number of bits."""
+        return self._width
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` (0 = LSB) as a plain 0/1 integer."""
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit {index} out of range for width {self._width}")
+        return (self._value >> index) & 1
+
+    def __getitem__(self, key: int | slice) -> "BV":
+        if isinstance(key, int):
+            if key < 0:
+                key += self._width
+            return BV(self.bit(key), 1)
+        if isinstance(key, slice):
+            if key.step is not None:
+                raise WidthError("BV slices must be contiguous (no step)")
+            lo = 0 if key.start is None else key.start
+            hi = self._width - 1 if key.stop is None else key.stop
+            if lo < 0 or hi >= self._width or hi < lo:
+                raise WidthError(
+                    f"slice [{hi}:{lo}] out of range for width {self._width}"
+                )
+            return BV(self._value >> lo, hi - lo + 1)
+        raise TypeError(f"BV indices must be int or slice, not {type(key).__name__}")
+
+    def slice(self, hi: int, lo: int) -> "BV":
+        """Verilog-style ``[hi:lo]`` slice (both bounds inclusive)."""
+        return self[lo:hi]
+
+    # ------------------------------------------------------------------
+    # width adjustment
+    # ------------------------------------------------------------------
+    def zext(self, width: int) -> "BV":
+        """Zero-extend (or keep) to ``width`` bits; never truncates."""
+        if width < self._width:
+            raise WidthError(f"zext to {width} would truncate width {self._width}")
+        return BV(self._value, width)
+
+    def sext(self, width: int) -> "BV":
+        """Sign-extend (or keep) to ``width`` bits; never truncates."""
+        if width < self._width:
+            raise WidthError(f"sext to {width} would truncate width {self._width}")
+        return BV(self.sint, width)
+
+    def trunc(self, width: int) -> "BV":
+        """Keep only the low ``width`` bits."""
+        if width > self._width:
+            raise WidthError(f"trunc to {width} would widen width {self._width}")
+        return BV(self._value, width)
+
+    def cat(self, *others: "BV") -> "BV":
+        """Concatenate ``self`` (MSBs) with ``others`` (descending to LSBs)."""
+        value, width = self._value, self._width
+        for other in others:
+            value = (value << other._width) | other._value
+            width += other._width
+        return BV(value, width)
+
+    # ------------------------------------------------------------------
+    # arithmetic (same-width operands, wrap-around semantics)
+    # ------------------------------------------------------------------
+    def _binary(self, other: "BV", op_name: str) -> int:
+        if not isinstance(other, BV):
+            raise TypeError(f"BV.{op_name} requires a BV operand")
+        if other._width != self._width:
+            raise WidthError(
+                f"BV.{op_name} width mismatch: {self._width} vs {other._width}"
+            )
+        return other._value
+
+    def __add__(self, other: "BV") -> "BV":
+        return BV(self._value + self._binary(other, "__add__"), self._width)
+
+    def __sub__(self, other: "BV") -> "BV":
+        return BV(self._value - self._binary(other, "__sub__"), self._width)
+
+    def __mul__(self, other: "BV") -> "BV":
+        return BV(self._value * self._binary(other, "__mul__"), self._width)
+
+    def __and__(self, other: "BV") -> "BV":
+        return BV(self._value & self._binary(other, "__and__"), self._width)
+
+    def __or__(self, other: "BV") -> "BV":
+        return BV(self._value | self._binary(other, "__or__"), self._width)
+
+    def __xor__(self, other: "BV") -> "BV":
+        return BV(self._value ^ self._binary(other, "__xor__"), self._width)
+
+    def __invert__(self) -> "BV":
+        return BV(~self._value, self._width)
+
+    def __neg__(self) -> "BV":
+        return BV(-self._value, self._width)
+
+    def __lshift__(self, amount: int) -> "BV":
+        return BV(self._value << amount, self._width)
+
+    def __rshift__(self, amount: int) -> "BV":
+        return BV(self._value >> amount, self._width)
+
+    def sra(self, amount: int) -> "BV":
+        """Arithmetic (sign-filling) right shift."""
+        return BV(self.sint >> amount, self._width)
+
+    # ------------------------------------------------------------------
+    # comparison / hashing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BV):
+            return NotImplemented
+        return self._value == other._value and self._width == other._width
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._width))
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"BV(0x{self._value:x}, {self._width})"
+
+    def __str__(self) -> str:
+        return f"{self._width}'h{self._value:x}"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def signed(cls, value: int, width: int) -> "BV":
+        """Build from a signed integer, checking that it fits."""
+        if not -(1 << (width - 1)) <= value < (1 << (width - 1)):
+            raise WidthError(f"signed value {value} does not fit in {width} bits")
+        return cls(value, width)
+
+    @classmethod
+    def unsigned(cls, value: int, width: int) -> "BV":
+        """Build from an unsigned integer, checking that it fits."""
+        if not 0 <= value < (1 << width):
+            raise WidthError(f"unsigned value {value} does not fit in {width} bits")
+        return cls(value, width)

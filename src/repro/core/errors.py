@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each layer of the framework raises a subclass of :class:`ReproError` so that
+callers can distinguish "the design is malformed" from "the tool mis-behaved"
+without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class WidthError(ReproError):
+    """A bit-width rule was violated (mismatched or non-positive widths)."""
+
+
+class ElaborationError(ReproError):
+    """The module hierarchy could not be flattened into a legal netlist."""
+
+
+class DriverError(ElaborationError):
+    """A signal is driven zero times or more than once."""
+
+
+class CombinationalLoopError(ElaborationError):
+    """The combinational assignment graph contains a cycle."""
+
+
+class SimulationError(ReproError):
+    """The simulator was used incorrectly (unknown signal, bad poke, ...)."""
+
+
+class SynthesisError(ReproError):
+    """The synthesis cost model could not process a netlist."""
+
+
+class ProtocolError(ReproError):
+    """An AXI-Stream protocol rule was violated during simulation."""
+
+
+class FrontendError(ReproError):
+    """A frontend DSL construct was used incorrectly."""
+
+
+class HlsError(FrontendError):
+    """The mini-C HLS compiler rejected the input program or pragmas."""
+
+
+class ScheduleError(HlsError):
+    """No legal schedule exists under the given constraints."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness was configured inconsistently."""

@@ -1,0 +1,57 @@
+"""Deterministic, collision-free name generation for hardware objects."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Namespace", "legalize"]
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_.]")
+
+
+def legalize(name: str) -> str:
+    """Normalize a string into an identifier.
+
+    Dots are preserved — they separate hierarchy levels in flat netlists;
+    backends that need strictly legal Verilog identifiers re-legalize with
+    their own namespace.
+    """
+    name = _IDENT_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+class Namespace:
+    """Hands out unique identifiers within one scope.
+
+    >>> ns = Namespace()
+    >>> ns.fresh("tmp"), ns.fresh("tmp"), ns.fresh("other")
+    ('tmp', 'tmp_1', 'other')
+    """
+
+    def __init__(self) -> None:
+        self._used: set[str] = set()
+        self._counters: dict[str, int] = {}
+
+    def fresh(self, base: str) -> str:
+        """Return ``base`` if unused, otherwise ``base_N`` for the next N."""
+        base = legalize(base)
+        if base not in self._used:
+            self._used.add(base)
+            return base
+        count = self._counters.get(base, 0)
+        while True:
+            count += 1
+            candidate = f"{base}_{count}"
+            if candidate not in self._used:
+                self._counters[base] = count
+                self._used.add(candidate)
+                return candidate
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken without returning it."""
+        self._used.add(legalize(name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._used

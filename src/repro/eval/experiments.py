@@ -1,0 +1,291 @@
+"""The paper's experiments: Table I, Table II, and Figure 1.
+
+The registry maps each evaluated language/tool pair to its initial and
+optimized designs (plus each tool's configuration sweep for the DSE
+figure).  Everything is regenerated from scratch: the designs are built,
+simulated against the golden model, and run through the synthesis cost
+model, then the paper's derived metrics (α, Q, C_Q, F_Q) are computed
+per equations (1)-(3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..frontends.base import Design
+from .loc import delta_loc
+from .measure import Measured, measure_design
+
+__all__ = [
+    "ToolEntry",
+    "TOOL_TABLE",
+    "ToolColumn",
+    "generate_table1",
+    "generate_table2",
+    "Table2",
+    "Fig1Series",
+    "generate_fig1",
+    "render_table1",
+    "render_table2",
+    "render_fig1",
+]
+
+
+# ----------------------------------------------------------------------
+# Table I — languages and tools under evaluation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ToolEntry:
+    language: str
+    paradigm: str
+    tool: str
+    tool_type: str   # LS/PR | HC | HLS
+    openness: str
+
+
+TOOL_TABLE: tuple[ToolEntry, ...] = (
+    ToolEntry("Verilog", "Classical RTL", "Vivado", "LS/PR", "Commercial"),
+    ToolEntry("Chisel", "Functional/RTL", "Chisel", "HC", "Open-source"),
+    ToolEntry("BSV", "Rule-based/RTL", "BSC", "HC", "Open-source"),
+    ToolEntry("DSLX", "Functional", "XLS", "HLS", "Open-source"),
+    ToolEntry("MaxJ", "Dataflow", "MaxCompiler", "HLS", "Commercial"),
+    ToolEntry("C", "Imperative", "Bambu", "HLS", "Open-source"),
+    ToolEntry("C", "Imperative", "Vivado HLS", "HLS", "Commercial"),
+)
+
+
+def generate_table1() -> tuple[ToolEntry, ...]:
+    return TOOL_TABLE
+
+
+def render_table1() -> str:
+    header = f"{'Language':10s} {'Paradigm':16s} {'Tool':12s} {'Type':6s} {'Openness'}"
+    lines = [header, "-" * len(header)]
+    for entry in TOOL_TABLE:
+        lines.append(
+            f"{entry.language:10s} {entry.paradigm:16s} {entry.tool:12s} "
+            f"{entry.tool_type:6s} {entry.openness}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# design registry
+# ----------------------------------------------------------------------
+
+def _verilog_pair() -> tuple[Design, Design]:
+    from ..frontends.vlog import verilog_initial, verilog_opt
+
+    return verilog_initial(), verilog_opt()
+
+
+def _chisel_pair() -> tuple[Design, Design]:
+    from ..frontends.hc import chisel_initial, chisel_opt
+
+    return chisel_initial(), chisel_opt()
+
+
+def _bsv_pair() -> tuple[Design, Design]:
+    from ..frontends.rules import bsv_initial, bsv_opt
+
+    return bsv_initial(), bsv_opt()
+
+
+def _xls_pair() -> tuple[Design, Design]:
+    from ..frontends.flow import xls_design, xls_initial
+
+    return xls_initial(), xls_design(8, config="opt")
+
+
+def _maxj_pair() -> tuple[Design, Design]:
+    from ..frontends.maxj import maxj_initial, maxj_opt
+
+    return maxj_initial(), maxj_opt()
+
+
+def _bambu_pair() -> tuple[Design, Design]:
+    from ..frontends.chls import bambu_initial, bambu_opt
+
+    return bambu_initial(), bambu_opt()
+
+
+def _vivado_hls_pair() -> tuple[Design, Design]:
+    from ..frontends.chls import vivado_initial, vivado_opt
+
+    return vivado_initial(), vivado_opt()
+
+
+PAIRS: dict[str, Callable[[], tuple[Design, Design]]] = {
+    "Verilog/Vivado": _verilog_pair,
+    "Chisel/Chisel": _chisel_pair,
+    "BSV/BSC": _bsv_pair,
+    "DSLX/XLS": _xls_pair,
+    "MaxJ/MaxCompiler": _maxj_pair,
+    "C/Bambu": _bambu_pair,
+    "C/Vivado HLS": _vivado_hls_pair,
+}
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+
+@dataclass
+class ToolColumn:
+    """One tool's pair of Table II columns plus the derived metrics."""
+
+    key: str
+    initial: Measured
+    optimized: Measured
+    delta_loc: int
+    automation_initial: float = 0.0
+    automation_opt: float = 0.0
+    controllability: float = 0.0
+    flexibility: float = 0.0
+
+
+@dataclass
+class Table2:
+    columns: dict[str, ToolColumn] = field(default_factory=dict)
+
+    def column(self, key: str) -> ToolColumn:
+        return self.columns[key]
+
+
+def generate_table2(tools: list[str] | None = None) -> Table2:
+    """Measure every tool pair and compute α, C_Q, F_Q per the paper."""
+    keys = tools or list(PAIRS)
+    if "Verilog/Vivado" not in keys:
+        keys = ["Verilog/Vivado"] + keys
+    table = Table2()
+    for key in keys:
+        initial, optimized = PAIRS[key]()
+        table.columns[key] = ToolColumn(
+            key=key,
+            initial=measure_design(initial),
+            optimized=measure_design(optimized),
+            delta_loc=delta_loc(initial, optimized),
+        )
+    baseline = table.columns["Verilog/Vivado"]
+    for column in table.columns.values():
+        column.automation_initial = (
+            (baseline.initial.loc - column.initial.loc) / baseline.initial.loc * 100
+        )
+        column.automation_opt = (
+            (baseline.optimized.loc - column.optimized.loc)
+            / baseline.optimized.loc * 100
+        )
+        column.controllability = (
+            column.optimized.quality / baseline.optimized.quality * 100
+        )
+        if column.delta_loc:
+            column.flexibility = (
+                (column.optimized.quality - column.initial.quality)
+                / column.delta_loc
+            )
+    return table
+
+
+_ROWS: list[tuple[str, Callable[[ToolColumn], tuple]]] = [
+    ("LOC, incl. options", lambda c: (c.initial.loc, c.optimized.loc)),
+    ("Modification dL", lambda c: (c.delta_loc, "")),
+    ("Automation a, %", lambda c: (round(c.automation_initial, 1),
+                                   round(c.automation_opt, 1))),
+    ("Quality Q=P/A", lambda c: (round(c.initial.quality), round(c.optimized.quality))),
+    ("Controllability C_Q, %", lambda c: (round(c.controllability, 1), "")),
+    ("Flexibility F_Q", lambda c: (round(c.flexibility, 1), "")),
+    ("Frequency, MHz", lambda c: (round(c.initial.fmax_mhz, 2),
+                                  round(c.optimized.fmax_mhz, 2))),
+    ("Throughput, MOPS", lambda c: (round(c.initial.throughput_mops, 2),
+                                    round(c.optimized.throughput_mops, 2))),
+    ("Latency, cycles", lambda c: (c.initial.latency, c.optimized.latency)),
+    ("Periodicity, cycles", lambda c: (c.initial.periodicity, c.optimized.periodicity)),
+    ("Area N*LUT+N*FF", lambda c: (c.initial.area, c.optimized.area)),
+    ("N*LUT (maxdsp=0)", lambda c: (c.initial.lut_star, c.optimized.lut_star)),
+    ("N*FF (maxdsp=0)", lambda c: (c.initial.ff_star, c.optimized.ff_star)),
+    ("N_LUT", lambda c: (c.initial.lut, c.optimized.lut)),
+    ("N_FF", lambda c: (c.initial.ff, c.optimized.ff)),
+    ("N_DSP", lambda c: (c.initial.dsp, c.optimized.dsp)),
+    ("N_IO", lambda c: (c.initial.n_io, c.optimized.n_io)),
+]
+
+
+def render_table2(table: Table2) -> str:
+    keys = list(table.columns)
+    width = 17
+    lines = []
+    header = f"{'':24s}" + "".join(f"{k:>{2 * width}s}" for k in keys)
+    lines.append(header)
+    sub = f"{'':24s}" + "".join(
+        f"{'Initial':>{width}s}{'Opt':>{width}s}" for _ in keys
+    )
+    lines.append(sub)
+    lines.append("-" * len(sub))
+    for label, getter in _ROWS:
+        cells = []
+        for key in keys:
+            initial, optimized = getter(table.columns[key])
+            cells.append(f"{initial!s:>{width}s}{optimized!s:>{width}s}")
+        lines.append(f"{label:24s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — design space exploration in the Performance x Area plane
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig1Series:
+    """One tool's scatter points: (throughput MOPS, area) per design."""
+
+    tool: str
+    points: list[tuple[str, float, int]] = field(default_factory=list)
+
+
+def generate_fig1(
+    bsc_configs: int = 26,
+    bambu_configs: int = 42,
+    xls_stages: int = 18,
+) -> list[Fig1Series]:
+    """All DSE sweeps of the paper's Figure 1 (sizes configurable)."""
+    from ..frontends.chls import bambu_design, bambu_sweep
+    from ..frontends.flow import xls_design
+    from ..frontends.hc import chisel_initial, chisel_opt
+    from ..frontends.maxj import maxj_initial, maxj_opt
+    from ..frontends.rules import bsc_sweep, bsv_initial, bsv_opt
+    from ..frontends.vlog import all_designs as verilog_designs
+
+    series: list[Fig1Series] = []
+
+    def add(tool: str, designs: list[Design]) -> None:
+        entry = Fig1Series(tool=tool)
+        for design in designs:
+            measured = measure_design(design)
+            entry.points.append(
+                (design.config, measured.throughput_mops, measured.area)
+            )
+        series.append(entry)
+
+    add("Vivado", verilog_designs())
+    add("Chisel", [chisel_initial(), chisel_opt()])
+    add("BSC", [bsv_initial(), bsv_opt()] + bsc_sweep()[:bsc_configs])
+    add("XLS", [xls_design(n) for n in range(0, xls_stages + 1)])
+    add("MaxCompiler", [maxj_initial(), maxj_opt()])
+    add("Bambu", [bambu_design(cfg, f"sweep{i}")
+                  for i, cfg in enumerate(bambu_sweep()[:bambu_configs])])
+    from ..frontends.chls import vivado_initial, vivado_opt
+
+    add("Vivado HLS", [vivado_initial(), vivado_opt()])
+    return series
+
+
+def render_fig1(series: list[Fig1Series]) -> str:
+    """Text rendering of the DSE scatter (P in MOPS, A in LUT+FF)."""
+    lines = ["Design space exploration (Performance x Area)"]
+    for entry in series:
+        lines.append(f"\n{entry.tool}:")
+        for config, throughput, area in entry.points:
+            lines.append(f"  {config:24s} P={throughput:10.3f} MOPS  A={area:7d}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Lines-of-code measurement (the paper's L metric).
+
+The paper counts non-comment, non-blank source lines, *including* tool
+settings (configuration files and pragmas).  Our artifacts mix languages
+(Python-embedded DSLs, mini-C, config files), so the counter strips the
+comment syntaxes of all of them: ``//``, ``/* */``, ``#`` line comments,
+and Python docstrings.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+
+from ..frontends.base import Design, SourceArtifact
+
+__all__ = ["count_loc", "design_loc", "delta_loc"]
+
+_TRIPLE = re.compile(r'("""|\'\'\')')
+
+
+def _strip_python_docstrings(text: str) -> str:
+    """Remove triple-quoted strings that start a logical line."""
+    out: list[str] = []
+    in_doc: str | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if in_doc is not None:
+            if in_doc in stripped:
+                in_doc = None
+            continue
+        match = _TRIPLE.match(stripped)
+        if match:
+            quote = match.group(1)
+            rest = stripped[len(quote):]
+            if quote not in rest:
+                in_doc = quote
+            continue
+        out.append(line)
+    return "\n".join(out)
+
+
+def count_loc(text: str, *, strip_docstrings: bool = True) -> int:
+    """Count non-comment, non-blank lines of ``text``."""
+    if strip_docstrings:
+        text = _strip_python_docstrings(text)
+    # Block comments.
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    count = 0
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("//"):
+            continue
+        if stripped.startswith("#") and not stripped.startswith("#pragma"):
+            # Preprocessor-style / Python comments, but HLS pragmas are
+            # tool settings and count (the paper includes them in L).
+            continue
+        # Trailing line comments.
+        code = re.sub(r"//.*$", "", stripped).strip()
+        code = re.sub(r"(?<!#)#(?!pragma).*$", "", code).strip()
+        if code:
+            count += 1
+    return count
+
+
+def design_loc(design: Design) -> int:
+    """Total L of a design: all counted source artifacts."""
+    return sum(count_loc(s.text) for s in design.sources)
+
+
+def _normalized_lines(sources: list[SourceArtifact]) -> list[str]:
+    lines: list[str] = []
+    for artifact in sources:
+        text = _strip_python_docstrings(artifact.text)
+        text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+        for line in text.splitlines():
+            stripped = re.sub(r"//.*$", "", line.strip()).strip()
+            if stripped and not stripped.startswith("//"):
+                lines.append(stripped)
+    return lines
+
+
+def delta_loc(initial: Design, optimized: Design) -> int:
+    """The paper's ΔL: changed lines (added + removed) between configs."""
+    a = _normalized_lines(initial.sources)
+    b = _normalized_lines(optimized.sources)
+    matcher = difflib.SequenceMatcher(a=a, b=b, autojunk=False)
+    added = removed = 0
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag in ("replace", "delete"):
+            removed += i2 - i1
+        if tag in ("replace", "insert"):
+            added += j2 - j1
+    return added + removed

@@ -1,0 +1,139 @@
+"""Measuring one design point: simulation timing + synthesis estimates.
+
+``measure_design`` produces everything one Table II column cell needs:
+functional verification against the golden model, measured latency and
+periodicity, model-estimated clock and area (with and without DSP
+inference), and the paper's throughput ``P = ν_max / T_P``.
+
+MaxJ designs take the system path: ticks-per-op from the kernel shape and
+throughput through the PCIe manager model, with the PCIe pin count as
+N_IO (the paper's 59).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontends.base import Design
+from ..rtl import elaborate
+from ..synth import SynthReport, synthesize
+from .loc import design_loc
+from .verify import verify_design
+
+__all__ = ["Measured", "measure_design"]
+
+
+@dataclass
+class Measured:
+    """All per-design quantities reported in the paper's Table II."""
+
+    name: str
+    language: str
+    tool: str
+    config: str
+    loc: int
+    fmax_mhz: float
+    t_clk_ns: float
+    latency: int
+    periodicity: int
+    throughput_mops: float
+    lut_star: int        # N*_LUT (maxdsp=0)
+    ff_star: int         # N*_FF (maxdsp=0)
+    lut: int             # N_LUT (DSP inference allowed)
+    ff: int
+    dsp: int
+    n_io: int
+    bram: int = 0
+    bit_exact: bool = True
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def area(self) -> int:
+        """The paper's A = N*_LUT + N*_FF."""
+        return self.lut_star + self.ff_star
+
+    @property
+    def quality(self) -> float:
+        """Q = P / A, in the paper's OPS-per-(LUT+FF) unit."""
+        return self.throughput_mops * 1e6 / self.area
+
+
+_CACHE: dict[str, Measured] = {}
+
+
+def measure_design(design: Design, n_matrices: int = 4,
+                   use_cache: bool = True) -> Measured:
+    """Fully characterize ``design`` (cached per process by name)."""
+    if use_cache and design.name in _CACHE:
+        return _CACHE[design.name]
+    if "maxj" in design.meta:
+        measured = _measure_maxj(design)
+    else:
+        measured = _measure_stream(design, n_matrices)
+    if use_cache:
+        _CACHE[design.name] = measured
+    return measured
+
+
+def _synth_pair(design: Design) -> tuple[SynthReport, SynthReport]:
+    netlist = elaborate(design.top)
+    return synthesize(netlist), synthesize(netlist, max_dsp=0)
+
+
+def _measure_stream(design: Design, n_matrices: int) -> Measured:
+    run = verify_design(design, n_matrices=n_matrices)
+    with_dsp, no_dsp = _synth_pair(design)
+    return Measured(
+        name=design.name,
+        language=design.language,
+        tool=design.tool,
+        config=design.config,
+        loc=design_loc(design),
+        fmax_mhz=with_dsp.fmax_mhz,
+        t_clk_ns=with_dsp.t_clk_ns,
+        latency=run.latency,
+        periodicity=run.periodicity,
+        throughput_mops=with_dsp.fmax_mhz / run.periodicity,
+        lut_star=no_dsp.n_lut,
+        ff_star=no_dsp.n_ff,
+        lut=with_dsp.n_lut,
+        ff=with_dsp.n_ff,
+        dsp=with_dsp.n_dsp,
+        n_io=with_dsp.n_io,
+        bram=with_dsp.n_bram,
+        bit_exact=run.bit_exact,
+    )
+
+
+def _measure_maxj(design: Design) -> Measured:
+    from ..eval.verify import random_matrices
+    from ..frontends.maxj import system_throughput, verify_maxj
+
+    meta = design.meta["maxj"]
+    bit_exact = verify_maxj(design, random_matrices(3))
+    with_dsp, no_dsp = _synth_pair(design)
+    manager = system_throughput(
+        with_dsp.fmax_mhz, meta["ticks_per_op"], meta["input_bits"], meta["link"]
+    )
+    return Measured(
+        name=design.name,
+        language=design.language,
+        tool=design.tool,
+        config=design.config,
+        loc=design_loc(design),
+        fmax_mhz=with_dsp.fmax_mhz,
+        t_clk_ns=with_dsp.t_clk_ns,
+        latency=meta["pipeline_depth"],
+        periodicity=meta["ticks_per_op"],
+        throughput_mops=manager.throughput_mops,
+        lut_star=no_dsp.n_lut,
+        ff_star=no_dsp.n_ff,
+        lut=with_dsp.n_lut,
+        ff=with_dsp.n_ff,
+        dsp=with_dsp.n_dsp,
+        n_io=meta["link"].pins,
+        bram=with_dsp.n_bram,
+        bit_exact=bit_exact,
+        extra={"bound": manager.bound, "link_mops": manager.link_mops,
+               "kernel_mops": manager.kernel_mops},
+    )

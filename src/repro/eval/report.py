@@ -1,0 +1,77 @@
+"""Report writers: Markdown and CSV renderings of the evaluation results.
+
+``write_markdown_report`` produces a self-contained document with Table I,
+Table II (both orientations), the derived metrics, and per-design notes —
+the artifact a user drops into a lab notebook or CI summary.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .experiments import Table2, ToolColumn, render_table1
+
+__all__ = ["table2_markdown", "write_markdown_report"]
+
+
+def _fmt(value, digits=1):
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def table2_markdown(table: Table2) -> str:
+    """Table II as a GitHub-flavoured Markdown table (tools as rows)."""
+    out = io.StringIO()
+    out.write(
+        "| tool | config | L | α % | f MHz | P MOPS | T_L | T_P | "
+        "A (N\\*LUT+N\\*FF) | N_DSP | Q | C_Q % | F_Q |\n"
+    )
+    out.write("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+    for key, column in table.columns.items():
+        for measured, alpha in (
+            (column.initial, column.automation_initial),
+            (column.optimized, column.automation_opt),
+        ):
+            out.write(
+                f"| {key} | {measured.config} | {measured.loc} "
+                f"| {_fmt(alpha)} | {_fmt(measured.fmax_mhz, 2)} "
+                f"| {_fmt(measured.throughput_mops, 2)} "
+                f"| {measured.latency} | {measured.periodicity} "
+                f"| {measured.area} | {measured.dsp} "
+                f"| {_fmt(measured.quality, 0)} "
+                f"| {_fmt(column.controllability)} "
+                f"| {_fmt(column.flexibility)} |\n"
+            )
+    return out.getvalue()
+
+
+def _column_notes(column: ToolColumn) -> str:
+    notes = []
+    if column.optimized.periodicity == 9:
+        notes.append("one-cycle scheduling bubble (periodicity 9)")
+    if column.optimized.periodicity > 100:
+        notes.append("sequential memory-bound schedule")
+    if column.initial.n_io == 59:
+        notes.append("PCIe system interface (no AXI wrapper)")
+    if column.optimized.ff_star > 4 * column.optimized.lut_star:
+        notes.append("flip-flop-dominated (deep pipelining)")
+    return "; ".join(notes) if notes else "—"
+
+
+def write_markdown_report(table: Table2, path: str | None = None) -> str:
+    """Render the full evaluation report; optionally write it to ``path``."""
+    out = io.StringIO()
+    out.write("# HLS vs HC evaluation report\n\n")
+    out.write("## Table I — languages and tools\n\n```\n")
+    out.write(render_table1())
+    out.write("\n```\n\n## Table II — evaluation results\n\n")
+    out.write(table2_markdown(table))
+    out.write("\n## Notes per tool\n\n")
+    for key, column in table.columns.items():
+        out.write(f"* **{key}**: ΔL={column.delta_loc}; {_column_notes(column)}\n")
+    text = out.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

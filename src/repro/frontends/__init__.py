@@ -1,0 +1,17 @@
+"""Frontend "languages" modeled after the paper's evaluated tools.
+
+Each subpackage is one language/tool pairing with its own idiom and its own
+IDCT implementations (initial and optimized), all lowering to the shared
+RTL IR:
+
+* :mod:`repro.frontends.vlog`  — hand-written Verilog baseline;
+* :mod:`repro.frontends.hc`    — Chisel-like hardware construction;
+* :mod:`repro.frontends.rules` — BSV-like guarded atomic rules;
+* :mod:`repro.frontends.flow`  — DSLX/XLS-like functional kernels;
+* :mod:`repro.frontends.maxj`  — MaxJ-like dataflow with a PCIe manager;
+* :mod:`repro.frontends.chls`  — mini-C HLS (Bambu-like and Vivado-HLS-like).
+"""
+
+from .base import Design, SourceArtifact
+
+__all__ = ["Design", "SourceArtifact"]

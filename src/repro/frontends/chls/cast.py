@@ -1,0 +1,159 @@
+"""Abstract syntax tree for the mini-C HLS language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Program", "Function", "Param", "Pragma",
+    "Stmt", "DeclStmt", "AssignStmt", "StoreStmt", "IfStmt", "ForStmt",
+    "ReturnStmt", "ExprStmt", "Block",
+    "Expr", "NumExpr", "VarExpr", "IndexExpr", "BinExpr", "UnExpr",
+    "CondExpr", "CallExpr",
+]
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class NumExpr(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class VarExpr(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class IndexExpr(Expr):
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    op: str  # + - * / % << >> & | ^ < <= > >= == != && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnExpr(Expr):
+    op: str  # - ! ~
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class CondExpr(Expr):
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    callee: str
+    args: tuple[Expr, ...]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+class Stmt:
+    """Base class for statement nodes."""
+
+
+@dataclass
+class Pragma:
+    """One ``#pragma HLS`` directive, parsed into key/value settings."""
+
+    directive: str               # PIPELINE / UNROLL / INLINE / ...
+    settings: dict[str, str] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    ctype: str                   # "int" | "short"
+    name: str
+    array_size: int | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class StoreStmt(Stmt):
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: Block = field(default_factory=Block)
+    else_body: Block | None = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    var: str
+    start: Expr
+    bound: Expr                  # loop runs while var < bound
+    step: int = 1
+    body: Block = field(default_factory=Block)
+    pragmas: list[Pragma] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+# ----------------------------------------------------------------------
+# declarations
+# ----------------------------------------------------------------------
+
+@dataclass
+class Param:
+    ctype: str                   # "int" | "short"
+    name: str
+    is_array: bool = False
+    array_size: int | None = None
+
+
+@dataclass
+class Function:
+    return_type: str             # "int" | "short" | "void"
+    name: str
+    params: list[Param] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+    pragmas: list[Pragma] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    functions: dict[str, Function] = field(default_factory=dict)

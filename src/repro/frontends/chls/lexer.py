@@ -1,0 +1,73 @@
+"""Tokenizer for the mini-C HLS input language.
+
+The accepted language is the subset of C99 the paper's benchmark uses:
+``int``/``short``/``void``, one-dimensional arrays, functions, ``for``
+loops, ``if``/``else``, the usual integer operators, and ``#pragma HLS``
+directives (which become first-class tokens so the parser can attach them
+to the following statement or enclosing function).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...core.errors import HlsError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "int", "short", "void", "if", "else", "for", "while", "return",
+    "static", "const",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<pragma>\#\s*pragma[^\n]*)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|[-+*/%<>=!&|^~?:;,(){}\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line (for error messages)."""
+
+    kind: str   # "number" | "ident" | "keyword" | "op" | "pragma" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`HlsError` on illegal input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            snippet = source[pos:pos + 20].splitlines()[0]
+            raise HlsError(f"line {line}: cannot tokenize {snippet!r}")
+        text = match.group(0)
+        kind = match.lastgroup or ""
+        if kind == "ws" or kind == "comment":
+            line += text.count("\n")
+            pos = match.end()
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        if kind == "pragma":
+            text = text.strip()
+        tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

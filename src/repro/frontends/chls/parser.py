@@ -1,0 +1,379 @@
+"""Recursive-descent parser for the mini-C HLS language."""
+
+from __future__ import annotations
+
+import re
+
+from ...core.errors import HlsError
+from .cast import (
+    AssignStmt,
+    BinExpr,
+    Block,
+    CallExpr,
+    CondExpr,
+    DeclStmt,
+    ExprStmt,
+    ForStmt,
+    Function,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    Param,
+    Pragma,
+    Program,
+    ReturnStmt,
+    StoreStmt,
+    UnExpr,
+    VarExpr,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse", "parse_pragma"]
+
+_PRAGMA_RE = re.compile(r"#\s*pragma\s+HLS\s+(\w+)(.*)", re.IGNORECASE)
+
+# binary operator precedence (C-like, low to high)
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+def parse_pragma(text: str, line: int = 0) -> Pragma | None:
+    """Parse a ``#pragma HLS <directive> key=value ...`` line."""
+    match = _PRAGMA_RE.match(text)
+    if match is None:
+        return None  # non-HLS pragmas are ignored
+    directive = match.group(1).upper()
+    settings: dict[str, str] = {}
+    for item in match.group(2).split():
+        if "=" in item:
+            key, value = item.split("=", 1)
+            settings[key.lower()] = value
+        else:
+            settings[item.lower()] = "true"
+    return Pragma(directive=directive, settings=settings, line=line)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        self._pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        return self._cur.text == text
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise HlsError(
+                f"line {self._cur.line}: expected {text!r}, got {self._cur.text!r}"
+            )
+        return self._advance()
+
+    def _collect_pragmas(self) -> list[Pragma]:
+        pragmas = []
+        while self._cur.kind == "pragma":
+            token = self._advance()
+            pragma = parse_pragma(token.text, token.line)
+            if pragma is not None:
+                pragmas.append(pragma)
+        return pragmas
+
+    # -- top level -------------------------------------------------------
+    def program(self) -> Program:
+        program = Program()
+        while self._cur.kind != "eof":
+            self._collect_pragmas()  # stray file-level pragmas are ignored
+            function = self.function()
+            if function.name in program.functions:
+                raise HlsError(f"function {function.name!r} defined twice")
+            program.functions[function.name] = function
+        return program
+
+    def function(self) -> Function:
+        self._accept("static")
+        if self._cur.kind != "keyword" or self._cur.text not in ("int", "short", "void"):
+            raise HlsError(f"line {self._cur.line}: expected a return type")
+        return_type = self._advance().text
+        name = self._expect_ident()
+        self._expect("(")
+        params: list[Param] = []
+        if not self._check(")"):
+            while True:
+                params.append(self.param())
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        self._expect("{")
+        pragmas = self._collect_pragmas()
+        body = self.block_items()
+        self._expect("}")
+        return Function(return_type=return_type, name=name, params=params,
+                        body=body, pragmas=pragmas)
+
+    def param(self) -> Param:
+        self._accept("const")
+        if self._cur.text not in ("int", "short"):
+            raise HlsError(f"line {self._cur.line}: unsupported parameter type")
+        ctype = self._advance().text
+        if self._accept("*"):
+            name = self._expect_ident()
+            return Param(ctype=ctype, name=name, is_array=True)
+        name = self._expect_ident()
+        if self._accept("["):
+            size = None
+            if self._cur.kind == "number":
+                size = int(self._advance().text, 0)
+            self._expect("]")
+            return Param(ctype=ctype, name=name, is_array=True, array_size=size)
+        return Param(ctype=ctype, name=name)
+
+    def _expect_ident(self) -> str:
+        if self._cur.kind != "ident":
+            raise HlsError(
+                f"line {self._cur.line}: expected identifier, got {self._cur.text!r}"
+            )
+        return self._advance().text
+
+    # -- statements ----------------------------------------------------
+    def block_items(self) -> Block:
+        block = Block()
+        while not self._check("}"):
+            block.statements.append(self.statement())
+        return block
+
+    def statement(self) -> "Stmt":
+        pragmas = self._collect_pragmas()
+        stmt = self._statement_inner()
+        if pragmas:
+            if isinstance(stmt, ForStmt):
+                stmt.pragmas.extend(pragmas)
+            else:
+                raise HlsError(
+                    f"line {pragmas[0].line}: pragma must precede a for loop "
+                    f"or open a function body"
+                )
+        return stmt
+
+    def _statement_inner(self) -> "Stmt":
+        if self._check("{"):
+            self._advance()
+            block = self.block_items()
+            self._expect("}")
+            return block
+        if self._cur.text in ("int", "short"):
+            return self.declaration()
+        if self._check("if"):
+            return self.if_statement()
+        if self._check("for"):
+            return self.for_statement()
+        if self._check("return"):
+            self._advance()
+            value = None if self._check(";") else self.expression()
+            self._expect(";")
+            return ReturnStmt(value)
+        return self.simple_statement()
+
+    def declaration(self) -> "Stmt":
+        ctype = self._advance().text
+        block = Block()
+        while True:
+            name = self._expect_ident()
+            if self._accept("["):
+                size_token = self._advance()
+                if size_token.kind != "number":
+                    raise HlsError(f"line {size_token.line}: array size must be constant")
+                self._expect("]")
+                block.statements.append(
+                    DeclStmt(ctype=ctype, name=name, array_size=int(size_token.text, 0))
+                )
+            else:
+                init = self.expression() if self._accept("=") else None
+                block.statements.append(DeclStmt(ctype=ctype, name=name, init=init))
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if len(block.statements) == 1:
+            return block.statements[0]
+        return block
+
+    def if_statement(self) -> IfStmt:
+        self._expect("if")
+        self._expect("(")
+        cond = self.expression()
+        self._expect(")")
+        then_body = self._statement_as_block()
+        else_body = None
+        if self._accept("else"):
+            else_body = self._statement_as_block()
+        return IfStmt(cond=cond, then_body=then_body, else_body=else_body)
+
+    def _statement_as_block(self) -> Block:
+        stmt = self.statement()
+        if isinstance(stmt, Block):
+            return stmt
+        return Block([stmt])
+
+    def for_statement(self) -> ForStmt:
+        self._expect("for")
+        self._expect("(")
+        # init: [int] var = expr
+        if self._cur.text == "int":
+            self._advance()
+        var = self._expect_ident()
+        self._expect("=")
+        start = self.expression()
+        self._expect(";")
+        # condition: var < bound  (or <=)
+        cond_var = self._expect_ident()
+        if cond_var != var:
+            raise HlsError("for-loop condition must test the induction variable")
+        op = self._advance().text
+        if op not in ("<", "<="):
+            raise HlsError("for-loop condition must be < or <=")
+        bound = self.expression()
+        if op == "<=":
+            bound = BinExpr("+", bound, NumExpr(1))
+        self._expect(";")
+        # step: var++ or var += k
+        step_var = self._expect_ident()
+        if step_var != var:
+            raise HlsError("for-loop step must update the induction variable")
+        if self._accept("++"):
+            step = 1
+        elif self._accept("+="):
+            token = self._advance()
+            if token.kind != "number":
+                raise HlsError("for-loop step must be a constant")
+            step = int(token.text, 0)
+        else:
+            raise HlsError("for-loop step must be ++ or += constant")
+        self._expect(")")
+        body = self._statement_as_block()
+        return ForStmt(var=var, start=start, bound=bound, step=step, body=body)
+
+    def simple_statement(self) -> "Stmt":
+        # assignment / compound assignment / array store / call
+        if self._cur.kind == "ident":
+            name = self._cur.text
+            next_token = self._tokens[self._pos + 1]
+            if next_token.text == "(":
+                expr = self.expression()
+                self._expect(";")
+                return ExprStmt(expr)
+            if next_token.text == "[":
+                self._advance()
+                self._expect("[")
+                index = self.expression()
+                self._expect("]")
+                op = self._advance().text
+                value = self.expression()
+                self._expect(";")
+                target = IndexExpr(name, index)
+                value = _compound(op, target, value)
+                return StoreStmt(array=name, index=index, value=value)
+            if next_token.text in ("=", "+=", "-=", "*=", "<<=", ">>="):
+                self._advance()
+                op = self._advance().text
+                value = self.expression()
+                self._expect(";")
+                value = _compound(op, VarExpr(name), value)
+                return AssignStmt(name=name, value=value)
+        raise HlsError(f"line {self._cur.line}: cannot parse statement at {self._cur.text!r}")
+
+    # -- expressions -------------------------------------------------------
+    def expression(self) -> "Expr":
+        return self.ternary()
+
+    def ternary(self) -> "Expr":
+        cond = self.binary(0)
+        if self._accept("?"):
+            if_true = self.expression()
+            self._expect(":")
+            if_false = self.expression()
+            return CondExpr(cond, if_true, if_false)
+        return cond
+
+    def binary(self, level: int) -> "Expr":
+        if level >= len(_PRECEDENCE):
+            return self.unary()
+        left = self.binary(level + 1)
+        while self._cur.text in _PRECEDENCE[level]:
+            op = self._advance().text
+            right = self.binary(level + 1)
+            left = BinExpr(op, left, right)
+        return left
+
+    def unary(self) -> "Expr":
+        if self._cur.text in ("-", "!", "~"):
+            op = self._advance().text
+            return UnExpr(op, self.unary())
+        if self._accept("("):
+            # cast or parenthesized expression
+            if self._cur.text in ("int", "short"):
+                self._advance()
+                self._expect(")")
+                return self.unary()  # casts are no-ops at this level
+            expr = self.expression()
+            self._expect(")")
+            return expr
+        return self.primary()
+
+    def primary(self) -> "Expr":
+        token = self._cur
+        if token.kind == "number":
+            self._advance()
+            return NumExpr(int(token.text, 0))
+        if token.kind == "ident":
+            name = self._advance().text
+            if self._accept("("):
+                args: list["Expr"] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self.expression())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return CallExpr(name, tuple(args))
+            if self._accept("["):
+                index = self.expression()
+                self._expect("]")
+                return IndexExpr(name, index)
+            return VarExpr(name)
+        raise HlsError(f"line {token.line}: unexpected token {token.text!r}")
+
+
+def _compound(op: str, target: "Expr", value: "Expr") -> "Expr":
+    """Expand ``x op= v`` into ``x = x op v``."""
+    if op == "=":
+        return value
+    return BinExpr(op[:-1], target, value)
+
+
+def parse(source: str) -> Program:
+    """Parse mini-C source text into a :class:`Program`."""
+    return _Parser(tokenize(source)).program()

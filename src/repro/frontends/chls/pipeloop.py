@@ -1,0 +1,496 @@
+"""Software pipelining of HLS loops (``#pragma HLS PIPELINE``).
+
+A pipelined loop becomes one shared body datapath initiating a new
+iteration every cycle: the body is traced symbolically (induction variable
+= a hardware counter), staged by the same automatic pipeliner the flow
+frontend uses, and instantiated inside the FSM, which parks in a single
+"loop" state for ``trip + depth`` cycles.
+
+Legality checks (each rejection mirrors a real HLS tool diagnostic):
+
+* constant trip count, step +1;
+* body is straight-line (declarations, assignments, stores; ternaries ok);
+* no loop-carried scalar dependences (every scalar is written before read
+  or is loop-invariant);
+* arrays inside the body must be completely partitioned (register banks);
+* per array: loads must not follow a store in the body, and in-place
+  arrays must have provably disjoint per-iteration index sets (affine
+  ``a*i + b`` with matching ``a`` and ``|Δb| < |a|``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.errors import HlsError
+from ...rtl import ops
+from ...rtl.ir import Expr, Ref
+from ..flow.pipeline import pipeline_kernel
+from ..hc.dsl import Sig, lit, mux as sig_mux, select as sig_select
+from .cast import (
+    AssignStmt,
+    BinExpr,
+    Block,
+    CondExpr,
+    DeclStmt,
+    Expr as CExpr,
+    ForStmt,
+    IndexExpr,
+    NumExpr,
+    StoreStmt,
+    UnExpr,
+    VarExpr,
+)
+from .transform import const_value, fold_expr, substitute_expr
+
+__all__ = ["compile_pipelined_loop"]
+
+INT_W = 32
+
+
+def _contains_load(expr: CExpr) -> bool:
+    if isinstance(expr, IndexExpr):
+        return True
+    if isinstance(expr, BinExpr):
+        return _contains_load(expr.left) or _contains_load(expr.right)
+    if isinstance(expr, UnExpr):
+        return _contains_load(expr.operand)
+    if isinstance(expr, CondExpr):
+        return (_contains_load(expr.cond) or _contains_load(expr.if_true)
+                or _contains_load(expr.if_false))
+    return False
+
+
+def _affine(index: CExpr, var: str) -> tuple[int, int] | None:
+    """Return (a, b) when ``index == a*var + b``, else None."""
+    values = []
+    for k in (0, 1, 2):
+        folded = const_value(substitute_expr(index, {var: NumExpr(k)}, {}))
+        if folded is None:
+            return None
+        values.append(folded)
+    b = values[0]
+    a = values[1] - b
+    if values[2] != b + 2 * a:
+        return None
+    return a, b
+
+
+def _flatten_body(block: Block) -> list:
+    out = []
+    for stmt in block.statements:
+        if isinstance(stmt, Block):
+            out.extend(_flatten_body(stmt))
+        else:
+            out.append(stmt)
+    return out
+
+
+class _BodyAnalysis:
+    """Reads/writes/legality of a pipelined loop body.
+
+    Indices are recorded *copy-propagated* (scalar locals substituted by
+    their defining expressions) so the affine dependence test sees
+    ``8*i + 3`` rather than ``off + 3``.
+    """
+
+    def __init__(self, stmts: list, var: str) -> None:
+        self.loads: dict[str, list[CExpr]] = {}
+        self.stores: list[StoreStmt] = []
+        self.store_indices: list[CExpr] = []   # resolved, parallel to stores
+        self.invariant_reads: list[str] = []
+        self.locals: set[str] = set()
+        written: set[str] = set()
+        stored_arrays: set[str] = set()
+        defs: dict[str, CExpr] = {}
+
+        def resolve(expr: CExpr) -> CExpr:
+            return fold_expr(substitute_expr(expr, defs, {}))
+
+        def scan_expr(expr: CExpr) -> None:
+            expr = fold_expr(expr)
+            if isinstance(expr, VarExpr):
+                if expr.name != var and expr.name not in written:
+                    if expr.name not in self.invariant_reads:
+                        self.invariant_reads.append(expr.name)
+                    if expr.name in self.locals:
+                        raise HlsError(
+                            f"pipelined loop: {expr.name!r} is loop-carried"
+                        )
+            elif isinstance(expr, IndexExpr):
+                if expr.array in stored_arrays:
+                    raise HlsError(
+                        f"pipelined loop: load of {expr.array!r} after a store"
+                    )
+                self.loads.setdefault(expr.array, []).append(resolve(expr.index))
+                scan_expr(expr.index)
+            elif isinstance(expr, BinExpr):
+                scan_expr(expr.left)
+                scan_expr(expr.right)
+            elif isinstance(expr, UnExpr):
+                scan_expr(expr.operand)
+            elif isinstance(expr, CondExpr):
+                scan_expr(expr.cond)
+                scan_expr(expr.if_true)
+                scan_expr(expr.if_false)
+
+        def record_def(name: str, value: CExpr | None) -> None:
+            if value is not None and not _contains_load(value):
+                defs[name] = resolve(value)
+            else:
+                defs.pop(name, None)
+
+        for stmt in stmts:
+            if isinstance(stmt, DeclStmt):
+                if stmt.array_size is not None:
+                    raise HlsError("pipelined loop: local arrays unsupported")
+                if stmt.init is not None:
+                    scan_expr(stmt.init)
+                self.locals.add(stmt.name)
+                written.add(stmt.name)
+                record_def(stmt.name, stmt.init)
+            elif isinstance(stmt, AssignStmt):
+                scan_expr(stmt.value)
+                self.locals.add(stmt.name)
+                written.add(stmt.name)
+                record_def(stmt.name, stmt.value)
+            elif isinstance(stmt, StoreStmt):
+                scan_expr(stmt.index)
+                scan_expr(stmt.value)
+                self.stores.append(stmt)
+                self.store_indices.append(resolve(stmt.index))
+                stored_arrays.add(stmt.array)
+            else:
+                raise HlsError(
+                    f"pipelined loop body must be straight-line, got "
+                    f"{type(stmt).__name__}"
+                )
+        # A scalar read before its (later) write carries state across
+        # iterations — not pipelinable at II=1.
+        for name in self.invariant_reads:
+            if name in written:
+                raise HlsError(f"pipelined loop: {name!r} is loop-carried")
+
+    def check_inplace(self, var: str, trip: int) -> None:
+        """In-place arrays need disjoint per-iteration index sets.
+
+        With affine indices ``a*i + b``, a cross-iteration alias between a
+        write at ``(a, b_w)`` and a read at ``(a, b_r)`` requires
+        ``a * Δi == b_r - b_w`` for some ``0 < |Δi| < trip``.
+        """
+        for store, store_index in zip(self.stores, self.store_indices):
+            reads = self.loads.get(store.array)
+            if not reads:
+                continue
+            write_aff = _affine(store_index, var)
+            if write_aff is None or write_aff[0] == 0:
+                raise HlsError(
+                    f"pipelined loop: cannot prove {store.array!r} writes "
+                    f"disjoint across iterations"
+                )
+            a_w, b_w = write_aff
+            for read_index in reads:
+                read_aff = _affine(read_index, var)
+                if read_aff is None or read_aff[0] != a_w:
+                    raise HlsError(
+                        f"pipelined loop: {store.array!r} read/write strides differ"
+                    )
+                delta = read_aff[1] - b_w
+                if delta % a_w == 0 and 0 < abs(delta // a_w) < trip:
+                    raise HlsError(
+                        f"pipelined loop: {store.array!r} accesses alias "
+                        f"across iterations"
+                    )
+
+
+def compile_pipelined_loop(compiler, stmt: ForStmt) -> None:
+    """Lower one ``#pragma HLS PIPELINE`` loop into the compiler's FSM."""
+    from .compiler import _BankArray, _Transition
+
+    start = const_value(stmt.start)
+    bound = const_value(stmt.bound)
+    if start is None or bound is None or stmt.step != 1:
+        raise HlsError("pipelined loops need constant bounds and step 1")
+    trip = bound - start
+    if trip <= 0:
+        return
+
+    stmts = _flatten_body(stmt.body)
+    analysis = _BodyAnalysis(stmts, stmt.var)
+    analysis.check_inplace(stmt.var, trip)
+
+    banks: dict[str, _BankArray] = {}
+    for name in set(analysis.loads) | {s.array for s in analysis.stores}:
+        array = compiler._arrays.get(name)
+        if array is None:
+            raise HlsError(f"pipelined loop: unknown array {name!r}")
+        if not isinstance(array, _BankArray):
+            raise HlsError(
+                f"pipelined loop: array {name!r} must be completely "
+                f"partitioned (ARRAY_PARTITION)"
+            )
+        banks[name] = array
+
+    iter_w = max(1, bound.bit_length() + 1)
+    read_arrays = sorted(analysis.loads)
+    invariants = [v for v in analysis.invariant_reads if v in compiler._vars]
+
+    # ------------------------------------------------------------------
+    # trace the body into a pure kernel
+    # ------------------------------------------------------------------
+    inputs: list[tuple[str, int]] = [("iter", iter_w)]
+    for name in read_arrays:
+        bank = banks[name]
+        inputs.append((f"ro_{name}", bank.size * bank.width))
+    for name in invariants:
+        inputs.append((f"inv_{name}", INT_W))
+
+    store_sites = list(analysis.stores)
+
+    trace_defs: dict[str, CExpr] = {}
+
+    def _resolve_trace(expr: CExpr) -> CExpr:
+        return fold_expr(substitute_expr(expr, trace_defs, {}))
+
+    def build(input_sigs: list[Sig]) -> dict[str, Sig]:
+        cursor = 0
+        iter_sig = input_sigs[cursor].resize(INT_W)
+        iter_sig = Sig(iter_sig.expr, signed=True)
+        cursor += 1
+        bank_elems: dict[str, list[Sig]] = {}
+        for name in read_arrays:
+            bank = banks[name]
+            bus = input_sigs[cursor]
+            cursor += 1
+            bank_elems[name] = [
+                bus.bits((j + 1) * bank.width - 1, j * bank.width).as_signed()
+                for j in range(bank.size)
+            ]
+        env: dict[str, Sig] = {stmt.var: iter_sig}
+        for name in invariants:
+            env[name] = input_sigs[cursor].as_signed()
+            cursor += 1
+
+        def c32(sig: Sig) -> Sig:
+            return sig.resize(INT_W)
+
+        def eval_expr(expr: CExpr) -> Sig:
+            expr = fold_expr(expr)
+            if isinstance(expr, NumExpr):
+                return lit(expr.value, INT_W)
+            if isinstance(expr, VarExpr):
+                if expr.name not in env:
+                    raise HlsError(f"pipelined loop: unbound {expr.name!r}")
+                return c32(env[expr.name])
+            if isinstance(expr, IndexExpr):
+                bank = banks[expr.array]
+                const = const_value(expr.index)
+                if const is not None:
+                    return c32(bank_elems[expr.array][const % bank.size])
+                aff = _affine(_resolve_trace(expr.index), stmt.var)
+                if aff is not None and aff[0] != 0:
+                    # Affine index: only ``trip`` elements are reachable, so
+                    # an iteration-keyed select replaces the full decode.
+                    a, b = aff
+                    taps = [
+                        bank_elems[expr.array][(a * (start + k) + b) % bank.size]
+                        for k in range(trip)
+                    ]
+                    sel_w = max(1, (trip - 1).bit_length())
+                    rel = iter_sig - start if start else iter_sig
+                    return c32(sig_select(rel.resize(sel_w).as_unsigned(), taps))
+                idx = eval_expr(expr.index)
+                sel_w = max(1, (bank.size - 1).bit_length())
+                return c32(sig_select(idx.bits(sel_w - 1, 0),
+                                      bank_elems[expr.array]))
+            if isinstance(expr, UnExpr):
+                operand = eval_expr(expr.operand)
+                if expr.op == "-":
+                    return c32(-operand)
+                if expr.op == "~":
+                    return c32(~operand)
+                if expr.op == "!":
+                    return c32(Sig(ops.zext(operand.eq(0).expr, INT_W), False))
+                raise HlsError(f"unsupported unary {expr.op!r}")
+            if isinstance(expr, CondExpr):
+                return c32(sig_mux(_bool(expr.cond), eval_expr(expr.if_true),
+                                   eval_expr(expr.if_false)))
+            if isinstance(expr, BinExpr):
+                op = expr.op
+                if op in ("<<", ">>"):
+                    amount = const_value(expr.right)
+                    if amount is None:
+                        raise HlsError("pipelined loop: shifts must be constant")
+                    value = eval_expr(expr.left)
+                    return c32(value << amount) if op == "<<" else c32(value >> amount)
+                left, right = eval_expr(expr.left), eval_expr(expr.right)
+                if op == "+":
+                    return c32(left + right)
+                if op == "-":
+                    return c32(left - right)
+                if op == "*":
+                    return c32(left * right)
+                if op == "&":
+                    return c32(left & right)
+                if op == "|":
+                    return c32(left | right)
+                if op == "^":
+                    return c32(left ^ right)
+                if op in ("<", "<=", ">", ">="):
+                    compare = {"<": left < right, "<=": left <= right,
+                               ">": left > right, ">=": left >= right}[op]
+                    return Sig(ops.zext(compare.expr, INT_W), False)
+                if op in ("==", "!="):
+                    compare = left.eq(right) if op == "==" else left.ne(right)
+                    return Sig(ops.zext(compare.expr, INT_W), False)
+                raise HlsError(f"unsupported operator {op!r} in pipelined loop")
+            raise HlsError(f"cannot trace {type(expr).__name__}")
+
+        def _bool(expr: CExpr) -> Sig:
+            value = eval_expr(expr)
+            if value.width == 1:
+                return value
+            return value.ne(0)
+
+        outputs: dict[str, Sig] = {}
+        site = 0
+        iter_rel_w = max(1, (trip - 1).bit_length())
+        for body_stmt in stmts:
+            if isinstance(body_stmt, DeclStmt):
+                if body_stmt.init is not None:
+                    env[body_stmt.name] = eval_expr(body_stmt.init)
+                    if not _contains_load(body_stmt.init):
+                        trace_defs[body_stmt.name] = _resolve_trace(body_stmt.init)
+                else:
+                    env[body_stmt.name] = lit(0, INT_W)
+            elif isinstance(body_stmt, AssignStmt):
+                env[body_stmt.name] = eval_expr(body_stmt.value)
+                if not _contains_load(body_stmt.value):
+                    trace_defs[body_stmt.name] = _resolve_trace(body_stmt.value)
+                else:
+                    trace_defs.pop(body_stmt.name, None)
+            elif isinstance(body_stmt, StoreStmt):
+                bank = banks[body_stmt.array]
+                val = eval_expr(body_stmt.value).resize(bank.width)
+                aff = _affine(_resolve_trace(body_stmt.index), stmt.var)
+                if aff is not None and aff[0] != 0:
+                    # Affine store: export the *relative iteration* as the
+                    # index; the parent decodes it with trip comparators
+                    # over the reachable elements only.
+                    rel = iter_sig - start if start else iter_sig
+                    outputs[f"st{site}_idx"] = rel.resize(iter_rel_w).as_unsigned()
+                else:
+                    sel_w = max(1, (bank.size - 1).bit_length())
+                    idx = eval_expr(body_stmt.index)
+                    outputs[f"st{site}_idx"] = Sig(
+                        ops.bits(idx.expr, sel_w - 1, 0), False
+                    )
+                outputs[f"st{site}_val"] = val
+                site += 1
+        if not outputs:
+            raise HlsError("pipelined loop has no stores (dead loop)")
+        return outputs
+
+    # Two-pass staging: measure the critical path, then pick the stage count
+    # that meets the clock target.
+    probe = pipeline_kernel(f"pipe_probe_{compiler._pipe_count}",
+                            inputs, build, 1, compiler.tech)
+    budget = compiler._budget()
+    stages = max(1, math.ceil(probe.critical_path_ns / budget))
+    result = pipeline_kernel(
+        f"pipe{compiler._pipe_count}_{compiler.fn.name}", inputs, build,
+        stages, compiler.tech,
+    )
+    compiler._pipe_count += 1
+    depth = result.latency
+    total = trip + depth
+
+    # ------------------------------------------------------------------
+    # FSM integration
+    # ------------------------------------------------------------------
+    if compiler._cycle_in_use():
+        compiler._close(_Transition("goto", compiler._state_index() + 1))
+
+    cnt_w = max(1, total.bit_length())
+    counter = compiler.module.reg(f"pipe_cnt{compiler._pipe_count}", cnt_w)
+    state_idx = compiler._state_index()
+
+    # Instance hookup.
+    conns: dict = {"ce": ops.const(1, 1)}
+    conns["iter"] = ops.trunc(
+        ops.add(ops.zext(Ref(counter), INT_W), ops.const(start, INT_W)), iter_w
+    )
+    for name in read_arrays:
+        bank = banks[name]
+        elements = [Ref(compiler._vars[bank.element(j)][0])
+                    for j in range(bank.size)]
+        conns[f"ro_{name}"] = ops.cat(*reversed(elements))
+    for name in invariants:
+        conns[f"inv_{name}"] = ops.sext(Ref(compiler._vars[name][0]), INT_W)
+    out_wires: dict[str, Ref] = {}
+    for oname in result.module.outputs:
+        port = next(s for s in result.module.outputs if s.name == oname.name)
+        wire = compiler.module.wire(f"pw{compiler._pipe_count}_{port.name}",
+                                    port.width)
+        conns[port.name] = wire
+        out_wires[port.name] = Ref(wire)
+    compiler.module.instance(result.module, f"u_pipe{compiler._pipe_count}",
+                             **conns)
+
+    # Bank write-back, gated by the drain window.
+    wen = ops.band(
+        ops.ge(Ref(counter), ops.const(depth, cnt_w), signed=False),
+        ops.lt(Ref(counter), ops.const(total, cnt_w), signed=False),
+    )
+    iter_rel_w = max(1, (trip - 1).bit_length())
+    for site, (store, store_index) in enumerate(
+        zip(store_sites, analysis.store_indices)
+    ):
+        bank = banks[store.array]
+        idx = out_wires[f"st{site}_idx"]
+        val = out_wires[f"st{site}_val"]
+        aff = _affine(store_index, stmt.var)
+
+        def write_elem(j: int, hit: Expr) -> None:
+            elem = bank.element(j)
+            previous = compiler._chain.get(elem)
+            if previous is None:
+                previous = Ref(compiler._vars[elem][0])
+            compiler._chain[elem] = ops.mux(
+                ops.band(wen, hit),
+                ops.resize(val, bank.width, signed=True),
+                ops.resize(previous, bank.width, signed=True),
+            )
+
+        if aff is not None and aff[0] != 0:
+            a, b = aff
+            for k in range(trip):
+                j = (a * (start + k) + b) % bank.size
+                write_elem(j, ops.eq(idx, ops.const(k, iter_rel_w)))
+        else:
+            sel_w = max(1, (bank.size - 1).bit_length())
+            for j in range(bank.size):
+                write_elem(j, ops.eq(idx, ops.const(j, sel_w)))
+    # The induction variable lands on its exit value.
+    compiler._declare_var(stmt.var, INT_W)
+    compiler._chain[stmt.var] = ops.const(bound, INT_W)
+
+    done = ops.eq(Ref(counter), ops.const(total - 1, cnt_w))
+    compiler._close(_Transition("wait", cond=done,
+                                target=compiler._state_index() + 1))
+
+    # Counter: counts while the FSM parks in the loop state.
+    def finalize(idx: int = state_idx, cnt=counter, width: int = cnt_w) -> None:
+        in_state = compiler._in_state(idx)
+        compiler.module.set_next(
+            cnt,
+            ops.mux(in_state, ops.trunc(ops.add(Ref(cnt), 1), width),
+                    ops.const(0, width)),
+        )
+
+    compiler._pipe_finalizers.append(finalize)
+
+    compiler.loop_info[f"pipe_{stmt.var}_{state_idx}"] = {
+        "kind": "pipelined", "trip": trip, "depth": depth, "stages": stages,
+        "cycles": total,
+    }

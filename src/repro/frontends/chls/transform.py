@@ -1,0 +1,451 @@
+"""AST transforms: function inlining, constant folding, loop unrolling.
+
+The HLS midend works on a single flattened top function: calls are inlined
+(with renamed locals), constants are folded so array indices like
+``8*i + 3`` become literals after unrolling, and ``UNROLL`` pragmas (or
+full unrolling requested by a tool) replicate loop bodies with the
+induction variable substituted.
+"""
+
+from __future__ import annotations
+
+from ...core.errors import HlsError
+from .cast import (
+    AssignStmt,
+    BinExpr,
+    Block,
+    CallExpr,
+    CondExpr,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    Function,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StoreStmt,
+    UnExpr,
+    VarExpr,
+)
+
+__all__ = [
+    "fold_expr",
+    "const_value",
+    "substitute_expr",
+    "inline_program",
+    "unroll_loop",
+    "count_statements",
+    "RegionMarker",
+]
+
+
+class RegionMarker(Stmt):
+    """Marks a non-inlined call boundary (costs handshake cycles)."""
+
+    def __init__(self, label: str, kind: str) -> None:
+        self.label = label
+        self.kind = kind  # "enter" | "leave"
+
+    def __repr__(self) -> str:
+        return f"RegionMarker({self.label}, {self.kind})"
+
+
+# ----------------------------------------------------------------------
+# constant folding
+# ----------------------------------------------------------------------
+
+_FOLD_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _c_div(a, b),
+    "%": lambda a, b: a - _c_div(a, b) * b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+def _c_div(a: int, b: int) -> int:
+    """C99 division truncates toward zero."""
+    if b == 0:
+        raise HlsError("constant division by zero")
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def fold_expr(expr: Expr) -> Expr:
+    """Fold constant subexpressions."""
+    if isinstance(expr, BinExpr):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        if isinstance(left, NumExpr) and isinstance(right, NumExpr):
+            return NumExpr(_FOLD_OPS[expr.op](left.value, right.value))
+        return BinExpr(expr.op, left, right)
+    if isinstance(expr, UnExpr):
+        operand = fold_expr(expr.operand)
+        if isinstance(operand, NumExpr):
+            if expr.op == "-":
+                return NumExpr(-operand.value)
+            if expr.op == "~":
+                return NumExpr(~operand.value)
+            if expr.op == "!":
+                return NumExpr(int(not operand.value))
+        return UnExpr(expr.op, operand)
+    if isinstance(expr, CondExpr):
+        cond = fold_expr(expr.cond)
+        if isinstance(cond, NumExpr):
+            return fold_expr(expr.if_true if cond.value else expr.if_false)
+        return CondExpr(cond, fold_expr(expr.if_true), fold_expr(expr.if_false))
+    if isinstance(expr, IndexExpr):
+        return IndexExpr(expr.array, fold_expr(expr.index))
+    if isinstance(expr, CallExpr):
+        return CallExpr(expr.callee, tuple(fold_expr(a) for a in expr.args))
+    return expr
+
+
+def const_value(expr: Expr) -> int | None:
+    """The integer value of a constant expression, or None."""
+    folded = fold_expr(expr)
+    return folded.value if isinstance(folded, NumExpr) else None
+
+
+# ----------------------------------------------------------------------
+# substitution (variables -> expressions / renames)
+# ----------------------------------------------------------------------
+
+def substitute_expr(expr: Expr, env: dict[str, Expr], arrays: dict[str, str]) -> Expr:
+    """Replace variable reads and array names per the environments."""
+    if isinstance(expr, VarExpr):
+        return env.get(expr.name, expr)
+    if isinstance(expr, IndexExpr):
+        return IndexExpr(arrays.get(expr.array, expr.array),
+                         substitute_expr(expr.index, env, arrays))
+    if isinstance(expr, BinExpr):
+        return BinExpr(expr.op, substitute_expr(expr.left, env, arrays),
+                       substitute_expr(expr.right, env, arrays))
+    if isinstance(expr, UnExpr):
+        return UnExpr(expr.op, substitute_expr(expr.operand, env, arrays))
+    if isinstance(expr, CondExpr):
+        return CondExpr(substitute_expr(expr.cond, env, arrays),
+                        substitute_expr(expr.if_true, env, arrays),
+                        substitute_expr(expr.if_false, env, arrays))
+    if isinstance(expr, CallExpr):
+        return CallExpr(expr.callee,
+                        tuple(substitute_expr(a, env, arrays) for a in expr.args))
+    return expr
+
+
+def _substitute_stmt(stmt, env: dict[str, Expr], arrays: dict[str, str],
+                     rename: dict[str, str]):
+    """Deep-copy a statement with variable renames and substitutions."""
+    if isinstance(stmt, Block):
+        return Block([_substitute_stmt(s, env, arrays, rename)
+                      for s in stmt.statements])
+    if isinstance(stmt, DeclStmt):
+        new_name = rename.get(stmt.name, stmt.name)
+        init = None if stmt.init is None else substitute_expr(stmt.init, env, arrays)
+        return DeclStmt(stmt.ctype, new_name, stmt.array_size, init)
+    if isinstance(stmt, AssignStmt):
+        return AssignStmt(rename.get(stmt.name, stmt.name),
+                          substitute_expr(stmt.value, env, arrays))
+    if isinstance(stmt, StoreStmt):
+        return StoreStmt(arrays.get(stmt.array, stmt.array),
+                         substitute_expr(stmt.index, env, arrays),
+                         substitute_expr(stmt.value, env, arrays))
+    if isinstance(stmt, IfStmt):
+        return IfStmt(substitute_expr(stmt.cond, env, arrays),
+                      _substitute_stmt(stmt.then_body, env, arrays, rename),
+                      None if stmt.else_body is None
+                      else _substitute_stmt(stmt.else_body, env, arrays, rename))
+    if isinstance(stmt, ForStmt):
+        return ForStmt(rename.get(stmt.var, stmt.var),
+                       substitute_expr(stmt.start, env, arrays),
+                       substitute_expr(stmt.bound, env, arrays),
+                       stmt.step,
+                       _substitute_stmt(stmt.body, env, arrays, rename),
+                       list(stmt.pragmas))
+    if isinstance(stmt, ReturnStmt):
+        return ReturnStmt(None if stmt.value is None
+                          else substitute_expr(stmt.value, env, arrays))
+    if isinstance(stmt, ExprStmt):
+        return ExprStmt(substitute_expr(stmt.expr, env, arrays))
+    if isinstance(stmt, RegionMarker):
+        return stmt
+    raise HlsError(f"cannot substitute in {type(stmt).__name__}")
+
+
+# ----------------------------------------------------------------------
+# inlining
+# ----------------------------------------------------------------------
+
+def count_statements(block: Block) -> int:
+    total = 0
+    for stmt in block.statements:
+        total += 1
+        if isinstance(stmt, Block):
+            total += count_statements(stmt) - 1
+        elif isinstance(stmt, IfStmt):
+            total += count_statements(stmt.then_body)
+            if stmt.else_body is not None:
+                total += count_statements(stmt.else_body)
+        elif isinstance(stmt, ForStmt):
+            total += count_statements(stmt.body)
+    return total
+
+
+class _Inliner:
+    """Flattens a program into one top function."""
+
+    def __init__(self, program: Program, inline_all: bool,
+                 auto_inline_max_stmts: int) -> None:
+        self._program = program
+        self._inline_all = inline_all
+        self._auto_max = auto_inline_max_stmts
+        self._counter = 0
+        self._temp_counter = 0
+        self.regions = 0  # non-inlined call boundaries encountered
+
+    def _fresh(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}__{self._counter}"
+
+    def _fresh_temp(self) -> str:
+        self._temp_counter += 1
+        return f"__ret{self._temp_counter}"
+
+    def inline_function(self, name: str) -> Function:
+        top = self._program.functions.get(name)
+        if top is None:
+            raise HlsError(f"no function named {name!r}")
+        body = self._inline_block(top.body, depth=0)
+        return Function(top.return_type, top.name, list(top.params), body,
+                        list(top.pragmas))
+
+    # ------------------------------------------------------------------
+    def _inline_block(self, block: Block, depth: int) -> Block:
+        out = Block()
+        for stmt in block.statements:
+            out.statements.extend(self._inline_stmt(stmt, depth))
+        return out
+
+    def _inline_stmt(self, stmt, depth: int) -> list:
+        if depth > 32:
+            raise HlsError("inlining recursion too deep (recursive calls?)")
+        if isinstance(stmt, Block):
+            return [self._inline_block(stmt, depth)]
+        if isinstance(stmt, ExprStmt) and isinstance(stmt.expr, CallExpr):
+            return self._inline_call(stmt.expr, None, depth)
+        if isinstance(stmt, (AssignStmt, StoreStmt, DeclStmt)):
+            value = stmt.init if isinstance(stmt, DeclStmt) else stmt.value
+            prelude, new_value = self._extract_calls(value, depth)
+            if isinstance(stmt, AssignStmt):
+                return prelude + [AssignStmt(stmt.name, new_value)]
+            if isinstance(stmt, StoreStmt):
+                pre_idx, new_index = self._extract_calls(stmt.index, depth)
+                return prelude + pre_idx + [StoreStmt(stmt.array, new_index, new_value)]
+            return prelude + [DeclStmt(stmt.ctype, stmt.name, stmt.array_size, new_value)]
+        if isinstance(stmt, IfStmt):
+            prelude, cond = self._extract_calls(stmt.cond, depth)
+            new = IfStmt(cond, self._inline_block(stmt.then_body, depth),
+                         None if stmt.else_body is None
+                         else self._inline_block(stmt.else_body, depth))
+            return prelude + [new]
+        if isinstance(stmt, ForStmt):
+            new = ForStmt(stmt.var, stmt.start, stmt.bound, stmt.step,
+                          self._inline_block(stmt.body, depth), list(stmt.pragmas))
+            return [new]
+        return [stmt]
+
+    def _extract_calls(self, expr, depth: int):
+        """Pull calls out of an expression, inlining each into a temp."""
+        if expr is None:
+            return [], None
+        prelude: list = []
+
+        def walk(node):
+            if isinstance(node, CallExpr):
+                args = tuple(walk(a) for a in node.args)
+                temp = self._fresh_temp()
+                prelude.extend(
+                    self._inline_call(CallExpr(node.callee, args), temp, depth)
+                )
+                return VarExpr(temp)
+            if isinstance(node, BinExpr):
+                return BinExpr(node.op, walk(node.left), walk(node.right))
+            if isinstance(node, UnExpr):
+                return UnExpr(node.op, walk(node.operand))
+            if isinstance(node, CondExpr):
+                return CondExpr(walk(node.cond), walk(node.if_true), walk(node.if_false))
+            if isinstance(node, IndexExpr):
+                return IndexExpr(node.array, walk(node.index))
+            return node
+
+        return prelude, walk(expr)
+
+    def _inline_call(self, call: CallExpr, result_var: str | None, depth: int) -> list:
+        callee = self._program.functions.get(call.callee)
+        if callee is None:
+            raise HlsError(f"call to unknown function {call.callee!r}")
+        if len(call.args) != len(callee.params):
+            raise HlsError(f"{call.callee}: expected {len(callee.params)} args")
+
+        wants_inline = (
+            self._inline_all
+            or any(p.directive == "INLINE" for p in callee.pragmas)
+            or count_statements(callee.body) <= self._auto_max
+        )
+
+        env: dict[str, Expr] = {}
+        arrays: dict[str, str] = {}
+        rename: dict[str, str] = {}
+        prelude: list = []
+        for param, arg in zip(callee.params, call.args):
+            if param.is_array:
+                if not isinstance(arg, VarExpr):
+                    raise HlsError(f"{call.callee}: array argument must be an array name")
+                arrays[param.name] = arg.name
+            else:
+                # Bind scalars by value into fresh temps (C semantics).
+                temp = self._fresh(param.name)
+                prelude.append(DeclStmt(param.ctype, temp, None, arg))
+                env[param.name] = VarExpr(temp)
+
+        # Rename the callee's locals.
+        for local in _local_names(callee.body):
+            rename[local] = self._fresh(local)
+            env.setdefault(local, VarExpr(rename[local]))
+
+        body = _substitute_stmt(callee.body, env, arrays, rename)
+        body = self._strip_return(body, result_var, callee)
+        body = self._inline_block(body, depth + 1)
+
+        statements: list = list(prelude)
+        if result_var is not None:
+            statements.append(DeclStmt("int", result_var, None, None))
+        if not wants_inline:
+            self.regions += 1
+            statements.append(RegionMarker(call.callee, "enter"))
+            statements.extend(body.statements)
+            statements.append(RegionMarker(call.callee, "leave"))
+        else:
+            statements.extend(body.statements)
+        return statements
+
+    def _strip_return(self, body: Block, result_var: str | None,
+                      callee: Function) -> Block:
+        statements = list(body.statements)
+        if statements and isinstance(statements[-1], ReturnStmt):
+            ret = statements.pop()
+            if ret.value is not None:
+                if result_var is None:
+                    pass  # value discarded
+                else:
+                    statements.append(AssignStmt(result_var, ret.value))
+        elif callee.return_type != "void" and result_var is not None:
+            raise HlsError(f"{callee.name}: missing return statement")
+        for stmt in statements:
+            if isinstance(stmt, ReturnStmt):
+                raise HlsError(
+                    f"{callee.name}: only a single trailing return is supported"
+                )
+        return Block(statements)
+
+
+def _local_names(block: Block) -> list[str]:
+    names: list[str] = []
+
+    def walk(b: Block) -> None:
+        for stmt in b.statements:
+            if isinstance(stmt, DeclStmt):
+                names.append(stmt.name)
+            elif isinstance(stmt, Block):
+                walk(stmt)
+            elif isinstance(stmt, IfStmt):
+                walk(stmt.then_body)
+                if stmt.else_body is not None:
+                    walk(stmt.else_body)
+            elif isinstance(stmt, ForStmt):
+                names.append(stmt.var)
+                walk(stmt.body)
+
+    walk(block)
+    return names
+
+
+def inline_program(program: Program, top: str, inline_all: bool = True,
+                   auto_inline_max_stmts: int = 4) -> tuple[Function, int]:
+    """Flatten ``top`` and everything it calls; returns (function, regions)."""
+    inliner = _Inliner(program, inline_all, auto_inline_max_stmts)
+    function = inliner.inline_function(top)
+    return function, inliner.regions
+
+
+# ----------------------------------------------------------------------
+# unrolling
+# ----------------------------------------------------------------------
+
+def unroll_loop(loop: ForStmt) -> Block:
+    """Fully unroll a constant-trip-count loop."""
+    start = const_value(loop.start)
+    bound = const_value(loop.bound)
+    if start is None or bound is None:
+        raise HlsError("cannot unroll a loop with non-constant bounds")
+    out = Block()
+    value = start
+    while value < bound:
+        env = {loop.var: NumExpr(value)}
+        body = _substitute_stmt(loop.body, env, {}, {})
+        out.statements.append(_fold_block(body))
+        value += loop.step
+    return out
+
+
+def _fold_block(block: Block) -> Block:
+    out = Block()
+    for stmt in block.statements:
+        if isinstance(stmt, Block):
+            out.statements.append(_fold_block(stmt))
+        elif isinstance(stmt, AssignStmt):
+            out.statements.append(AssignStmt(stmt.name, fold_expr(stmt.value)))
+        elif isinstance(stmt, StoreStmt):
+            out.statements.append(StoreStmt(stmt.array, fold_expr(stmt.index),
+                                            fold_expr(stmt.value)))
+        elif isinstance(stmt, DeclStmt):
+            init = None if stmt.init is None else fold_expr(stmt.init)
+            out.statements.append(DeclStmt(stmt.ctype, stmt.name, stmt.array_size, init))
+        elif isinstance(stmt, IfStmt):
+            folded = fold_expr(stmt.cond)
+            if isinstance(folded, NumExpr):
+                if folded.value:
+                    out.statements.append(_fold_block(stmt.then_body))
+                elif stmt.else_body is not None:
+                    out.statements.append(_fold_block(stmt.else_body))
+            else:
+                out.statements.append(
+                    IfStmt(folded, _fold_block(stmt.then_body),
+                           None if stmt.else_body is None
+                           else _fold_block(stmt.else_body))
+                )
+        elif isinstance(stmt, ForStmt):
+            out.statements.append(
+                ForStmt(stmt.var, fold_expr(stmt.start), fold_expr(stmt.bound),
+                        stmt.step, _fold_block(stmt.body), list(stmt.pragmas))
+            )
+        else:
+            out.statements.append(stmt)
+    return out

@@ -1,0 +1,86 @@
+"""IDCT transforms in the hardware-construction idiom.
+
+Pure functions over typed values — the Chisel style of describing
+combinational dataflow.  Widths are inferred by the DSL operators, so the
+description carries no explicit bit counts at all (compare with the
+explicitly sized :mod:`repro.frontends.vlog.units`).
+"""
+
+from __future__ import annotations
+
+from ...idct.constants import W1, W2, W3, W5, W6, W7
+from .dsl import Sig
+
+__all__ = ["idct_row_hc", "idct_col_hc"]
+
+
+def idct_row_hc(b: list[Sig]) -> list[Sig]:
+    """Row-wise Chen-Wang butterfly over eight signed values."""
+    x1 = b[4] << 11
+    x2, x3, x4 = b[6], b[2], b[1]
+    x5, x6, x7 = b[7], b[5], b[3]
+    x0 = (b[0] << 11) + 128
+
+    # first stage
+    x8 = (x4 + x5) * W7
+    x4, x5 = x8 + x4 * (W1 - W7), x8 - x5 * (W1 + W7)
+    x8 = (x6 + x7) * W3
+    x6, x7 = x8 - x6 * (W3 - W5), x8 - x7 * (W3 + W5)
+
+    # second stage
+    x8, x0 = x0 + x1, x0 - x1
+    x1 = (x3 + x2) * W6
+    x2, x3 = x1 - x2 * (W2 + W6), x1 + x3 * (W2 - W6)
+    x1, x4 = x4 + x6, x4 - x6
+    x6, x5 = x5 + x7, x5 - x7
+
+    # third stage
+    x7, x8 = x8 + x3, x8 - x3
+    x3, x0 = x0 + x2, x0 - x2
+    x2 = ((x4 + x5) * 181 + 128) >> 8
+    x4 = ((x4 - x5) * 181 + 128) >> 8
+
+    # fourth stage
+    return [
+        (x7 + x1) >> 8, (x3 + x2) >> 8, (x0 + x4) >> 8, (x8 + x6) >> 8,
+        (x8 - x6) >> 8, (x0 - x4) >> 8, (x3 - x2) >> 8, (x7 - x1) >> 8,
+    ]
+
+
+def idct_col_hc(b: list[Sig]) -> list[Sig]:
+    """Column-wise Chen-Wang butterfly with 9-bit saturation."""
+    x1 = b[4] << 8
+    x2, x3, x4 = b[6], b[2], b[1]
+    x5, x6, x7 = b[7], b[5], b[3]
+    x0 = (b[0] << 8) + 8192
+
+    # first stage
+    x8 = (x4 + x5) * W7 + 4
+    x4, x5 = (x8 + x4 * (W1 - W7)) >> 3, (x8 - x5 * (W1 + W7)) >> 3
+    x8 = (x6 + x7) * W3 + 4
+    x6, x7 = (x8 - x6 * (W3 - W5)) >> 3, (x8 - x7 * (W3 + W5)) >> 3
+
+    # second stage
+    x8, x0 = x0 + x1, x0 - x1
+    x1 = (x3 + x2) * W6 + 4
+    x2, x3 = (x1 - x2 * (W2 + W6)) >> 3, (x1 + x3 * (W2 - W6)) >> 3
+    x1, x4 = x4 + x6, x4 - x6
+    x6, x5 = x5 + x7, x5 - x7
+
+    # third stage
+    x7, x8 = x8 + x3, x8 - x3
+    x3, x0 = x0 + x2, x0 - x2
+    x2 = ((x4 + x5) * 181 + 128) >> 8
+    x4 = ((x4 - x5) * 181 + 128) >> 8
+
+    # fourth stage with saturation
+    return [
+        ((x7 + x1) >> 14).clip(-256, 255),
+        ((x3 + x2) >> 14).clip(-256, 255),
+        ((x0 + x4) >> 14).clip(-256, 255),
+        ((x8 + x6) >> 14).clip(-256, 255),
+        ((x8 - x6) >> 14).clip(-256, 255),
+        ((x0 - x4) >> 14).clip(-256, 255),
+        ((x3 - x2) >> 14).clip(-256, 255),
+        ((x7 - x1) >> 14).clip(-256, 255),
+    ]

@@ -1,0 +1,162 @@
+"""MaxJ-like dataflow kernel language.
+
+A Max kernel is a graph of stream operations: every arithmetic node is
+*automatically registered* (one pipeline stage per operation) and operands
+at different pipeline depths are aligned with delay registers, exactly as
+MaxCompiler schedules its dataflow graphs.  The result: very high clock
+frequency, very many flip-flops — the signature of the paper's MaxJ
+numbers (403 MHz, 36k FFs).
+
+Kernels process one stream element per tick; a global ``ce`` input is the
+manager's stall signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.errors import FrontendError
+from ...rtl import Module, ops
+from ...rtl.ir import Ref, Signal
+from ..hc.dsl import Sig, lit
+
+__all__ = ["MaxKernel", "MaxVal"]
+
+
+@dataclass(frozen=True)
+class MaxVal:
+    """A stream value at a known pipeline depth inside a kernel."""
+
+    kernel: "MaxKernel"
+    sig: Sig
+    depth: int
+
+    @property
+    def width(self) -> int:
+        return self.sig.width
+
+    # -- alignment -------------------------------------------------------
+    def delayed(self, ticks: int) -> "MaxVal":
+        """This stream delayed by ``ticks`` (MaxJ ``stream.offset(-k)``)."""
+        if ticks < 0:
+            raise FrontendError("only past offsets (delays) are realizable")
+        value = self
+        for _ in range(ticks):
+            value = self.kernel._register(value.sig, value.depth + 1)
+        return value
+
+    def _binary(self, other: "MaxVal | int", op) -> "MaxVal":
+        if isinstance(other, int):
+            aligned_self, rhs_sig = self, lit(other, signed=self.sig.signed)
+            result = op(aligned_self.sig, rhs_sig)
+            return self.kernel._register(result, aligned_self.depth + 1)
+        if not isinstance(other, MaxVal):
+            raise FrontendError(f"cannot combine MaxVal with {type(other).__name__}")
+        if other.kernel is not self.kernel:
+            raise FrontendError("values belong to different kernels")
+        depth = max(self.depth, other.depth)
+        a = self.delayed(depth - self.depth)
+        b = other.delayed(depth - other.depth)
+        return self.kernel._register(op(a.sig, b.sig), depth + 1)
+
+    # -- arithmetic (each op = one pipeline stage) ------------------------
+    def __add__(self, other: "MaxVal | int") -> "MaxVal":
+        return self._binary(other, lambda a, b: a + b)
+
+    def __radd__(self, other: int) -> "MaxVal":
+        return self.__add__(other)
+
+    def __sub__(self, other: "MaxVal | int") -> "MaxVal":
+        return self._binary(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: int) -> "MaxVal":
+        return self._binary(other, lambda a, b: b - a)
+
+    def __mul__(self, other: "MaxVal | int") -> "MaxVal":
+        return self._binary(other, lambda a, b: a * b)
+
+    def __rmul__(self, other: int) -> "MaxVal":
+        return self.__mul__(other)
+
+    def __lshift__(self, amount: int) -> "MaxVal":
+        # Pure wiring: shifts by constants cost no pipeline stage.
+        return MaxVal(self.kernel, self.sig << amount, self.depth)
+
+    def __rshift__(self, amount: int) -> "MaxVal":
+        return MaxVal(self.kernel, self.sig >> amount, self.depth)
+
+    def clip(self, low: int, high: int) -> "MaxVal":
+        return self.kernel._register(self.sig.clip(low, high), self.depth + 1)
+
+    def resize(self, width: int) -> "MaxVal":
+        return MaxVal(self.kernel, self.sig.resize(width), self.depth)
+
+
+class MaxKernel:
+    """A dataflow kernel under construction."""
+
+    def __init__(self, name: str) -> None:
+        self.module = Module(name)
+        self._ce: Signal = self.module.input("ce", 1)
+        self._reg_count = 0
+        self.outputs: dict[str, int] = {}  # name -> pipeline depth
+
+    # -- streams ----------------------------------------------------------
+    def input(self, name: str, width: int, signed: bool = True) -> MaxVal:
+        """Declare an input stream (one element per tick)."""
+        sig = self.module.input(name, width)
+        return MaxVal(self, Sig(Ref(sig), signed), 0)
+
+    def input_vector(self, name: str, count: int, width: int) -> list[MaxVal]:
+        """A packed vector input stream, unpacked into elements."""
+        bus = self.module.input(name, count * width)
+        return [
+            MaxVal(self, Sig(ops.bits(Ref(bus), (i + 1) * width - 1, i * width),
+                             signed=False).as_signed(), 0)
+            for i in range(count)
+        ]
+
+    def output(self, name: str, value: MaxVal, width: int | None = None) -> int:
+        """Declare an output stream; returns its pipeline depth."""
+        width = width if width is not None else value.width
+        port = self.module.output(name, width)
+        self.module.assign(port, value.sig.resize(width).expr)
+        self.outputs[name] = value.depth
+        return value.depth
+
+    def output_vector(
+        self, name: str, values: list[MaxVal], width: int
+    ) -> int:
+        """A packed vector output stream; elements are depth-aligned."""
+        depth = max(v.depth for v in values)
+        aligned = [v.delayed(depth - v.depth) for v in values]
+        port = self.module.output(name, len(values) * width)
+        packed = ops.cat(*[v.sig.resize(width).expr for v in reversed(aligned)])
+        self.module.assign(port, packed)
+        self.outputs[name] = depth
+        return depth
+
+    # -- control ------------------------------------------------------------
+    def counter(self, bits: int, init: int = 0) -> Sig:
+        """A free-running tick counter (MaxJ ``control.count``)."""
+        count = self.module.reg(f"cnt{self._reg_count}", bits, init=init)
+        self._reg_count += 1
+        self.module.set_next(count, ops.trunc(ops.add(Ref(count), 1), bits),
+                             en=Ref(self._ce))
+        return Sig(Ref(count), signed=False)
+
+    @property
+    def ce(self) -> Sig:
+        return Sig(Ref(self._ce), signed=False)
+
+    # -- internals ------------------------------------------------------------
+    def _register(self, value: Sig, depth: int) -> MaxVal:
+        reg = self.module.reg(f"s{self._reg_count}", value.width,
+                              next=value.expr, en=Ref(self._ce))
+        self._reg_count += 1
+        return MaxVal(self, Sig(Ref(reg), value.signed), depth)
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Deepest output stream depth (the kernel's tick latency)."""
+        return max(self.outputs.values(), default=0)

@@ -1,0 +1,68 @@
+"""MaxJ vendor-library blocks: the 8x8 stream transpose buffer.
+
+MaxCompiler ships library blocks for common stream reshaping; the paper's
+row-kernel "stores intermediate results in the on-board memory".  This
+block is the equivalent: a ping-pong register matrix that turns a stream
+of matrix rows (one per tick) into a stream of matrix columns (one per
+tick), with a fixed latency of 8 ticks from a matrix's last input row to
+its first output column.
+"""
+
+from __future__ import annotations
+
+from ...rtl import ops
+from ...rtl.ir import Ref
+from ..hc.dsl import Sig, mux, select
+from .lang import MaxKernel, MaxVal
+
+__all__ = ["transpose_8x8"]
+
+ROWS = 8
+
+
+def transpose_8x8(kernel: MaxKernel, row: list[MaxVal]) -> list[MaxVal]:
+    """Stream transpose: rows in (1/tick) -> columns out (1/tick).
+
+    ``row`` must be eight depth-aligned element streams carrying row
+    ``(tick - depth) % 8`` of each successive matrix.  The output streams
+    carry column ``(tick - depth - 8) % 8`` — a fixed 8-tick latency.
+    """
+    depth = max(v.depth for v in row)
+    row = [v.delayed(depth - v.depth) for v in row]
+    width = max(v.width for v in row)
+    module = kernel.module
+    ce = Ref(kernel._ce)
+
+    # Phase counter aligned so that it reads 0 when row 0 arrives.
+    phase = kernel.counter(3, init=(-depth) % ROWS)
+    wrap = phase.eq(ROWS - 1)
+    bank = module.reg("tp_bank", 1)
+    module.set_next(bank, ops.mux(wrap.expr, ops.bnot(Ref(bank)), Ref(bank)), en=ce)
+    bank_sig = Sig(Ref(bank), signed=False)
+
+    # Ping-pong register matrix: write rows into the active bank while
+    # reading columns from the other.
+    cells: list[list[list[Sig]]] = [[], []]
+    for half in range(2):
+        for r in range(ROWS):
+            cells[half].append([])
+            for c in range(ROWS):
+                en = ops.band(
+                    ops.band(ce, phase.eq(r).expr),
+                    ops.eq(Ref(bank), ops.const(half, 1)),
+                )
+                cell = module.reg(
+                    f"tp{half}_{r}_{c}", width,
+                    next=row[c].sig.resize(width).expr, en=en,
+                )
+                cells[half][r].append(Sig(Ref(cell), signed=True))
+
+    # Column read from the inactive bank: element r of column ``phase``.
+    out: list[MaxVal] = []
+    for r in range(ROWS):
+        from_bank0 = select(phase, cells[0][r])
+        from_bank1 = select(phase, cells[1][r])
+        value = mux(bank_sig.eq(0), from_bank1, from_bank0).as_signed()
+        reg = kernel._register(value, depth + ROWS + 1)
+        out.append(reg)
+    return out

@@ -1,0 +1,65 @@
+"""The MaxCompiler manager model: PCIe link and system throughput.
+
+MaxCompiler builds whole systems: the kernel runs on the FPGA and talks to
+the CPU over PCIe.  The paper accordingly evaluates MaxJ designs without
+an AXI wrapper — the initial kernel's throughput is the PCIe 3.0 x16
+bandwidth divided by the input record size, and the optimized row kernel
+is frequency-bound instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PcieLink", "PCIE3_X16", "ManagerReport", "system_throughput"]
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """A host link: usable bandwidth in bytes/second and pin count."""
+
+    name: str
+    bandwidth_bytes: float
+    pins: int
+
+
+#: PCIe 3.0 x16: ~16 GB/s usable, 59 interface pins (the paper's N_IO).
+PCIE3_X16 = PcieLink(name="pcie3-x16", bandwidth_bytes=16e9, pins=59)
+
+
+@dataclass
+class ManagerReport:
+    """System-level throughput of a kernel behind a host link."""
+
+    fmax_mhz: float
+    ticks_per_op: int
+    input_bits_per_op: int
+    link: PcieLink
+    kernel_mops: float = 0.0
+    link_mops: float = 0.0
+
+    @property
+    def throughput_mops(self) -> float:
+        return min(self.kernel_mops, self.link_mops)
+
+    @property
+    def bound(self) -> str:
+        return "link" if self.link_mops <= self.kernel_mops else "kernel"
+
+
+def system_throughput(
+    fmax_mhz: float,
+    ticks_per_op: int,
+    input_bits_per_op: int,
+    link: PcieLink = PCIE3_X16,
+) -> ManagerReport:
+    """Combine kernel rate and link bandwidth into system throughput."""
+    report = ManagerReport(
+        fmax_mhz=fmax_mhz,
+        ticks_per_op=ticks_per_op,
+        input_bits_per_op=input_bits_per_op,
+        link=link,
+    )
+    report.kernel_mops = fmax_mhz / ticks_per_op
+    report.link_mops = link.bandwidth_bytes * 8 / input_bits_per_op / 1e6
+    return report

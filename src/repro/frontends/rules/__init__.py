@@ -1,0 +1,15 @@
+"""BSV-like rule-based frontend (guarded atomic actions + scheduler)."""
+
+from .designs import all_designs, bsc_sweep, bsv_initial, bsv_opt
+from .engine import Rule, RulesModule, Schedule, SchedulerOptions
+
+__all__ = [
+    "RulesModule",
+    "Rule",
+    "Schedule",
+    "SchedulerOptions",
+    "bsv_initial",
+    "bsv_opt",
+    "bsc_sweep",
+    "all_designs",
+]

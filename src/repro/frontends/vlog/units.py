@@ -1,0 +1,183 @@
+"""Verilog-baseline IDCT functional units.
+
+This frontend plays the paper's role of the hand-written Verilog reference:
+a flat structural description with explicit fixed-width arithmetic, no
+width inference, every wire spelled out.  The other frontends are measured
+against it.  Where the ISO C code uses 32-bit ints (which IEEE-1180 L=300
+stimuli can overflow in the column stage), the hardware uses just-wide-
+enough words — 34 bits in the row datapath, 38 in the column datapath —
+so no legal 12-bit input ever wraps.
+
+``idct_row_unit`` and ``idct_col_unit`` are straight transcriptions of the
+Chen-Wang butterfly from :mod:`repro.idct.reference` into combinational
+logic, bit-exact to the golden model on the full 12-bit input space (the
+test suite proves this on random blocks).
+"""
+
+from __future__ import annotations
+
+from ...idct.constants import W1, W2, W3, W5, W6, W7
+from ...rtl import Module, ops
+from ...rtl.ir import Expr
+
+__all__ = ["idct_row_unit", "idct_col_unit", "MID_WIDTH", "ROW_WORD", "COL_WORD"]
+
+#: Row datapath word: covers every intermediate for 12-bit inputs.
+ROW_WORD = 34
+#: Column datapath word: covers every intermediate for 19-bit mid values.
+COL_WORD = 38
+#: Row-stage results fit in 19 signed bits for any 12-bit input block.
+MID_WIDTH = 19
+
+
+def _mul(value: Expr, coeff: int, word: int) -> Expr:
+    """Fixed-word product with a constant (truncated to the datapath word)."""
+    return ops.trunc(ops.mul(value, coeff, signed=True), word)
+
+
+def _sar(value: Expr, amount: int) -> Expr:
+    """Arithmetic shift right (C ``>>`` on a signed int)."""
+    return ops.ashr(value, amount)
+
+
+def _shl(value: Expr, amount: int, word: int) -> Expr:
+    return ops.trunc(ops.shl(value, amount), word)
+
+
+def idct_row_unit() -> Module:
+    """Row (horizontal) IDCT: 8 x 12-bit in, 8 x 19-bit out, combinational."""
+    m = Module("idct_row")
+    blk = m.input("blk", 8 * 12)
+    res = m.output("res", 8 * MID_WIDTH)
+
+    b = [ops.sext(ops.bits(blk, 12 * (i + 1) - 1, 12 * i), ROW_WORD) for i in range(8)]
+
+    x1 = m.connect("x1", ROW_WORD, _shl(b[4], 11, ROW_WORD))
+    x2 = m.connect("x2", ROW_WORD, b[6])
+    x3 = m.connect("x3", ROW_WORD, b[2])
+    x4 = m.connect("x4", ROW_WORD, b[1])
+    x5 = m.connect("x5", ROW_WORD, b[7])
+    x6 = m.connect("x6", ROW_WORD, b[5])
+    x7 = m.connect("x7", ROW_WORD, b[3])
+    x0 = m.connect("x0", ROW_WORD, ops.add(_shl(b[0], 11, ROW_WORD), 128))
+
+    # first stage
+    x8a = m.connect("x8a", ROW_WORD, _mul(ops.add(x4, x5), W7, ROW_WORD))
+    x4a = m.connect("x4a", ROW_WORD, ops.add(x8a, _mul(x4, W1 - W7, ROW_WORD)))
+    x5a = m.connect("x5a", ROW_WORD, ops.sub(x8a, _mul(x5, W1 + W7, ROW_WORD)))
+    x8b = m.connect("x8b", ROW_WORD, _mul(ops.add(x6, x7), W3, ROW_WORD))
+    x6a = m.connect("x6a", ROW_WORD, ops.sub(x8b, _mul(x6, W3 - W5, ROW_WORD)))
+    x7a = m.connect("x7a", ROW_WORD, ops.sub(x8b, _mul(x7, W3 + W5, ROW_WORD)))
+
+    # second stage
+    x8c = m.connect("x8c", ROW_WORD, ops.add(x0, x1))
+    x0a = m.connect("x0a", ROW_WORD, ops.sub(x0, x1))
+    x1a = m.connect("x1a", ROW_WORD, _mul(ops.add(x3, x2), W6, ROW_WORD))
+    x2a = m.connect("x2a", ROW_WORD, ops.sub(x1a, _mul(x2, W2 + W6, ROW_WORD)))
+    x3a = m.connect("x3a", ROW_WORD, ops.add(x1a, _mul(x3, W2 - W6, ROW_WORD)))
+    x1b = m.connect("x1b", ROW_WORD, ops.add(x4a, x6a))
+    x4b = m.connect("x4b", ROW_WORD, ops.sub(x4a, x6a))
+    x6b = m.connect("x6b", ROW_WORD, ops.add(x5a, x7a))
+    x5b = m.connect("x5b", ROW_WORD, ops.sub(x5a, x7a))
+
+    # third stage
+    x7b = m.connect("x7b", ROW_WORD, ops.add(x8c, x3a))
+    x8d = m.connect("x8d", ROW_WORD, ops.sub(x8c, x3a))
+    x3b = m.connect("x3b", ROW_WORD, ops.add(x0a, x2a))
+    x0b = m.connect("x0b", ROW_WORD, ops.sub(x0a, x2a))
+    x2b = m.connect(
+        "x2b", ROW_WORD, _sar(ops.add(_mul(ops.add(x4b, x5b), 181, ROW_WORD), 128), 8)
+    )
+    x4c = m.connect(
+        "x4c", ROW_WORD, _sar(ops.add(_mul(ops.sub(x4b, x5b), 181, ROW_WORD), 128), 8)
+    )
+
+    # fourth stage
+    outs = [
+        _sar(ops.add(x7b, x1b), 8),
+        _sar(ops.add(x3b, x2b), 8),
+        _sar(ops.add(x0b, x4c), 8),
+        _sar(ops.add(x8d, x6b), 8),
+        _sar(ops.sub(x8d, x6b), 8),
+        _sar(ops.sub(x0b, x4c), 8),
+        _sar(ops.sub(x3b, x2b), 8),
+        _sar(ops.sub(x7b, x1b), 8),
+    ]
+    packed = [ops.trunc(o, MID_WIDTH) for o in outs]
+    m.assign(res, ops.cat(*reversed(packed)))
+    return m
+
+
+def _iclip(value: Expr) -> Expr:
+    """Clamp a 32-bit value to the signed 9-bit output range."""
+    over = ops.gt(value, 255, signed=True)
+    under = ops.lt(value, -256, signed=True)
+    clipped = ops.mux(over, ops.const(255, COL_WORD),
+                      ops.mux(under, ops.const(-256, COL_WORD), value))
+    return ops.trunc(clipped, 9)
+
+
+def idct_col_unit() -> Module:
+    """Column (vertical) IDCT: 8 x 19-bit in, 8 x 9-bit clipped out."""
+    m = Module("idct_col")
+    blk = m.input("blk", 8 * MID_WIDTH)
+    res = m.output("res", 8 * 9)
+
+    b = [
+        ops.sext(ops.bits(blk, MID_WIDTH * (i + 1) - 1, MID_WIDTH * i), COL_WORD)
+        for i in range(8)
+    ]
+
+    x1 = m.connect("x1", COL_WORD, _shl(b[4], 8, COL_WORD))
+    x2 = m.connect("x2", COL_WORD, b[6])
+    x3 = m.connect("x3", COL_WORD, b[2])
+    x4 = m.connect("x4", COL_WORD, b[1])
+    x5 = m.connect("x5", COL_WORD, b[7])
+    x6 = m.connect("x6", COL_WORD, b[5])
+    x7 = m.connect("x7", COL_WORD, b[3])
+    x0 = m.connect("x0", COL_WORD, ops.add(_shl(b[0], 8, COL_WORD), 8192))
+
+    # first stage
+    x8a = m.connect("x8a", COL_WORD, ops.add(_mul(ops.add(x4, x5), W7, COL_WORD), 4))
+    x4a = m.connect("x4a", COL_WORD, _sar(ops.add(x8a, _mul(x4, W1 - W7, COL_WORD)), 3))
+    x5a = m.connect("x5a", COL_WORD, _sar(ops.sub(x8a, _mul(x5, W1 + W7, COL_WORD)), 3))
+    x8b = m.connect("x8b", COL_WORD, ops.add(_mul(ops.add(x6, x7), W3, COL_WORD), 4))
+    x6a = m.connect("x6a", COL_WORD, _sar(ops.sub(x8b, _mul(x6, W3 - W5, COL_WORD)), 3))
+    x7a = m.connect("x7a", COL_WORD, _sar(ops.sub(x8b, _mul(x7, W3 + W5, COL_WORD)), 3))
+
+    # second stage
+    x8c = m.connect("x8c", COL_WORD, ops.add(x0, x1))
+    x0a = m.connect("x0a", COL_WORD, ops.sub(x0, x1))
+    x1a = m.connect("x1a", COL_WORD, ops.add(_mul(ops.add(x3, x2), W6, COL_WORD), 4))
+    x2a = m.connect("x2a", COL_WORD, _sar(ops.sub(x1a, _mul(x2, W2 + W6, COL_WORD)), 3))
+    x3a = m.connect("x3a", COL_WORD, _sar(ops.add(x1a, _mul(x3, W2 - W6, COL_WORD)), 3))
+    x1b = m.connect("x1b", COL_WORD, ops.add(x4a, x6a))
+    x4b = m.connect("x4b", COL_WORD, ops.sub(x4a, x6a))
+    x6b = m.connect("x6b", COL_WORD, ops.add(x5a, x7a))
+    x5b = m.connect("x5b", COL_WORD, ops.sub(x5a, x7a))
+
+    # third stage
+    x7b = m.connect("x7b", COL_WORD, ops.add(x8c, x3a))
+    x8d = m.connect("x8d", COL_WORD, ops.sub(x8c, x3a))
+    x3b = m.connect("x3b", COL_WORD, ops.add(x0a, x2a))
+    x0b = m.connect("x0b", COL_WORD, ops.sub(x0a, x2a))
+    x2b = m.connect(
+        "x2b", COL_WORD, _sar(ops.add(_mul(ops.add(x4b, x5b), 181, COL_WORD), 128), 8)
+    )
+    x4c = m.connect(
+        "x4c", COL_WORD, _sar(ops.add(_mul(ops.sub(x4b, x5b), 181, COL_WORD), 128), 8)
+    )
+
+    # fourth stage with clipping
+    outs = [
+        _iclip(_sar(ops.add(x7b, x1b), 14)),
+        _iclip(_sar(ops.add(x3b, x2b), 14)),
+        _iclip(_sar(ops.add(x0b, x4c), 14)),
+        _iclip(_sar(ops.add(x8d, x6b), 14)),
+        _iclip(_sar(ops.sub(x8d, x6b), 14)),
+        _iclip(_sar(ops.sub(x0b, x4c), 14)),
+        _iclip(_sar(ops.sub(x3b, x2b), 14)),
+        _iclip(_sar(ops.sub(x7b, x1b), 14)),
+    ]
+    m.assign(res, ops.cat(*reversed(outs)))
+    return m

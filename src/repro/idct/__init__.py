@@ -1,0 +1,46 @@
+"""8x8 inverse discrete cosine transform: references and compliance.
+
+The benchmark algorithm of the paper.  :mod:`repro.idct.reference` holds
+the bit-exact golden models, :mod:`repro.idct.batch` their vectorized
+twins, and :mod:`repro.idct.ieee1180` the IEEE Std 1180-1990 accuracy
+test suite.
+"""
+
+from .batch import batch_chen_wang, batch_float_idct
+from .constants import (
+    INPUT_MAX,
+    INPUT_MIN,
+    INPUT_WIDTH,
+    OUTPUT_MAX,
+    OUTPUT_MIN,
+    OUTPUT_WIDTH,
+    SIZE,
+    W1,
+    W2,
+    W3,
+    W5,
+    W6,
+    W7,
+)
+from .ieee1180 import (
+    ComplianceReport,
+    ConditionResult,
+    Ieee1180Generator,
+    STANDARD_CONDITIONS,
+    generate_blocks,
+    run_compliance,
+    run_condition,
+)
+from .reference import chen_wang_idct, float_idct, iclip, idct_col, idct_row
+
+__all__ = [
+    "SIZE",
+    "INPUT_WIDTH", "INPUT_MIN", "INPUT_MAX",
+    "OUTPUT_WIDTH", "OUTPUT_MIN", "OUTPUT_MAX",
+    "W1", "W2", "W3", "W5", "W6", "W7",
+    "chen_wang_idct", "float_idct", "iclip", "idct_row", "idct_col",
+    "batch_chen_wang", "batch_float_idct",
+    "Ieee1180Generator", "generate_blocks",
+    "run_condition", "run_compliance",
+    "ConditionResult", "ComplianceReport", "STANDARD_CONDITIONS",
+]

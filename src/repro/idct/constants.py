@@ -1,0 +1,35 @@
+"""Chen-Wang IDCT constants (ISO/IEC 13818-4 reference decoder values).
+
+``W[k] = round(2048 * sqrt(2) * cos(k*pi/16))`` — 11-bit fixed-point
+representations of the DCT basis, exactly as in the MPEG-2 conformance
+decoder that the paper's C/BSV/Verilog implementations derive from.
+"""
+
+from __future__ import annotations
+
+W1 = 2841  # 2048*sqrt(2)*cos(1*pi/16)
+W2 = 2676  # 2048*sqrt(2)*cos(2*pi/16)
+W3 = 2408  # 2048*sqrt(2)*cos(3*pi/16)
+W5 = 1609  # 2048*sqrt(2)*cos(5*pi/16)
+W6 = 1108  # 2048*sqrt(2)*cos(6*pi/16)
+W7 = 565   # 2048*sqrt(2)*cos(7*pi/16)
+
+#: Matrix shape of the benchmark.
+SIZE = 8
+
+#: Input coefficients are 12-bit signed (−2048 … 2047).
+INPUT_WIDTH = 12
+INPUT_MIN = -2048
+INPUT_MAX = 2047
+
+#: Output samples are 9-bit signed (−256 … 255), the ``iclip`` range.
+OUTPUT_WIDTH = 9
+OUTPUT_MIN = -256
+OUTPUT_MAX = 255
+
+__all__ = [
+    "W1", "W2", "W3", "W5", "W6", "W7",
+    "SIZE",
+    "INPUT_WIDTH", "INPUT_MIN", "INPUT_MAX",
+    "OUTPUT_WIDTH", "OUTPUT_MIN", "OUTPUT_MAX",
+]

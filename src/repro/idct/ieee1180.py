@@ -1,0 +1,209 @@
+"""IEEE Std 1180-1990 compliance testing for 8x8 IDCT implementations.
+
+Implements the standard's pseudo-random block generator and the five
+accuracy criteria, comparing an implementation under test against the
+double-precision reference IDCT:
+
+* peak pixel error           |e| <= 1 for every pixel of every block;
+* per-pixel mean square error  pmse[x][y] <= 0.06;
+* overall mean square error    omse <= 0.02;
+* per-pixel mean error         |pme[x][y]| <= 0.015;
+* overall mean error           |ome| <= 0.0015;
+* an all-zero input block must produce an all-zero output.
+
+The standard prescribes 10,000 blocks for each of six input conditions
+(three ranges x two signs); ``n_blocks`` is configurable so unit tests can
+run a statistically meaningful subset quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .batch import batch_chen_wang, batch_float_idct
+from .constants import SIZE
+
+__all__ = [
+    "Ieee1180Generator",
+    "ConditionResult",
+    "ComplianceReport",
+    "generate_blocks",
+    "run_condition",
+    "run_compliance",
+    "STANDARD_CONDITIONS",
+]
+
+#: The six input conditions of the standard: (L, H, sign).
+STANDARD_CONDITIONS: tuple[tuple[int, int, int], ...] = (
+    (256, 255, 1),
+    (256, 255, -1),
+    (5, 5, 1),
+    (5, 5, -1),
+    (300, 300, 1),
+    (300, 300, -1),
+)
+
+
+class Ieee1180Generator:
+    """The standard's linear-congruential random block generator."""
+
+    def __init__(self, seed: int = 1) -> None:
+        self._randx = seed
+
+    def _drand(self) -> float:
+        self._randx = (self._randx * 1103515245 + 12345) & 0xFFFFFFFF
+        i = self._randx & 0x7FFFFFFE
+        return i / float(0x7FFFFFFF)
+
+    def value(self, low: int, high: int) -> int:
+        """One coefficient uniform in [-low, high]."""
+        return int(self._drand() * (low + high + 1)) - low
+
+    def block(self, low: int, high: int, sign: int = 1) -> list[list[int]]:
+        """One 8x8 block of random coefficients (optionally negated)."""
+        return [
+            [sign * self.value(low, high) for _ in range(SIZE)]
+            for _ in range(SIZE)
+        ]
+
+
+_LCG_A = 1103515245
+_LCG_C = 12345
+
+
+def _lcg_states(count: int, seed: int) -> np.ndarray:
+    """First ``count`` states after ``seed`` of the standard's LCG, vectorized.
+
+    Uses the closed form x_k = a^k * x_0 + c * (a^(k-1) + ... + 1); all
+    arithmetic runs modulo 2^64 (numpy uint64 wrap-around), and reducing the
+    result modulo 2^32 at the end is exact because 2^32 divides 2^64.
+    """
+    a_powers = np.empty(count, dtype=np.uint64)
+    a_powers[0] = _LCG_A  # a^1 aligns with the first *advanced* state
+    if count > 1:
+        a_powers[1:] = _LCG_A
+        a_powers = np.multiply.accumulate(a_powers)
+    geom = np.ones(count, dtype=np.uint64)
+    if count > 1:
+        geom[1:] = a_powers[:-1]
+    geom = np.add.accumulate(geom)  # 1 + a + ... + a^(k-1) for state k
+    states = a_powers * np.uint64(seed & 0xFFFFFFFF) + np.uint64(_LCG_C) * geom
+    return states & np.uint64(0xFFFFFFFF)
+
+
+def generate_blocks(
+    n_blocks: int, low: int, high: int, sign: int = 1, seed: int = 1
+) -> np.ndarray:
+    """Generate ``n_blocks`` random blocks as an (n, 8, 8) array.
+
+    Bit-identical to :class:`Ieee1180Generator` (verified by tests) but
+    vectorized, so the full 10,000-block standard run stays fast.
+    """
+    count = n_blocks * SIZE * SIZE
+    states = _lcg_states(count, seed)
+    i = (states & np.uint64(0x7FFFFFFE)).astype(np.float64)
+    x = i / float(0x7FFFFFFF) * (low + high + 1)
+    values = x.astype(np.int64) - low
+    return (sign * values).reshape(n_blocks, SIZE, SIZE)
+
+
+@dataclass
+class ConditionResult:
+    """Accuracy metrics of one (L, H, sign) condition."""
+
+    low: int
+    high: int
+    sign: int
+    n_blocks: int
+    peak_error: int
+    pmse_max: float
+    omse: float
+    pme_max: float
+    ome: float
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.peak_error <= 1
+            and self.pmse_max <= 0.06
+            and self.omse <= 0.02
+            and self.pme_max <= 0.015
+            and abs(self.ome) <= 0.0015
+        )
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] L={self.low} H={self.high} sign={self.sign:+d}: "
+            f"peak={self.peak_error} pmse={self.pmse_max:.4f} "
+            f"omse={self.omse:.4f} pme={self.pme_max:.4f} ome={self.ome:.5f}"
+        )
+
+
+@dataclass
+class ComplianceReport:
+    """Aggregated IEEE 1180 verdict."""
+
+    conditions: list[ConditionResult] = field(default_factory=list)
+    zero_input_ok: bool = True
+
+    @property
+    def compliant(self) -> bool:
+        return self.zero_input_ok and all(c.passed for c in self.conditions)
+
+    def summary(self) -> str:
+        lines = [c.summary() for c in self.conditions]
+        lines.append(f"zero-input test: {'PASS' if self.zero_input_ok else 'FAIL'}")
+        lines.append(f"overall: {'COMPLIANT' if self.compliant else 'NON-COMPLIANT'}")
+        return "\n".join(lines)
+
+
+BatchIdct = Callable[[np.ndarray], np.ndarray]
+
+
+def run_condition(
+    idct: BatchIdct,
+    low: int,
+    high: int,
+    sign: int,
+    n_blocks: int = 10_000,
+    seed: int = 1,
+) -> ConditionResult:
+    """Run one input condition and compute its accuracy metrics."""
+    blocks = generate_blocks(n_blocks, low, high, sign, seed)
+    test = np.asarray(idct(blocks), dtype=np.int64)
+    ref = batch_float_idct(blocks)
+    err = (test - ref).astype(np.float64)
+    pmse = np.mean(err**2, axis=0)
+    pme = np.mean(err, axis=0)
+    return ConditionResult(
+        low=low,
+        high=high,
+        sign=sign,
+        n_blocks=n_blocks,
+        peak_error=int(np.max(np.abs(err))),
+        pmse_max=float(np.max(pmse)),
+        omse=float(np.mean(err**2)),
+        pme_max=float(np.max(np.abs(pme))),
+        ome=float(np.mean(err)),
+    )
+
+
+def run_compliance(
+    idct: BatchIdct = batch_chen_wang,
+    n_blocks: int = 10_000,
+    conditions: Sequence[tuple[int, int, int]] = STANDARD_CONDITIONS,
+    seed: int = 1,
+) -> ComplianceReport:
+    """Full IEEE 1180 run over the given conditions plus the zero test."""
+    report = ComplianceReport()
+    for low, high, sign in conditions:
+        report.conditions.append(
+            run_condition(idct, low, high, sign, n_blocks, seed)
+        )
+    zero = np.zeros((1, SIZE, SIZE), dtype=np.int64)
+    report.zero_input_ok = bool(np.all(np.asarray(idct(zero)) == 0))
+    return report

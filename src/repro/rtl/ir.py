@@ -1,0 +1,575 @@
+"""Expression IR for register-transfer-level hardware.
+
+Every expression node carries an explicit result ``width``; nothing is
+inferred at this level (frontends implement their own width rules and lower
+to this IR).  Semantics are defined over unsigned bit patterns with explicit
+signed variants where the interpretation matters (``MULS``, ``SLT``,
+``ASHR``, ``SEXT``).
+
+Two evaluators are provided and kept in lock-step by the test suite:
+
+* :func:`eval_expr` — a straightforward recursive interpreter, used as the
+  reference semantics and for cross-checking;
+* :func:`emit_py` — emits a Python expression string used by the compiled
+  simulator (:mod:`repro.sim`) for speed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.bits import to_signed
+from ..core.errors import WidthError
+
+__all__ = [
+    "BinOpKind",
+    "UnOpKind",
+    "Expr",
+    "Const",
+    "Ref",
+    "BinOp",
+    "UnOp",
+    "Mux",
+    "Cat",
+    "Slice",
+    "Ext",
+    "MemRead",
+    "Signal",
+    "eval_expr",
+    "emit_py",
+    "expr_signals",
+    "expr_mem_reads",
+    "expr_size",
+]
+
+
+class BinOpKind(enum.Enum):
+    """Binary operator kinds; the comment gives the width rule."""
+
+    ADD = "add"      # (W, W) -> W, wrap
+    SUB = "sub"      # (W, W) -> W, wrap
+    MUL = "mul"      # (Wa, Wb) -> Wa + Wb, unsigned full product
+    MULS = "muls"    # (Wa, Wb) -> Wa + Wb, signed full product
+    AND = "and"      # (W, W) -> W
+    OR = "or"        # (W, W) -> W
+    XOR = "xor"      # (W, W) -> W
+    SHL = "shl"      # (W, any) -> W, zero fill
+    LSHR = "lshr"    # (W, any) -> W, zero fill
+    ASHR = "ashr"    # (W, any) -> W, sign fill
+    EQ = "eq"        # (W, W) -> 1
+    NE = "ne"        # (W, W) -> 1
+    ULT = "ult"      # (W, W) -> 1
+    ULE = "ule"      # (W, W) -> 1
+    UGT = "ugt"      # (W, W) -> 1
+    UGE = "uge"      # (W, W) -> 1
+    SLT = "slt"      # (W, W) -> 1, two's complement
+    SLE = "sle"      # (W, W) -> 1
+    SGT = "sgt"      # (W, W) -> 1
+    SGE = "sge"      # (W, W) -> 1
+
+
+class UnOpKind(enum.Enum):
+    NOT = "not"      # W -> W, bitwise complement
+    NEG = "neg"      # W -> W, two's complement negate
+    REDOR = "redor"  # W -> 1, reduction OR
+    REDAND = "redand"  # W -> 1, reduction AND
+    REDXOR = "redxor"  # W -> 1, reduction XOR
+
+_SAME_WIDTH_BINOPS = {
+    BinOpKind.ADD, BinOpKind.SUB, BinOpKind.AND, BinOpKind.OR, BinOpKind.XOR,
+    BinOpKind.EQ, BinOpKind.NE, BinOpKind.ULT, BinOpKind.ULE, BinOpKind.UGT,
+    BinOpKind.UGE, BinOpKind.SLT, BinOpKind.SLE, BinOpKind.SGT, BinOpKind.SGE,
+}
+_COMPARE_BINOPS = {
+    BinOpKind.EQ, BinOpKind.NE, BinOpKind.ULT, BinOpKind.ULE, BinOpKind.UGT,
+    BinOpKind.UGE, BinOpKind.SLT, BinOpKind.SLE, BinOpKind.SGT, BinOpKind.SGE,
+}
+_SHIFT_BINOPS = {BinOpKind.SHL, BinOpKind.LSHR, BinOpKind.ASHR}
+_MUL_BINOPS = {BinOpKind.MUL, BinOpKind.MULS}
+
+
+@dataclass(frozen=True, eq=False)
+class Signal:
+    """A named wire of fixed width.
+
+    Signals are created through :class:`repro.rtl.module.Module`; identity
+    (not name) distinguishes them, so two modules may both have a ``data``
+    signal without ambiguity.
+    """
+
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise WidthError(f"signal {self.name!r} must have positive width")
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, {self.width})"
+
+
+class Expr:
+    """Base class for expression nodes.  All nodes expose ``.width``."""
+
+    __slots__ = ()
+    width: int
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """An integer literal of explicit width (stored masked, unsigned)."""
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise WidthError("Const width must be positive")
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+
+@dataclass(frozen=True, eq=False)
+class Ref(Expr):
+    """A reference to a signal's current value."""
+
+    signal: Signal
+
+    @property
+    def width(self) -> int:
+        return self.signal.width
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    kind: BinOpKind
+    a: Expr
+    b: Expr
+    width: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        kind, a, b = self.kind, self.a, self.b
+        if kind in _SAME_WIDTH_BINOPS and a.width != b.width:
+            raise WidthError(
+                f"{kind.value} operand widths differ: {a.width} vs {b.width}"
+            )
+        if kind in _COMPARE_BINOPS:
+            width = 1
+        elif kind in _MUL_BINOPS:
+            width = a.width + b.width
+        else:  # ADD/SUB/logic/shift keep the left operand's width
+            width = a.width
+        object.__setattr__(self, "width", width)
+
+
+@dataclass(frozen=True, eq=False)
+class UnOp(Expr):
+    kind: UnOpKind
+    a: Expr
+    width: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        width = 1 if self.kind in (UnOpKind.REDOR, UnOpKind.REDAND, UnOpKind.REDXOR) else self.a.width
+        object.__setattr__(self, "width", width)
+
+
+@dataclass(frozen=True, eq=False)
+class Mux(Expr):
+    """``sel ? if_true : if_false`` — ``sel`` is 1 bit, arms share a width."""
+
+    sel: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def __post_init__(self) -> None:
+        if self.sel.width != 1:
+            raise WidthError(f"mux select must be 1 bit, got {self.sel.width}")
+        if self.if_true.width != self.if_false.width:
+            raise WidthError(
+                f"mux arm widths differ: {self.if_true.width} vs {self.if_false.width}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.if_true.width
+
+
+@dataclass(frozen=True, eq=False)
+class Cat(Expr):
+    """Concatenation, MSB-first (Verilog ``{a, b, c}`` order)."""
+
+    parts: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise WidthError("Cat requires at least one part")
+
+    @property
+    def width(self) -> int:
+        return sum(part.width for part in self.parts)
+
+
+@dataclass(frozen=True, eq=False)
+class Slice(Expr):
+    """Bit slice ``a[hi:lo]``, both bounds inclusive, Verilog style."""
+
+    a: Expr
+    hi: int
+    lo: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi < self.a.width:
+            raise WidthError(
+                f"slice [{self.hi}:{self.lo}] out of range for width {self.a.width}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True, eq=False)
+class Ext(Expr):
+    """Zero- or sign-extension to a strictly larger (or equal) width."""
+
+    a: Expr
+    width: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.width < self.a.width:
+            raise WidthError(
+                f"extension to {self.width} narrower than operand {self.a.width}"
+            )
+
+
+@dataclass(frozen=True, eq=False)
+class MemRead(Expr):
+    """Asynchronous (combinational) read from a memory.
+
+    ``memory`` is a :class:`repro.rtl.module.Memory`; typed loosely here to
+    avoid a circular import.
+    """
+
+    memory: object
+    addr: Expr
+
+    @property
+    def width(self) -> int:
+        return self.memory.width  # type: ignore[attr-defined]
+
+
+# ----------------------------------------------------------------------
+# reference interpreter
+# ----------------------------------------------------------------------
+
+def eval_expr(
+    expr: Expr,
+    read_signal: Callable[[Signal], int],
+    read_mem: Callable[[object, int], int] | None = None,
+) -> int:
+    """Evaluate ``expr`` to a masked unsigned integer.
+
+    ``read_signal`` maps a :class:`Signal` to its current unsigned value;
+    ``read_mem`` maps ``(memory, address)`` to the stored word and is only
+    required when the expression contains :class:`MemRead` nodes.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Ref):
+        return read_signal(expr.signal) & ((1 << expr.width) - 1)
+    if isinstance(expr, BinOp):
+        a = eval_expr(expr.a, read_signal, read_mem)
+        b = eval_expr(expr.b, read_signal, read_mem)
+        return _eval_binop(expr, a, b)
+    if isinstance(expr, UnOp):
+        a = eval_expr(expr.a, read_signal, read_mem)
+        return _eval_unop(expr, a)
+    if isinstance(expr, Mux):
+        sel = eval_expr(expr.sel, read_signal, read_mem)
+        arm = expr.if_true if sel else expr.if_false
+        return eval_expr(arm, read_signal, read_mem)
+    if isinstance(expr, Cat):
+        value = 0
+        for part in expr.parts:
+            value = (value << part.width) | eval_expr(part, read_signal, read_mem)
+        return value
+    if isinstance(expr, Slice):
+        value = eval_expr(expr.a, read_signal, read_mem)
+        return (value >> expr.lo) & ((1 << expr.width) - 1)
+    if isinstance(expr, Ext):
+        value = eval_expr(expr.a, read_signal, read_mem)
+        if expr.signed:
+            return to_signed(value, expr.a.width) & ((1 << expr.width) - 1)
+        return value
+    if isinstance(expr, MemRead):
+        if read_mem is None:
+            raise WidthError("expression contains MemRead but no read_mem given")
+        addr = eval_expr(expr.addr, read_signal, read_mem)
+        return read_mem(expr.memory, addr) & ((1 << expr.width) - 1)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _eval_binop(expr: BinOp, a: int, b: int) -> int:
+    kind = expr.kind
+    msk = (1 << expr.width) - 1
+    if kind is BinOpKind.ADD:
+        return (a + b) & msk
+    if kind is BinOpKind.SUB:
+        return (a - b) & msk
+    if kind is BinOpKind.MUL:
+        return (a * b) & msk
+    if kind is BinOpKind.MULS:
+        sa = to_signed(a, expr.a.width)
+        sb = to_signed(b, expr.b.width)
+        return (sa * sb) & msk
+    if kind is BinOpKind.AND:
+        return a & b
+    if kind is BinOpKind.OR:
+        return a | b
+    if kind is BinOpKind.XOR:
+        return a ^ b
+    if kind is BinOpKind.SHL:
+        return (a << b) & msk if b < expr.width else 0
+    if kind is BinOpKind.LSHR:
+        return a >> b if b < expr.width else 0
+    if kind is BinOpKind.ASHR:
+        sa = to_signed(a, expr.a.width)
+        shift = min(b, expr.width - 1)
+        return (sa >> shift) & msk
+    if kind is BinOpKind.EQ:
+        return int(a == b)
+    if kind is BinOpKind.NE:
+        return int(a != b)
+    if kind is BinOpKind.ULT:
+        return int(a < b)
+    if kind is BinOpKind.ULE:
+        return int(a <= b)
+    if kind is BinOpKind.UGT:
+        return int(a > b)
+    if kind is BinOpKind.UGE:
+        return int(a >= b)
+    sa = to_signed(a, expr.a.width)
+    sb = to_signed(b, expr.b.width)
+    if kind is BinOpKind.SLT:
+        return int(sa < sb)
+    if kind is BinOpKind.SLE:
+        return int(sa <= sb)
+    if kind is BinOpKind.SGT:
+        return int(sa > sb)
+    if kind is BinOpKind.SGE:
+        return int(sa >= sb)
+    raise TypeError(f"unknown binop {kind}")
+
+
+def _eval_unop(expr: UnOp, a: int) -> int:
+    kind = expr.kind
+    msk = (1 << expr.a.width) - 1
+    if kind is UnOpKind.NOT:
+        return ~a & msk
+    if kind is UnOpKind.NEG:
+        return -a & msk
+    if kind is UnOpKind.REDOR:
+        return int(a != 0)
+    if kind is UnOpKind.REDAND:
+        return int(a == msk)
+    if kind is UnOpKind.REDXOR:
+        return bin(a).count("1") & 1
+    raise TypeError(f"unknown unop {kind}")
+
+
+# ----------------------------------------------------------------------
+# Python code emission (used by the compiled simulator)
+# ----------------------------------------------------------------------
+
+def emit_py(
+    expr: Expr,
+    ref_of: Callable[[Signal], str],
+    mem_of: Callable[[object], str] | None = None,
+) -> str:
+    """Emit a Python expression string computing ``expr``.
+
+    ``ref_of`` maps a signal to the Python expression holding its unsigned
+    value; ``mem_of`` maps a memory object to the Python name of its backing
+    list.  The generated code may call the ``_sx(v, w)`` sign-extension
+    helper, which the simulator defines in the compiled namespace.
+    """
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Ref):
+        return ref_of(expr.signal)
+    if isinstance(expr, BinOp):
+        a = emit_py(expr.a, ref_of, mem_of)
+        b = emit_py(expr.b, ref_of, mem_of)
+        return _emit_binop(expr, a, b)
+    if isinstance(expr, UnOp):
+        a = emit_py(expr.a, ref_of, mem_of)
+        msk = (1 << expr.a.width) - 1
+        if expr.kind is UnOpKind.NOT:
+            return f"(~({a}) & {msk})"
+        if expr.kind is UnOpKind.NEG:
+            return f"(-({a}) & {msk})"
+        if expr.kind is UnOpKind.REDOR:
+            return f"(1 if ({a}) else 0)"
+        if expr.kind is UnOpKind.REDAND:
+            return f"(1 if ({a}) == {msk} else 0)"
+        if expr.kind is UnOpKind.REDXOR:
+            return f"(({a}).bit_count() & 1)"
+        raise TypeError(f"unknown unop {expr.kind}")
+    if isinstance(expr, Mux):
+        sel = emit_py(expr.sel, ref_of, mem_of)
+        t = emit_py(expr.if_true, ref_of, mem_of)
+        f = emit_py(expr.if_false, ref_of, mem_of)
+        return f"(({t}) if ({sel}) else ({f}))"
+    if isinstance(expr, Cat):
+        pieces = []
+        shift = expr.width
+        for part in expr.parts:
+            shift -= part.width
+            code = emit_py(part, ref_of, mem_of)
+            pieces.append(f"(({code}) << {shift})" if shift else f"({code})")
+        return "(" + " | ".join(pieces) + ")"
+    if isinstance(expr, Slice):
+        a = emit_py(expr.a, ref_of, mem_of)
+        msk = (1 << expr.width) - 1
+        if expr.lo == 0:
+            return f"(({a}) & {msk})"
+        return f"((({a}) >> {expr.lo}) & {msk})"
+    if isinstance(expr, Ext):
+        a = emit_py(expr.a, ref_of, mem_of)
+        if not expr.signed or expr.width == expr.a.width:
+            if expr.signed and expr.width == expr.a.width:
+                return f"({a})"
+            return f"({a})"
+        msk = (1 << expr.width) - 1
+        return f"(_sx({a}, {expr.a.width}) & {msk})"
+    if isinstance(expr, MemRead):
+        if mem_of is None:
+            raise WidthError("expression contains MemRead but no mem_of given")
+        addr = emit_py(expr.addr, ref_of, mem_of)
+        depth = expr.memory.depth  # type: ignore[attr-defined]
+        return f"({mem_of(expr.memory)}[({addr}) % {depth}])"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _emit_binop(expr: BinOp, a: str, b: str) -> str:
+    kind = expr.kind
+    msk = (1 << expr.width) - 1
+    if kind is BinOpKind.ADD:
+        return f"((({a}) + ({b})) & {msk})"
+    if kind is BinOpKind.SUB:
+        return f"((({a}) - ({b})) & {msk})"
+    if kind is BinOpKind.MUL:
+        return f"((({a}) * ({b})) & {msk})"
+    if kind is BinOpKind.MULS:
+        return f"((_sx({a}, {expr.a.width}) * _sx({b}, {expr.b.width})) & {msk})"
+    if kind is BinOpKind.AND:
+        return f"(({a}) & ({b}))"
+    if kind is BinOpKind.OR:
+        return f"(({a}) | ({b}))"
+    if kind is BinOpKind.XOR:
+        return f"(({a}) ^ ({b}))"
+    if kind is BinOpKind.SHL:
+        return f"(((({a}) << ({b})) & {msk}) if ({b}) < {expr.width} else 0)"
+    if kind is BinOpKind.LSHR:
+        return f"((({a}) >> ({b})) if ({b}) < {expr.width} else 0)"
+    if kind is BinOpKind.ASHR:
+        return (
+            f"((_sx({a}, {expr.a.width}) >> "
+            f"(({b}) if ({b}) < {expr.width - 1} else {expr.width - 1})) & {msk})"
+        )
+    if kind is BinOpKind.EQ:
+        return f"(1 if ({a}) == ({b}) else 0)"
+    if kind is BinOpKind.NE:
+        return f"(1 if ({a}) != ({b}) else 0)"
+    if kind is BinOpKind.ULT:
+        return f"(1 if ({a}) < ({b}) else 0)"
+    if kind is BinOpKind.ULE:
+        return f"(1 if ({a}) <= ({b}) else 0)"
+    if kind is BinOpKind.UGT:
+        return f"(1 if ({a}) > ({b}) else 0)"
+    if kind is BinOpKind.UGE:
+        return f"(1 if ({a}) >= ({b}) else 0)"
+    wa, wb = expr.a.width, expr.b.width
+    if kind is BinOpKind.SLT:
+        return f"(1 if _sx({a}, {wa}) < _sx({b}, {wb}) else 0)"
+    if kind is BinOpKind.SLE:
+        return f"(1 if _sx({a}, {wa}) <= _sx({b}, {wb}) else 0)"
+    if kind is BinOpKind.SGT:
+        return f"(1 if _sx({a}, {wa}) > _sx({b}, {wb}) else 0)"
+    if kind is BinOpKind.SGE:
+        return f"(1 if _sx({a}, {wa}) >= _sx({b}, {wb}) else 0)"
+    raise TypeError(f"unknown binop {kind}")
+
+
+# ----------------------------------------------------------------------
+# structural queries
+# ----------------------------------------------------------------------
+
+def expr_signals(expr: Expr, out: set[Signal] | None = None) -> set[Signal]:
+    """Collect every signal read by ``expr`` (transitively)."""
+    if out is None:
+        out = set()
+    if isinstance(expr, Ref):
+        out.add(expr.signal)
+    elif isinstance(expr, BinOp):
+        expr_signals(expr.a, out)
+        expr_signals(expr.b, out)
+    elif isinstance(expr, UnOp):
+        expr_signals(expr.a, out)
+    elif isinstance(expr, Mux):
+        expr_signals(expr.sel, out)
+        expr_signals(expr.if_true, out)
+        expr_signals(expr.if_false, out)
+    elif isinstance(expr, Cat):
+        for part in expr.parts:
+            expr_signals(part, out)
+    elif isinstance(expr, (Slice, Ext)):
+        expr_signals(expr.a, out)
+    elif isinstance(expr, MemRead):
+        expr_signals(expr.addr, out)
+    return out
+
+
+def expr_mem_reads(expr: Expr, out: list[MemRead] | None = None) -> list[MemRead]:
+    """Collect every :class:`MemRead` node in ``expr`` (pre-order)."""
+    if out is None:
+        out = []
+    if isinstance(expr, MemRead):
+        out.append(expr)
+        expr_mem_reads(expr.addr, out)
+    elif isinstance(expr, BinOp):
+        expr_mem_reads(expr.a, out)
+        expr_mem_reads(expr.b, out)
+    elif isinstance(expr, UnOp):
+        expr_mem_reads(expr.a, out)
+    elif isinstance(expr, Mux):
+        expr_mem_reads(expr.sel, out)
+        expr_mem_reads(expr.if_true, out)
+        expr_mem_reads(expr.if_false, out)
+    elif isinstance(expr, Cat):
+        for part in expr.parts:
+            expr_mem_reads(part, out)
+    elif isinstance(expr, (Slice, Ext)):
+        expr_mem_reads(expr.a, out)
+    return out
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of nodes in the expression tree (used by tests and reports)."""
+    if isinstance(expr, (Const, Ref)):
+        return 1
+    if isinstance(expr, BinOp):
+        return 1 + expr_size(expr.a) + expr_size(expr.b)
+    if isinstance(expr, UnOp):
+        return 1 + expr_size(expr.a)
+    if isinstance(expr, Mux):
+        return 1 + expr_size(expr.sel) + expr_size(expr.if_true) + expr_size(expr.if_false)
+    if isinstance(expr, Cat):
+        return 1 + sum(expr_size(part) for part in expr.parts)
+    if isinstance(expr, (Slice, Ext)):
+        return 1 + expr_size(expr.a)
+    if isinstance(expr, MemRead):
+        return 1 + expr_size(expr.addr)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")

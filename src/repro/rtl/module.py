@@ -1,0 +1,287 @@
+"""Hierarchical RTL modules.
+
+A :class:`Module` bundles ports, wires, registers, memories, combinational
+assignments, and instances of other modules.  It is a *construction* API:
+frontends build modules, :mod:`repro.rtl.elaborate` flattens them into a
+:class:`~repro.rtl.elaborate.Netlist`, and the simulator / synthesis model /
+Verilog emitter all consume the flat form.
+
+All sequential elements share one implicit clock and one implicit synchronous
+reset, matching the single-clock designs in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import DriverError, ElaborationError, WidthError
+from ..core.naming import Namespace
+from .ir import Expr, Ref, Signal
+from .ops import ExprLike, as_expr
+
+__all__ = ["Module", "Register", "Memory", "MemWrite", "Instance", "PortDir"]
+
+
+@dataclass(eq=False)
+class Register:
+    """A D flip-flop bank: ``signal`` takes ``next`` at each clock edge.
+
+    ``en`` (optional) gates the update; ``init`` is the synchronous reset
+    value.  ``next`` may be filled in after construction (feedback loops).
+    """
+
+    signal: Signal
+    next: Expr | None
+    init: int
+    en: Expr | None = None
+
+
+@dataclass(eq=False)
+class MemWrite:
+    """One synchronous write port: when ``en`` is 1, ``mem[addr] = data``."""
+
+    en: Expr
+    addr: Expr
+    data: Expr
+
+
+@dataclass(eq=False)
+class Memory:
+    """A word-addressed memory with synchronous writes and async reads.
+
+    Reads are combinational :class:`~repro.rtl.ir.MemRead` expressions.
+    ``max_read_ports`` / ``max_write_ports`` model the physical port limits
+    of the mapped resource (the Bambu ``channels-type`` knob); elaboration
+    checks them.
+    """
+
+    name: str
+    depth: int
+    width: int
+    max_read_ports: int = 2
+    max_write_ports: int = 1
+    init: list[int] = field(default_factory=list)
+    writes: list[MemWrite] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.width <= 0:
+            raise WidthError(f"memory {self.name!r} needs positive depth and width")
+
+    @property
+    def size_bits(self) -> int:
+        return self.depth * self.width
+
+
+@dataclass(eq=False)
+class Instance:
+    """An instantiation of ``module`` inside a parent module.
+
+    ``conns`` maps the child's port names to parent-side expressions (for
+    child inputs) or parent signals (for child outputs, which the instance
+    drives).
+    """
+
+    module: "Module"
+    name: str
+    conns: dict[str, Expr | Signal]
+
+
+class PortDir:
+    IN = "in"
+    OUT = "out"
+
+
+class Module:
+    """A synthesizable hardware module under construction."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: list[Signal] = []
+        self.outputs: list[Signal] = []
+        self.wires: list[Signal] = []
+        self.assigns: dict[Signal, Expr] = {}
+        self.registers: list[Register] = []
+        self.memories: list[Memory] = []
+        self.instances: list[Instance] = []
+        self._ns = Namespace()
+        self._reg_of: dict[Signal, Register] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int) -> Signal:
+        """Declare an input port and return its signal."""
+        sig = Signal(self._ns.fresh(name), width)
+        self.inputs.append(sig)
+        return sig
+
+    def output(self, name: str, width: int) -> Signal:
+        """Declare an output port and return its signal."""
+        sig = Signal(self._ns.fresh(name), width)
+        self.outputs.append(sig)
+        return sig
+
+    def wire(self, name: str, width: int) -> Signal:
+        """Declare an internal wire (must be assigned exactly once)."""
+        sig = Signal(self._ns.fresh(name), width)
+        self.wires.append(sig)
+        return sig
+
+    def assign(self, target: Signal, expr: ExprLike) -> None:
+        """Drive ``target`` combinationally with ``expr``."""
+        expr = as_expr(expr, target.width)
+        if target in self.assigns or target in self._reg_of:
+            raise DriverError(f"{self.name}.{target.name} is already driven")
+        if expr.width != target.width:
+            raise WidthError(
+                f"assign to {self.name}.{target.name}: "
+                f"width {expr.width} != {target.width}"
+            )
+        self.assigns[target] = expr
+
+    def connect(self, name: str, width: int, expr: ExprLike) -> Signal:
+        """Declare a wire and drive it in one step."""
+        sig = self.wire(name, width)
+        self.assign(sig, as_expr(expr, width))
+        return sig
+
+    def reg(
+        self,
+        name: str,
+        width: int,
+        next: ExprLike | None = None,
+        init: int = 0,
+        en: ExprLike | None = None,
+    ) -> Signal:
+        """Declare a register; returns its output signal.
+
+        ``next`` may be omitted and supplied later via :meth:`set_next`
+        (needed for feedback through the register).
+        """
+        sig = Signal(self._ns.fresh(name), width)
+        next_expr = None if next is None else as_expr(next, width)
+        if next_expr is not None and next_expr.width != width:
+            raise WidthError(
+                f"register {self.name}.{name}: next width {next_expr.width} != {width}"
+            )
+        en_expr = None if en is None else as_expr(en, 1)
+        if en_expr is not None and en_expr.width != 1:
+            raise WidthError(f"register {self.name}.{name}: enable must be 1 bit")
+        register = Register(sig, next_expr, init & ((1 << width) - 1), en_expr)
+        self.registers.append(register)
+        self._reg_of[sig] = register
+        return sig
+
+    def set_next(self, reg_signal: Signal, next: ExprLike, en: ExprLike | None = None) -> None:
+        """Supply the next-value expression of a previously declared register."""
+        register = self._reg_of.get(reg_signal)
+        if register is None:
+            raise ElaborationError(f"{reg_signal.name} is not a register of {self.name}")
+        if register.next is not None:
+            raise DriverError(f"register {self.name}.{reg_signal.name} already has a next value")
+        next_expr = as_expr(next, reg_signal.width)
+        if next_expr.width != reg_signal.width:
+            raise WidthError(
+                f"register {self.name}.{reg_signal.name}: "
+                f"next width {next_expr.width} != {reg_signal.width}"
+            )
+        register.next = next_expr
+        if en is not None:
+            register.en = as_expr(en, 1)
+
+    def memory(
+        self,
+        name: str,
+        depth: int,
+        width: int,
+        *,
+        max_read_ports: int = 2,
+        max_write_ports: int = 1,
+        init: list[int] | None = None,
+    ) -> Memory:
+        """Declare a memory block."""
+        mem = Memory(
+            self._ns.fresh(name),
+            depth,
+            width,
+            max_read_ports=max_read_ports,
+            max_write_ports=max_write_ports,
+            init=list(init or []),
+        )
+        self.memories.append(mem)
+        return mem
+
+    def mem_write(self, mem: Memory, en: ExprLike, addr: ExprLike, data: ExprLike) -> None:
+        """Attach a synchronous write port to ``mem``."""
+        if mem not in self.memories:
+            raise ElaborationError(f"memory {mem.name} does not belong to {self.name}")
+        write = MemWrite(as_expr(en, 1), as_expr(addr, 32), as_expr(data, mem.width))
+        if write.data.width != mem.width:
+            raise WidthError(
+                f"memory {mem.name}: write data width {write.data.width} != {mem.width}"
+            )
+        mem.writes.append(write)
+        if len(mem.writes) > mem.max_write_ports:
+            raise ElaborationError(
+                f"memory {mem.name}: {len(mem.writes)} write ports exceed the "
+                f"limit of {mem.max_write_ports}"
+            )
+
+    def instance(self, child: "Module", name: str, **conns: Expr | Signal | int) -> Instance:
+        """Instantiate ``child``; keyword arguments connect its ports.
+
+        Child inputs accept any expression (integers are sized to the port);
+        child outputs must be connected to a parent :class:`Signal` that the
+        instance will drive.
+        """
+        ports = {sig.name: sig for sig in child.inputs + child.outputs}
+        out_names = {sig.name for sig in child.outputs}
+        resolved: dict[str, Expr | Signal] = {}
+        for port_name, conn in conns.items():
+            port = ports.get(port_name)
+            if port is None:
+                raise ElaborationError(f"{child.name} has no port {port_name!r}")
+            if port_name in out_names:
+                if not isinstance(conn, Signal):
+                    raise ElaborationError(
+                        f"output port {child.name}.{port_name} must connect to a Signal"
+                    )
+                if conn.width != port.width:
+                    raise WidthError(
+                        f"output {child.name}.{port_name}: width "
+                        f"{port.width} != {conn.width}"
+                    )
+                resolved[port_name] = conn
+            else:
+                expr = as_expr(conn, port.width)
+                if expr.width != port.width:
+                    raise WidthError(
+                        f"input {child.name}.{port_name}: width "
+                        f"{expr.width} != {port.width}"
+                    )
+                resolved[port_name] = expr
+        missing = [name for name in ports if name not in resolved]
+        if missing:
+            raise ElaborationError(
+                f"instance {name} of {child.name}: unconnected ports {missing}"
+            )
+        inst = Instance(child, self._ns.fresh(name), resolved)
+        self.instances.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def port_bits(self) -> int:
+        """Total bit count of the module's ports (the paper's N_IO basis)."""
+        return sum(sig.width for sig in self.inputs + self.outputs)
+
+    def read(self, sig: Signal) -> Ref:
+        """Convenience: an expression reading ``sig``."""
+        return Ref(sig)
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, {len(self.inputs)} in, {len(self.outputs)} out, "
+            f"{len(self.registers)} regs, {len(self.instances)} insts)"
+        )

@@ -1,0 +1,288 @@
+"""Smart constructors for the RTL expression IR.
+
+These helpers keep frontend code readable: integer literals are promoted to
+:class:`Const` nodes, operands are width-adjusted where the operator demands
+equal widths, and signed/unsigned variants are selected by a flag rather
+than by remembering enum names.
+
+Width policy: ``add``/``sub`` produce ``max(wa, wb) + 1`` bits when
+``grow=True`` (hardware-construction style, never loses a carry) or the
+common operand width when ``grow=False`` (Verilog expression style).
+``mul`` always produces the full product.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import WidthError
+from .ir import BinOp, BinOpKind, Cat, Const, Expr, Ext, Mux, Ref, Signal, Slice, UnOp, UnOpKind
+
+__all__ = [
+    "const",
+    "ref",
+    "as_expr",
+    "zext",
+    "sext",
+    "trunc",
+    "resize",
+    "add",
+    "sub",
+    "mul",
+    "band",
+    "bor",
+    "bxor",
+    "bnot",
+    "neg",
+    "shl",
+    "lshr",
+    "ashr",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "mux",
+    "cat",
+    "bits",
+    "bit",
+    "select",
+    "redor",
+    "redand",
+]
+
+ExprLike = Expr | Signal | int
+
+
+def const(value: int, width: int) -> Const:
+    """An integer literal of explicit width."""
+    return Const(value, width)
+
+
+def ref(signal: Signal) -> Ref:
+    """Read a signal's current value."""
+    return Ref(signal)
+
+
+def as_expr(value: ExprLike, width: int | None = None) -> Expr:
+    """Coerce a signal or integer into an expression.
+
+    Integers require ``width``; expressions and signals carry their own.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, Signal):
+        return Ref(value)
+    if isinstance(value, int):
+        if width is None:
+            raise TypeError("integer operands need an explicit width")
+        return Const(value, width)
+    raise TypeError(f"cannot use {type(value).__name__} as an expression")
+
+
+def zext(a: ExprLike, width: int) -> Expr:
+    """Zero-extend to ``width`` (no-op when already that wide)."""
+    expr = as_expr(a)
+    return expr if expr.width == width else Ext(expr, width, signed=False)
+
+
+def sext(a: ExprLike, width: int) -> Expr:
+    """Sign-extend to ``width`` (no-op when already that wide)."""
+    expr = as_expr(a)
+    return expr if expr.width == width else Ext(expr, width, signed=True)
+
+
+def trunc(a: ExprLike, width: int) -> Expr:
+    """Keep the low ``width`` bits."""
+    expr = as_expr(a)
+    return expr if expr.width == width else Slice(expr, width - 1, 0)
+
+
+def resize(a: ExprLike, width: int, signed: bool = True) -> Expr:
+    """Extend or truncate to exactly ``width`` bits."""
+    expr = as_expr(a)
+    if expr.width == width:
+        return expr
+    if expr.width > width:
+        return Slice(expr, width - 1, 0)
+    return Ext(expr, width, signed=signed)
+
+
+def _balance(a: ExprLike, b: ExprLike, signed: bool) -> tuple[Expr, Expr]:
+    """Promote ``a``/``b`` to expressions of a common width."""
+    if isinstance(a, int) and isinstance(b, int):
+        raise TypeError("at least one operand must be a signal or expression")
+    if isinstance(a, int):
+        bb = as_expr(b)
+        return as_expr(a, bb.width), bb
+    if isinstance(b, int):
+        aa = as_expr(a)
+        return aa, as_expr(b, aa.width)
+    aa, bb = as_expr(a), as_expr(b)
+    width = max(aa.width, bb.width)
+    extend = sext if signed else zext
+    return extend(aa, width), extend(bb, width)
+
+
+def add(a: ExprLike, b: ExprLike, *, signed: bool = True, grow: bool = False) -> Expr:
+    """Addition; ``grow=True`` widens the result by one carry bit."""
+    aa, bb = _balance(a, b, signed)
+    if grow:
+        width = aa.width + 1
+        extend = sext if signed else zext
+        aa, bb = extend(aa, width), extend(bb, width)
+    return BinOp(BinOpKind.ADD, aa, bb)
+
+
+def sub(a: ExprLike, b: ExprLike, *, signed: bool = True, grow: bool = False) -> Expr:
+    """Subtraction; ``grow=True`` widens the result by one borrow bit."""
+    aa, bb = _balance(a, b, signed)
+    if grow:
+        width = aa.width + 1
+        extend = sext if signed else zext
+        aa, bb = extend(aa, width), extend(bb, width)
+    return BinOp(BinOpKind.SUB, aa, bb)
+
+
+def mul(a: ExprLike, b: ExprLike, *, signed: bool = True) -> Expr:
+    """Full-width product (``wa + wb`` result bits)."""
+    if isinstance(a, int):
+        bb = as_expr(b)
+        from ..core.bits import min_width_signed, min_width_unsigned
+
+        width = min_width_signed(a) if signed else min_width_unsigned(a)
+        aa = as_expr(a, width)
+    elif isinstance(b, int):
+        aa = as_expr(a)
+        from ..core.bits import min_width_signed, min_width_unsigned
+
+        width = min_width_signed(b) if signed else min_width_unsigned(b)
+        bb = as_expr(b, width)
+    else:
+        aa, bb = as_expr(a), as_expr(b)
+    kind = BinOpKind.MULS if signed else BinOpKind.MUL
+    return BinOp(kind, aa, bb)
+
+
+def band(a: ExprLike, b: ExprLike) -> Expr:
+    aa, bb = _balance(a, b, signed=False)
+    return BinOp(BinOpKind.AND, aa, bb)
+
+
+def bor(a: ExprLike, b: ExprLike) -> Expr:
+    aa, bb = _balance(a, b, signed=False)
+    return BinOp(BinOpKind.OR, aa, bb)
+
+
+def bxor(a: ExprLike, b: ExprLike) -> Expr:
+    aa, bb = _balance(a, b, signed=False)
+    return BinOp(BinOpKind.XOR, aa, bb)
+
+
+def bnot(a: ExprLike) -> Expr:
+    return UnOp(UnOpKind.NOT, as_expr(a))
+
+
+def neg(a: ExprLike) -> Expr:
+    return UnOp(UnOpKind.NEG, as_expr(a))
+
+
+def shl(a: ExprLike, amount: ExprLike) -> Expr:
+    aa = as_expr(a)
+    return BinOp(BinOpKind.SHL, aa, as_expr(amount, 32))
+
+
+def lshr(a: ExprLike, amount: ExprLike) -> Expr:
+    aa = as_expr(a)
+    return BinOp(BinOpKind.LSHR, aa, as_expr(amount, 32))
+
+
+def ashr(a: ExprLike, amount: ExprLike) -> Expr:
+    aa = as_expr(a)
+    return BinOp(BinOpKind.ASHR, aa, as_expr(amount, 32))
+
+
+def eq(a: ExprLike, b: ExprLike) -> Expr:
+    aa, bb = _balance(a, b, signed=False)
+    return BinOp(BinOpKind.EQ, aa, bb)
+
+
+def ne(a: ExprLike, b: ExprLike) -> Expr:
+    aa, bb = _balance(a, b, signed=False)
+    return BinOp(BinOpKind.NE, aa, bb)
+
+
+def lt(a: ExprLike, b: ExprLike, *, signed: bool = True) -> Expr:
+    aa, bb = _balance(a, b, signed)
+    return BinOp(BinOpKind.SLT if signed else BinOpKind.ULT, aa, bb)
+
+
+def le(a: ExprLike, b: ExprLike, *, signed: bool = True) -> Expr:
+    aa, bb = _balance(a, b, signed)
+    return BinOp(BinOpKind.SLE if signed else BinOpKind.ULE, aa, bb)
+
+
+def gt(a: ExprLike, b: ExprLike, *, signed: bool = True) -> Expr:
+    aa, bb = _balance(a, b, signed)
+    return BinOp(BinOpKind.SGT if signed else BinOpKind.UGT, aa, bb)
+
+
+def ge(a: ExprLike, b: ExprLike, *, signed: bool = True) -> Expr:
+    aa, bb = _balance(a, b, signed)
+    return BinOp(BinOpKind.SGE if signed else BinOpKind.UGE, aa, bb)
+
+
+def mux(sel: ExprLike, if_true: ExprLike, if_false: ExprLike, *, signed: bool = True) -> Expr:
+    """2:1 multiplexer; arms are balanced to a common width."""
+    tt, ff = _balance(if_true, if_false, signed)
+    return Mux(as_expr(sel), tt, ff)
+
+
+def cat(*parts: ExprLike) -> Expr:
+    """Concatenate MSB-first (Verilog ``{...}`` order)."""
+    return Cat(tuple(as_expr(part) for part in parts))
+
+
+def bits(a: ExprLike, hi: int, lo: int) -> Expr:
+    """Verilog-style inclusive bit slice ``a[hi:lo]``."""
+    return Slice(as_expr(a), hi, lo)
+
+
+def bit(a: ExprLike, index: int) -> Expr:
+    """Extract a single bit."""
+    return Slice(as_expr(a), index, index)
+
+
+def select(sel: ExprLike, items: list[ExprLike], *, signed: bool = True) -> Expr:
+    """N:1 multiplexer as a log-depth binary tree keyed on ``sel``'s bits.
+
+    ``items[i]`` is returned when ``sel == i``; out-of-range selects fall
+    back to the highest item.  This is how synthesis actually maps wide
+    selects, so designs should prefer it over hand-rolled mux chains.
+    """
+    if not items:
+        raise WidthError("select needs at least one item")
+    sel_expr = as_expr(sel)
+    level: list[Expr] = [as_expr(item) for item in items]
+    width = max(item.width for item in level)
+    extend = sext if signed else zext
+    level = [extend(item, width) for item in level]
+    bit_index = 0
+    while len(level) > 1:
+        sel_bit = Slice(sel_expr, bit_index, bit_index)
+        nxt: list[Expr] = []
+        for i in range(0, len(level), 2):
+            if i + 1 < len(level):
+                nxt.append(Mux(sel_bit, level[i + 1], level[i]))
+            else:
+                nxt.append(level[i])
+        level = nxt
+        bit_index += 1
+    return level[0]
+
+
+def redor(a: ExprLike) -> Expr:
+    return UnOp(UnOpKind.REDOR, as_expr(a))
+
+
+def redand(a: ExprLike) -> Expr:
+    return UnOp(UnOpKind.REDAND, as_expr(a))

@@ -1,0 +1,7 @@
+"""Cycle-accurate simulation of elaborated netlists."""
+
+from .compile import CompiledNetlist, compile_netlist
+from .simulator import Simulator
+from .vcd import VcdTracer
+
+__all__ = ["Simulator", "VcdTracer", "CompiledNetlist", "compile_netlist"]

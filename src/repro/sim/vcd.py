@@ -1,0 +1,89 @@
+"""Minimal VCD (value change dump) waveform writer.
+
+Attach a :class:`VcdTracer` to a :class:`~repro.sim.simulator.Simulator` to
+record selected signals each clock cycle; the output opens in GTKWave or any
+other VCD viewer.  The timescale maps one clock cycle to 1 ns.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from ..rtl.ir import Signal
+
+__all__ = ["VcdTracer"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for the index-th signal."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdTracer:
+    """Records signal values per cycle and renders a VCD document."""
+
+    def __init__(self, simulator, signals: Sequence[Signal | str] | None = None) -> None:
+        self._sim = simulator
+        if signals is None:
+            resolved = list(simulator.netlist.inputs) + list(simulator.netlist.outputs)
+        else:
+            resolved = [simulator._resolve(sig) for sig in signals]
+        self._signals = resolved
+        self._ids = {sig: _identifier(i) for i, sig in enumerate(resolved)}
+        self._history: list[tuple[int, dict[Signal, int]]] = []
+        self._last: dict[Signal, int] = {}
+        simulator.add_watcher(self._on_edge)
+        self._capture(0)
+
+    def _capture(self, time: int) -> None:
+        changes: dict[Signal, int] = {}
+        for sig in self._signals:
+            value = self._sim.peek_int(sig)
+            if self._last.get(sig) != value:
+                changes[sig] = value
+                self._last[sig] = value
+        if changes or time == 0:
+            self._history.append((time, changes))
+
+    def _on_edge(self, cycle: int) -> None:
+        self._capture(cycle)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render the VCD document as a string."""
+        out = io.StringIO()
+        out.write("$date repro simulation $end\n")
+        out.write("$version repro vcd writer $end\n")
+        out.write("$timescale 1ns $end\n")
+        out.write(f"$scope module {self._sim.netlist.name} $end\n")
+        for sig in self._signals:
+            ident = self._ids[sig]
+            name = sig.name.replace(".", "_")
+            out.write(f"$var wire {sig.width} {ident} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        for time, changes in self._history:
+            out.write(f"#{time}\n")
+            for sig, value in changes.items():
+                ident = self._ids[sig]
+                if sig.width == 1:
+                    out.write(f"{value}{ident}\n")
+                else:
+                    out.write(f"b{value:b} {ident}\n")
+        return out.getvalue()
+
+    def save(self, path: str) -> None:
+        """Write the VCD document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+    @property
+    def history(self) -> list[tuple[int, dict[Signal, int]]]:
+        return self._history

@@ -1,0 +1,22 @@
+"""FPGA synthesis cost model: technology mapping, area, static timing."""
+
+from .analyze import SynthReport, normalized_area, synthesize
+from .power import PowerReport, estimate_power, measure_activity
+from .cost import NodeCost, node_cost
+from .device import XCVU9P, Device
+from .tech import ULTRASCALE_PLUS, Tech
+
+__all__ = [
+    "SynthReport",
+    "PowerReport",
+    "estimate_power",
+    "measure_activity",
+    "synthesize",
+    "normalized_area",
+    "NodeCost",
+    "node_cost",
+    "Device",
+    "XCVU9P",
+    "Tech",
+    "ULTRASCALE_PLUS",
+]

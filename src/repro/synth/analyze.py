@@ -1,0 +1,236 @@
+"""Netlist-level synthesis analysis: area accumulation and static timing.
+
+The analyzer walks every expression in the flat netlist exactly once per
+node *object* — a shared node is one physical circuit with fan-out, while
+two structurally identical but distinct objects are two circuits, matching
+synthesis without cross-boundary resource sharing.
+
+DSP allocation mirrors the paper's ``maxdsp`` Vivado knob: variable
+multipliers are granted DSP slices biggest-first until the budget runs out;
+the rest fall back to fabric logic.  ``max_dsp=0`` reproduces the paper's
+normalized-area measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.errors import SynthesisError
+from ..rtl.elaborate import Netlist
+from ..rtl.ir import BinOp, Cat, Const, Expr, Ext, MemRead, Mux, Ref, Signal, Slice, UnOp
+from ..rtl.module import Memory
+from .cost import is_dsp_candidate, mult_dsp_count, node_cost
+from .device import XCVU9P, Device
+from .tech import ULTRASCALE_PLUS, Tech
+
+__all__ = ["SynthReport", "synthesize", "normalized_area"]
+
+
+@dataclass
+class SynthReport:
+    """Synthesis estimate for one netlist (one ``maxdsp`` setting)."""
+
+    name: str
+    n_lut: int
+    n_ff: int
+    n_dsp: int
+    n_bram: int
+    n_io: int
+    t_clk_ns: float
+    critical_path: list[str] = field(default_factory=list)
+
+    @property
+    def fmax_mhz(self) -> float:
+        """Maximum clock frequency implied by the critical path."""
+        return 1000.0 / self.t_clk_ns
+
+    @property
+    def area(self) -> int:
+        """The paper's area indicator for this run: N_LUT + N_FF."""
+        return self.n_lut + self.n_ff
+
+    def utilization(self, device: Device = XCVU9P) -> dict[str, float]:
+        return device.utilization(self.n_lut, self.n_ff, self.n_dsp, min(self.n_io, device.n_io))
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.n_lut} LUT, {self.n_ff} FF, {self.n_dsp} DSP, "
+            f"{self.n_bram} BRAM, Tclk={self.t_clk_ns:.2f}ns "
+            f"(fmax={self.fmax_mhz:.2f} MHz)"
+        )
+
+
+def _children(expr: Expr) -> tuple[Expr, ...]:
+    if isinstance(expr, BinOp):
+        return (expr.a, expr.b)
+    if isinstance(expr, UnOp):
+        return (expr.a,)
+    if isinstance(expr, Mux):
+        return (expr.sel, expr.if_true, expr.if_false)
+    if isinstance(expr, Cat):
+        return expr.parts
+    if isinstance(expr, (Slice, Ext)):
+        return (expr.a,)
+    if isinstance(expr, MemRead):
+        return (expr.addr,)
+    return ()
+
+
+def _collect_nodes(roots: list[Expr]) -> list[Expr]:
+    """Unique expression nodes (by object identity), children first."""
+    seen: set[int] = set()
+    ordered: list[Expr] = []
+
+    def visit(node: Expr) -> None:
+        key = id(node)
+        if key in seen:
+            return
+        seen.add(key)
+        for child in _children(node):
+            visit(child)
+        ordered.append(node)
+
+    for root in roots:
+        visit(root)
+    return ordered
+
+
+def _memory_area(mem: Memory, tech: Tech) -> tuple[float, int]:
+    """(LUTs, BRAMs) consumed by one memory block."""
+    if mem.size_bits > tech.bram_threshold_bits:
+        brams = max(1, math.ceil(mem.size_bits / tech.bram_bits))
+        return 0.0, brams
+    luts = mem.size_bits / tech.lutram_bits_per_lut
+    # Write decode/enable logic per write port.
+    luts += len(mem.writes) * max(1.0, mem.depth / 8)
+    return luts, 0
+
+
+def synthesize(
+    netlist: Netlist,
+    tech: Tech = ULTRASCALE_PLUS,
+    device: Device = XCVU9P,
+    max_dsp: int | None = None,
+) -> SynthReport:
+    """Estimate area and timing for ``netlist``.
+
+    ``max_dsp`` caps DSP inference (``0`` disables it, ``None`` means the
+    device limit).  Raises :class:`SynthesisError` when the design cannot
+    fit the device.
+    """
+    roots: list[Expr] = [expr for _sig, expr in netlist.assigns]
+    for reg in netlist.registers:
+        roots.append(reg.next)
+        if reg.en is not None:
+            roots.append(reg.en)
+    for mem in netlist.memories:
+        for write in mem.writes:
+            roots.extend((write.en, write.addr, write.data))
+
+    nodes = _collect_nodes(roots)
+
+    # ------------------------------------------------------------------
+    # DSP budget allocation: biggest variable multipliers first.
+    # ------------------------------------------------------------------
+    budget = device.n_dsp if max_dsp is None else min(max_dsp, device.n_dsp)
+    mults = [node for node in nodes if is_dsp_candidate(node, tech)]
+    mults.sort(key=lambda n: (-(n.a.width * n.b.width), id(n)))
+    dsp_mapped: set[int] = set()
+    used_dsp = 0
+    for node in mults:
+        need = mult_dsp_count(node, tech)  # type: ignore[arg-type]
+        if used_dsp + need <= budget:
+            dsp_mapped.add(id(node))
+            used_dsp += need
+
+    # ------------------------------------------------------------------
+    # Area accumulation.
+    # ------------------------------------------------------------------
+    luts = 0.0
+    costs: dict[int, float] = {}
+    for node in nodes:
+        cost = node_cost(node, tech, allow_dsp=id(node) in dsp_mapped)
+        luts += cost.luts
+        costs[id(node)] = cost.delay
+    n_ff = sum(reg.signal.width for reg in netlist.registers)
+    n_bram = 0
+    for mem in netlist.memories:
+        mem_luts, mem_brams = _memory_area(mem, tech)
+        luts += mem_luts
+        n_bram += mem_brams
+
+    # ------------------------------------------------------------------
+    # Static timing: arrival times over the DAG in dependency order.
+    # ------------------------------------------------------------------
+    arrival_sig: dict[Signal, float] = {}
+    for sig in netlist.inputs:
+        arrival_sig[sig] = 0.0
+    for reg in netlist.registers:
+        arrival_sig[reg.signal] = tech.t_clk_to_q
+
+    arrival_node: dict[int, float] = {}
+
+    def arrival(node: Expr) -> float:
+        key = id(node)
+        cached = arrival_node.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(node, Ref):
+            value = arrival_sig.get(node.signal, 0.0)
+        else:
+            base = max((arrival(child) for child in _children(node)), default=0.0)
+            value = base + costs[key]
+        arrival_node[key] = value
+        return value
+
+    for sig, expr in netlist.comb_order():
+        arrival_sig[sig] = arrival(expr)
+
+    critical = 0.0
+    critical_name = ""
+    def consider(value: float, name: str) -> None:
+        nonlocal critical, critical_name
+        if value > critical:
+            critical = value
+            critical_name = name
+
+    for reg in netlist.registers:
+        consider(arrival(reg.next) + tech.t_setup, f"reg {reg.signal.name}")
+        if reg.en is not None:
+            consider(arrival(reg.en) + tech.t_setup, f"reg {reg.signal.name} (en)")
+    for mem in netlist.memories:
+        for write in mem.writes:
+            for expr in (write.en, write.addr, write.data):
+                consider(arrival(expr) + tech.t_setup, f"mem {mem.name} write")
+    for sig in netlist.outputs:
+        consider(arrival_sig.get(sig, 0.0) + tech.t_setup, f"output {sig.name}")
+
+    t_clk = critical * tech.routing_factor + tech.clock_overhead
+
+    n_lut = int(round(luts))
+    report = SynthReport(
+        name=netlist.name,
+        n_lut=n_lut,
+        n_ff=n_ff,
+        n_dsp=used_dsp,
+        n_bram=n_bram,
+        n_io=netlist.n_io,
+        t_clk_ns=t_clk,
+        critical_path=[critical_name] if critical_name else [],
+    )
+    if not device.fits(n_lut, n_ff, used_dsp, min(report.n_io, device.n_io)):
+        raise SynthesisError(
+            f"{netlist.name} does not fit {device.name}: {report.summary()}"
+        )
+    return report
+
+
+def normalized_area(
+    netlist: Netlist,
+    tech: Tech = ULTRASCALE_PLUS,
+    device: Device = XCVU9P,
+) -> int:
+    """The paper's A = N*_LUT + N*_FF measured with DSP inference disabled."""
+    report = synthesize(netlist, tech, device, max_dsp=0)
+    return report.n_lut + report.n_ff

@@ -1,0 +1,48 @@
+"""FPGA device resource envelopes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Device", "XCVU9P"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """Available resources of a target part (the paper's Table-less §IV data)."""
+
+    name: str
+    n_lut: int
+    n_ff: int
+    n_dsp: int
+    n_io: int
+    n_bram: int
+
+    def utilization(self, luts: int, ffs: int, dsps: int, ios: int) -> dict[str, float]:
+        """Fractional utilization per resource class (1.0 == full)."""
+        return {
+            "lut": luts / self.n_lut,
+            "ff": ffs / self.n_ff,
+            "dsp": dsps / self.n_dsp if self.n_dsp else 0.0,
+            "io": ios / self.n_io,
+        }
+
+    def fits(self, luts: int, ffs: int, dsps: int, ios: int) -> bool:
+        """True when the design fits in the part."""
+        return (
+            luts <= self.n_lut
+            and ffs <= self.n_ff
+            and dsps <= self.n_dsp
+            and ios <= self.n_io
+        )
+
+
+#: Xilinx Virtex UltraScale+ XCVU9P-FLGB2104-2-E, as used in the paper.
+XCVU9P = Device(
+    name="xcvu9p-flgb2104-2-e",
+    n_lut=1_182_240,
+    n_ff=2_364_480,
+    n_dsp=6_840,
+    n_io=702,
+    n_bram=2_160,
+)

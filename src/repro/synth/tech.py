@@ -1,0 +1,65 @@
+"""Technology constants for the synthesis cost model.
+
+All area/delay formulas in :mod:`repro.synth.cost` read their constants from
+a :class:`Tech` record, so the calibration lives in exactly one place.  The
+values below are tuned to an UltraScale+-class fabric (LUT6 + CARRY8 +
+DSP48E2): they are not vendor datasheet numbers, but they reproduce the
+*relative* geometry that the paper's conclusions rest on — combinational
+cascades are slow, carry chains scale linearly with width, constant
+multiplier trees dominate IDCT area when DSP inference is disabled, and a
+DSP-mapped multiplier is fast but monolithic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Tech", "ULTRASCALE_PLUS"]
+
+
+@dataclass(frozen=True)
+class Tech:
+    """Area/delay calibration constants (times in ns, areas in LUTs)."""
+
+    name: str
+
+    # -- generic logic ---------------------------------------------------
+    t_lut: float = 0.10          # one LUT6 logic level
+    t_net: float = 0.20          # average routed net between logic levels
+    t_clk_to_q: float = 0.10     # FF clock-to-output
+    t_setup: float = 0.06        # FF setup time
+    clock_overhead: float = 0.20  # skew + jitter margin added to T_clk
+
+    # -- carry chains (adders, subtractors, comparators) -----------------
+    t_carry_base: float = 0.12   # entering the carry chain
+    t_carry_bit: float = 0.012   # per-bit propagation along CARRY8
+    luts_per_add_bit: float = 0.75  # synthesis trims constant high bits
+
+    # -- multipliers ------------------------------------------------------
+    t_dsp: float = 2.10          # combinational DSP48 multiply
+    dsp_a_width: int = 26        # signed DSP input widths (27x18 minus sign)
+    dsp_b_width: int = 17
+    lut_mult_factor: float = 0.62    # LUTs ~= factor * wa * wb (fabric mult)
+    t_mult_level: float = 0.38       # per partial-product reduction level
+    csd_digits_factor: float = 0.55  # avg CSD non-zero digits per set bit
+
+    # -- multiplexers and logic ops ---------------------------------------
+    luts_per_mux_bit: float = 0.50   # two 2:1 muxes fit one LUT6
+    t_mux: float = 0.15              # MUXF7/F8 select-tree level (intra-slice)
+    luts_per_logic_bit: float = 0.34  # wide AND/OR/XOR packing into LUT6
+
+    # -- barrel shifters ---------------------------------------------------
+    luts_per_shift_bit_level: float = 0.50
+
+    # -- memories ------------------------------------------------------------
+    lutram_bits_per_lut: int = 64    # distributed RAM efficiency
+    bram_threshold_bits: int = 2048  # larger memories map to BRAM
+    bram_bits: int = 36 * 1024
+    t_lutram: float = 0.45
+    t_bram: float = 1.80
+
+    # -- global derating ----------------------------------------------------
+    routing_factor: float = 1.12     # congestion/fanout derating on delays
+
+
+ULTRASCALE_PLUS = Tech(name="ultrascale-plus")

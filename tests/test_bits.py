@@ -1,0 +1,243 @@
+"""Unit and property tests for the BV bit-vector value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import BV, mask, min_width_signed, min_width_unsigned, to_signed, to_unsigned
+from repro.core.errors import WidthError
+
+
+class TestConstruction:
+    def test_wraps_modulo_width(self):
+        assert BV(16, 4).uint == 0
+        assert BV(17, 4).uint == 1
+
+    def test_negative_value_wraps_to_twos_complement(self):
+        assert BV(-1, 4).uint == 15
+        assert BV(-1, 4).sint == -1
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            BV(0, 0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(WidthError):
+            BV(0, -3)
+
+    def test_signed_constructor_checks_range(self):
+        assert BV.signed(-8, 4).uint == 8
+        with pytest.raises(WidthError):
+            BV.signed(8, 4)
+        with pytest.raises(WidthError):
+            BV.signed(-9, 4)
+
+    def test_unsigned_constructor_checks_range(self):
+        assert BV.unsigned(15, 4).uint == 15
+        with pytest.raises(WidthError):
+            BV.unsigned(16, 4)
+        with pytest.raises(WidthError):
+            BV.unsigned(-1, 4)
+
+
+class TestAccessors:
+    def test_sint_of_msb_set(self):
+        assert BV(0b1000, 4).sint == -8
+
+    def test_bit_indexing(self):
+        value = BV(0b1010, 4)
+        assert value.bit(0) == 0
+        assert value.bit(1) == 1
+        assert value.bit(3) == 1
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            BV(0, 4).bit(4)
+
+    def test_getitem_single(self):
+        assert BV(0b1010, 4)[1] == BV(1, 1)
+        assert BV(0b1010, 4)[-1] == BV(1, 1)
+
+    def test_getitem_slice_lo_to_hi(self):
+        assert BV(0b110101, 6)[1:4] == BV(0b1010, 4)
+
+    def test_verilog_slice(self):
+        assert BV(0b110101, 6).slice(4, 1) == BV(0b1010, 4)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(WidthError):
+            BV(0, 4)[0:4]
+
+    def test_slice_with_step_rejected(self):
+        with pytest.raises(WidthError):
+            BV(0, 4)[0:2:2]
+
+
+class TestWidthAdjust:
+    def test_zext_pads_with_zeros(self):
+        assert BV(0b1111, 4).zext(8) == BV(0x0F, 8)
+
+    def test_sext_replicates_sign(self):
+        assert BV(0b1000, 4).sext(8) == BV(0xF8, 8)
+        assert BV(0b0100, 4).sext(8) == BV(0x04, 8)
+
+    def test_zext_cannot_truncate(self):
+        with pytest.raises(WidthError):
+            BV(0, 8).zext(4)
+
+    def test_trunc_keeps_low_bits(self):
+        assert BV(0xAB, 8).trunc(4) == BV(0xB, 4)
+
+    def test_trunc_cannot_widen(self):
+        with pytest.raises(WidthError):
+            BV(0, 4).trunc(8)
+
+    def test_cat_msb_first(self):
+        assert BV(0b10, 2).cat(BV(0b01, 2)) == BV(0b1001, 4)
+
+    def test_cat_multiple(self):
+        assert BV(1, 1).cat(BV(0, 1), BV(1, 1)) == BV(0b101, 3)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert (BV(15, 4) + BV(1, 4)).uint == 0
+
+    def test_sub_wraps(self):
+        assert (BV(0, 4) - BV(1, 4)).uint == 15
+
+    def test_mul_wraps(self):
+        assert (BV(5, 4) * BV(5, 4)).uint == 25 % 16
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            BV(1, 4) + BV(1, 5)
+
+    def test_non_bv_operand_rejected(self):
+        with pytest.raises(TypeError):
+            BV(1, 4) + 1  # type: ignore[operand]
+
+    def test_bitwise_ops(self):
+        assert (BV(0b1100, 4) & BV(0b1010, 4)).uint == 0b1000
+        assert (BV(0b1100, 4) | BV(0b1010, 4)).uint == 0b1110
+        assert (BV(0b1100, 4) ^ BV(0b1010, 4)).uint == 0b0110
+
+    def test_invert(self):
+        assert (~BV(0b1010, 4)).uint == 0b0101
+
+    def test_neg_is_twos_complement(self):
+        assert (-BV(1, 4)).uint == 15
+        assert (-BV(0, 4)).uint == 0
+
+    def test_shifts(self):
+        assert (BV(0b0011, 4) << 2).uint == 0b1100
+        assert (BV(0b1100, 4) >> 2).uint == 0b0011
+
+    def test_sra_fills_sign(self):
+        assert BV(0b1000, 4).sra(2).uint == 0b1110
+        assert BV(0b0100, 4).sra(2).uint == 0b0001
+
+
+class TestDunder:
+    def test_bool(self):
+        assert BV(1, 4)
+        assert not BV(0, 4)
+
+    def test_int_and_index(self):
+        assert int(BV(7, 4)) == 7
+        assert [10, 20, 30][BV(1, 4)] == 20
+
+    def test_equality_includes_width(self):
+        assert BV(1, 4) != BV(1, 5)
+        assert BV(1, 4) == BV(1, 4)
+
+    def test_eq_other_type_not_equal(self):
+        assert (BV(1, 4) == "x") is False
+
+    def test_hashable(self):
+        assert len({BV(1, 4), BV(1, 4), BV(1, 5)}) == 2
+
+    def test_repr_and_str(self):
+        assert repr(BV(5, 4)) == "BV(0x5, 4)"
+        assert str(BV(5, 4)) == "4'h5"
+
+
+class TestHelpers:
+    def test_mask(self):
+        assert mask(1) == 1
+        assert mask(8) == 255
+
+    def test_mask_rejects_nonpositive(self):
+        with pytest.raises(WidthError):
+            mask(0)
+
+    def test_to_signed_roundtrip(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1, 8) == 255
+
+    def test_min_width_unsigned(self):
+        assert min_width_unsigned(0) == 1
+        assert min_width_unsigned(1) == 1
+        assert min_width_unsigned(255) == 8
+        assert min_width_unsigned(256) == 9
+
+    def test_min_width_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            min_width_unsigned(-1)
+
+    def test_min_width_signed(self):
+        assert min_width_signed(0) == 1
+        assert min_width_signed(1) == 2
+        assert min_width_signed(-1) == 1
+        assert min_width_signed(127) == 8
+        assert min_width_signed(-128) == 8
+        assert min_width_signed(128) == 9
+
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@given(st.data(), widths)
+def test_add_matches_python_modular_arithmetic(data, width):
+    a = data.draw(st.integers(0, 2**width - 1))
+    b = data.draw(st.integers(0, 2**width - 1))
+    assert (BV(a, width) + BV(b, width)).uint == (a + b) % 2**width
+
+
+@given(st.data(), widths)
+def test_sub_matches_python_modular_arithmetic(data, width):
+    a = data.draw(st.integers(0, 2**width - 1))
+    b = data.draw(st.integers(0, 2**width - 1))
+    assert (BV(a, width) - BV(b, width)).uint == (a - b) % 2**width
+
+
+@given(st.data(), widths)
+def test_sint_uint_roundtrip(data, width):
+    value = data.draw(st.integers(0, 2**width - 1))
+    bv = BV(value, width)
+    assert BV(bv.sint, width).uint == value
+    assert -(2 ** (width - 1)) <= bv.sint < 2 ** (width - 1)
+
+
+@given(st.data(), widths)
+def test_sext_preserves_signed_value(data, width):
+    value = data.draw(st.integers(0, 2**width - 1))
+    assert BV(value, width).sext(width + 7).sint == BV(value, width).sint
+
+
+@given(st.data(), widths)
+def test_cat_then_slice_recovers_parts(data, width):
+    a = data.draw(st.integers(0, 2**width - 1))
+    b = data.draw(st.integers(0, 2**width - 1))
+    joined = BV(a, width).cat(BV(b, width))
+    assert joined[width : 2 * width - 1].uint == a
+    assert joined[0 : width - 1].uint == b
+
+
+@given(st.data(), widths)
+def test_neg_matches_twos_complement(data, width):
+    value = data.draw(st.integers(0, 2**width - 1))
+    assert (-BV(value, width)).uint == (-value) % 2**width

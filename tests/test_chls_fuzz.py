@@ -1,0 +1,192 @@
+"""Differential fuzzing of the HLS compiler.
+
+Hypothesis generates random mini-C programs (expressions, locals, loops,
+conditionals, array traffic); each is compiled to hardware and executed
+in the simulator, and the result is compared with a direct interpreter of
+the same AST using C99 semantics (int32 wrap-around, short truncation,
+arithmetic shifts).  Any divergence is a compiler bug by construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontends.chls import HlsOptions, build_function_top, parse
+from repro.frontends.chls.transform import inline_program
+from repro.sim import Simulator
+
+
+def w32(v):
+    return ((v + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+
+
+def w16(v):
+    return ((v + 0x8000) & 0xFFFF) - 0x8000
+
+
+# ----------------------------------------------------------------------
+# random program generation (as source text, so the parser is fuzzed too)
+# ----------------------------------------------------------------------
+
+_BINOPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def expr_text(draw, names, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        if names and draw(st.booleans()):
+            return draw(st.sampled_from(names))
+        return str(draw(st.integers(-100, 100)))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        op = draw(st.sampled_from(_BINOPS))
+        a = draw(expr_text(names, depth - 1))
+        b = draw(expr_text(names, depth - 1))
+        return f"({a} {op} {b})"
+    if kind == 1:
+        a = draw(expr_text(names, depth - 1))
+        shift = draw(st.integers(0, 7))
+        op = draw(st.sampled_from(["<<", ">>"]))
+        return f"({a} {op} {shift})"
+    if kind == 2:
+        cond = draw(expr_text(names, depth - 1))
+        a = draw(expr_text(names, depth - 1))
+        b = draw(expr_text(names, depth - 1))
+        return f"(({cond}) > 0 ? {a} : {b})"
+    a = draw(expr_text(names, depth - 1))
+    return f"(-({a}))"
+
+
+@st.composite
+def program_text(draw):
+    lines = ["int top(int a, int b) {"]
+    names = ["a", "b"]
+    n_stmts = draw(st.integers(1, 5))
+    for i in range(n_stmts):
+        value = draw(expr_text(names))
+        name = f"t{i}"
+        lines.append(f"  int {name} = {value};")
+        names.append(name)
+    # Optionally a loop accumulating one of the values.
+    if draw(st.booleans()):
+        trip = draw(st.integers(1, 5))
+        source = draw(st.sampled_from(names))
+        lines.append("  int acc = 0;")
+        lines.append(f"  for (i = 0; i < {trip}; i++)")
+        lines.append(f"    acc = acc + {source};")
+        names.append("acc")
+    # Optionally a conditional update.
+    if draw(st.booleans()):
+        cond = draw(expr_text(names, depth=1))
+        target = draw(st.sampled_from([n for n in names if n.startswith("t")]
+                                      or names))
+        lines.append(f"  if (({cond}) > 0) {{ {target} = {target} + 1; }}")
+    result = draw(st.sampled_from(names))
+    lines.append(f"  return {result};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# AST interpreter with C semantics
+# ----------------------------------------------------------------------
+
+def interpret(source, a, b):
+    from repro.frontends.chls.cast import (
+        AssignStmt,
+        BinExpr,
+        Block,
+        CondExpr,
+        DeclStmt,
+        ForStmt,
+        IfStmt,
+        NumExpr,
+        ReturnStmt,
+        UnExpr,
+        VarExpr,
+    )
+
+    program = parse(source)
+    fn = program.functions["top"]
+    env = {"a": w32(a), "b": w32(b)}
+
+    def ev(expr):
+        if isinstance(expr, NumExpr):
+            return w32(expr.value)
+        if isinstance(expr, VarExpr):
+            return env[expr.name]
+        if isinstance(expr, UnExpr):
+            v = ev(expr.operand)
+            if expr.op == "-":
+                return w32(-v)
+            if expr.op == "~":
+                return w32(~v)
+            return int(not v)
+        if isinstance(expr, CondExpr):
+            return ev(expr.if_true) if ev(expr.cond) else ev(expr.if_false)
+        if isinstance(expr, BinExpr):
+            x, y = ev(expr.left), ev(expr.right)
+            table = {
+                "+": lambda: w32(x + y), "-": lambda: w32(x - y),
+                "*": lambda: w32(x * y), "&": lambda: x & y,
+                "|": lambda: x | y, "^": lambda: x ^ y,
+                "<<": lambda: w32(x << y), ">>": lambda: x >> y,
+                "<": lambda: int(x < y), "<=": lambda: int(x <= y),
+                ">": lambda: int(x > y), ">=": lambda: int(x >= y),
+                "==": lambda: int(x == y), "!=": lambda: int(x != y),
+            }
+            return table[expr.op]()
+        raise NotImplementedError(type(expr).__name__)
+
+    result = [0]
+
+    def run(stmt):
+        if isinstance(stmt, Block):
+            for s in stmt.statements:
+                run(s)
+        elif isinstance(stmt, DeclStmt):
+            env[stmt.name] = ev(stmt.init) if stmt.init is not None else 0
+        elif isinstance(stmt, AssignStmt):
+            env[stmt.name] = ev(stmt.value)
+        elif isinstance(stmt, IfStmt):
+            if ev(stmt.cond):
+                run(stmt.then_body)
+            elif stmt.else_body is not None:
+                run(stmt.else_body)
+        elif isinstance(stmt, ForStmt):
+            env[stmt.var] = ev(stmt.start)
+            while env[stmt.var] < ev(stmt.bound):
+                run(stmt.body)
+                env[stmt.var] = w32(env[stmt.var] + stmt.step)
+        elif isinstance(stmt, ReturnStmt):
+            result[0] = ev(stmt.value) if stmt.value is not None else 0
+        else:
+            raise NotImplementedError(type(stmt).__name__)
+
+    run(fn.body)
+    return result[0]
+
+
+def run_hardware(source, a, b, options):
+    flat, _ = inline_program(parse(source), "top")
+    compiled = build_function_top(flat, options)
+    sim = Simulator(compiled.module)
+    sim.poke("arg_a", a & 0xFFFFFFFF)
+    sim.poke("arg_b", b & 0xFFFFFFFF)
+    sim.poke("start", 1)
+    sim.run_until(lambda s: s.peek_int("done") == 1, timeout=2000)
+    return sim.peek("retval").sint
+
+
+@given(program_text(), st.integers(-(2**31), 2**31 - 1),
+       st.integers(-(2**31), 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_fuzz_hls_matches_interpreter(source, a, b):
+    expected = interpret(source, a, b)
+    assert run_hardware(source, a, b, HlsOptions()) == expected
+
+
+@given(program_text(), st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=15, deadline=None)
+def test_fuzz_chaining_off_matches_interpreter(source, a, b):
+    expected = interpret(source, a, b)
+    assert run_hardware(source, a, b, HlsOptions(chaining=False)) == expected

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Verilog" in out and "MaxCompiler" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "verilog-opt" in out
+        assert "maxj-initial" in out
+
+    def test_verify_known_design(self, capsys):
+        assert main(["verify", "chisel-opt"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "periodicity 8" in out
+
+    def test_verify_unknown_design(self, capsys):
+        assert main(["verify", "nonexistent"]) == 2
+
+    def test_table2_subset_with_csv(self, capsys, tmp_path):
+        path = tmp_path / "table2.csv"
+        assert main(["table2", "--tools", "Chisel/Chisel",
+                     "--csv", str(path)]) == 0
+        rows = list(csv.DictReader(path.open()))
+        # Verilog baseline is always added, so 2 tools x 2 configs.
+        assert len(rows) == 4
+        assert {r["config"] for r in rows} == {"initial", "opt"}
+        assert all(float(r["throughput_mops"]) > 0 for r in rows)
+
+    def test_fig1_csv(self, capsys, tmp_path):
+        path = tmp_path / "fig1.csv"
+        assert main(["fig1", "--csv", str(path)]) == 0
+        rows = list(csv.DictReader(path.open()))
+        tools = {r["tool"] for r in rows}
+        assert {"Vivado", "XLS", "MaxCompiler", "Bambu"} <= tools
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

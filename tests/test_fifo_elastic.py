@@ -1,0 +1,160 @@
+"""Tests for the FIFO generator and the elastic wrapper variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axis import (
+    KernelSpec,
+    KernelStyle,
+    StreamHarness,
+    build_elastic_wrapper,
+    build_fifo,
+    every,
+)
+from repro.core.errors import FrontendError
+from repro.eval.verify import random_matrices
+from repro.frontends.vlog import build_opt_kernel
+from repro.idct import chen_wang_idct
+from repro.rtl import elaborate
+from repro.sim import Simulator
+from repro.synth import synthesize
+
+
+class FifoModel:
+    """Reference queue with the generated FIFO's exact handshake rules."""
+
+    def __init__(self, depth):
+        self.depth = depth
+        self.items = []
+
+    def step(self, wr_valid, wr_data, rd_ready):
+        do_deq = rd_ready and bool(self.items)
+        can_enq = len(self.items) < self.depth or do_deq
+        do_enq = wr_valid and can_enq
+        rd = self.items[0] if self.items else None
+        if do_deq:
+            self.items.pop(0)
+        if do_enq:
+            self.items.append(wr_data)
+        return can_enq, rd, do_deq
+
+
+class TestFifo:
+    def drive(self, depth, trace):
+        fifo = build_fifo("f", 8, depth)
+        sim = Simulator(fifo)
+        model = FifoModel(depth)
+        outputs = []
+        for wr_valid, wr_data, rd_ready in trace:
+            sim.poke("wr_valid", int(wr_valid))
+            sim.poke("wr_data", wr_data & 0xFF)
+            sim.poke("rd_ready", int(rd_ready))
+            wr_ready = bool(sim.peek_int("wr_ready"))
+            rd_valid = bool(sim.peek_int("rd_valid"))
+            rd_data = sim.peek_int("rd_data")
+            can_enq, expected_head, deq = model.step(wr_valid, wr_data, rd_ready)
+            assert wr_ready == can_enq
+            assert rd_valid == (expected_head is not None)
+            if rd_valid and deq:
+                outputs.append(rd_data)
+                assert rd_data == expected_head
+            sim.step()
+        return outputs
+
+    def test_fill_then_drain(self):
+        trace = [(True, i, False) for i in range(4)]
+        trace += [(False, 0, True)] * 5
+        outs = self.drive(4, trace)
+        assert outs == [0, 1, 2, 3]
+
+    def test_simultaneous_enq_deq_when_full(self):
+        trace = [(True, i, False) for i in range(2)]       # fill depth-2
+        trace += [(True, 10 + i, True) for i in range(4)]  # flow-through
+        trace += [(False, 0, True)] * 3
+        outs = self.drive(2, trace)
+        assert outs == [0, 1, 10, 11, 12, 13]
+
+    def test_depth_one(self):
+        trace = [(True, 7, False), (True, 8, True), (False, 0, True)]
+        outs = self.drive(1, trace)
+        assert outs == [7, 8]
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 255),
+                              st.booleans()), min_size=1, max_size=60),
+           st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_reference_queue(self, trace, depth):
+        self.drive(depth, trace)  # all assertions inside
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(FrontendError):
+            build_fifo("f", 8, 0)
+        with pytest.raises(FrontendError):
+            build_fifo("f", 0, 4)
+
+
+def make_elastic_idct():
+    kernel = build_opt_kernel()
+    spec = KernelSpec(style=KernelStyle.ROW_SERIAL, rows=8, cols=8,
+                      in_width=12, out_width=9, latency=16)
+    top = build_elastic_wrapper(kernel, spec)
+    return top, spec
+
+
+class TestElasticWrapper:
+    def test_functional(self):
+        top, spec = make_elastic_idct()
+        harness = StreamHarness(Simulator(top), spec)
+        mats = random_matrices(4, seed=61)
+        outs, timing = harness.run_matrices(mats)
+        assert outs == [chen_wang_idct(m) for m in mats]
+        assert timing.periodicity == 8
+
+    def test_backpressure_absorbed_by_fifo(self):
+        top, spec = make_elastic_idct()
+        harness = StreamHarness(Simulator(top), spec)
+        mats = random_matrices(3, seed=62)
+        outs, _ = harness.run_matrices(mats, ready_pattern=every(3))
+        assert outs == [chen_wang_idct(m) for m in mats]
+
+    def test_joint_throttling(self):
+        top, spec = make_elastic_idct()
+        harness = StreamHarness(Simulator(top), spec)
+        mats = random_matrices(2, seed=63)
+        outs, _ = harness.run_matrices(mats, valid_pattern=every(2),
+                                       ready_pattern=every(3, offset=2))
+        assert outs == [chen_wang_idct(m) for m in mats]
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=6, deadline=None)
+    def test_property_any_throttling(self, valid_n, ready_n):
+        top, spec = make_elastic_idct()
+        harness = StreamHarness(Simulator(top), spec)
+        mats = random_matrices(2, seed=64)
+        outs, _ = harness.run_matrices(mats, valid_pattern=every(valid_n),
+                                       ready_pattern=every(ready_n, offset=1))
+        assert outs == [chen_wang_idct(m) for m in mats]
+
+    def test_elastic_costs_fifo_area(self):
+        from repro.axis import build_axis_wrapper
+        from repro.frontends.vlog import build_opt_kernel as mk
+
+        spec = KernelSpec(style=KernelStyle.ROW_SERIAL, rows=8, cols=8,
+                          in_width=12, out_width=9, latency=16)
+        stall = synthesize(elaborate(build_axis_wrapper(mk(), spec)), max_dsp=0)
+        elastic = synthesize(elaborate(build_elastic_wrapper(mk(), spec)),
+                             max_dsp=0)
+        # The FIFO slots cost flip-flops the global-stall scheme avoids.
+        assert elastic.n_ff > stall.n_ff
+
+    def test_wrong_kernel_style_rejected(self):
+        from repro.rtl import Module, ops
+
+        m = Module("bad")
+        a = m.input("in_mat", 768)
+        y = m.output("out_mat", 576)
+        m.assign(y, ops.trunc(ops.as_expr(a), 576))
+        spec = KernelSpec(style=KernelStyle.COMB_MATRIX)
+        with pytest.raises(FrontendError):
+            build_elastic_wrapper(m, spec)

@@ -1,0 +1,210 @@
+"""Tests for the IDCT reference models and IEEE 1180 compliance suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idct import (
+    INPUT_MAX,
+    INPUT_MIN,
+    OUTPUT_MAX,
+    OUTPUT_MIN,
+    SIZE,
+    Ieee1180Generator,
+    batch_chen_wang,
+    batch_float_idct,
+    chen_wang_idct,
+    float_idct,
+    generate_blocks,
+    iclip,
+    idct_col,
+    idct_row,
+    run_compliance,
+    run_condition,
+)
+from repro.idct.constants import W1, W2, W3, W5, W6, W7
+
+
+def zero_block():
+    return [[0] * SIZE for _ in range(SIZE)]
+
+
+def dc_block(value):
+    block = zero_block()
+    block[0][0] = value
+    return block
+
+
+coeff = st.integers(INPUT_MIN, INPUT_MAX)
+blocks = st.lists(
+    st.lists(coeff, min_size=SIZE, max_size=SIZE), min_size=SIZE, max_size=SIZE
+)
+
+
+class TestConstants:
+    def test_w_constants_match_cos_table(self):
+        import math
+
+        for k, w in ((1, W1), (2, W2), (3, W3), (5, W5), (6, W6), (7, W7)):
+            expected = round(2048 * math.sqrt(2) * math.cos(k * math.pi / 16))
+            assert w == expected
+
+
+class TestIclip:
+    def test_passes_in_range(self):
+        assert iclip(0) == 0
+        assert iclip(255) == 255
+        assert iclip(-256) == -256
+
+    def test_clamps(self):
+        assert iclip(256) == OUTPUT_MAX
+        assert iclip(-257) == OUTPUT_MIN
+        assert iclip(10**6) == OUTPUT_MAX
+
+
+class TestRowCol:
+    def test_row_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            idct_row([0] * 7)
+
+    def test_col_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            idct_col([0] * 9)
+
+    def test_zero_row(self):
+        assert idct_row([0] * 8) == [0] * 8
+
+    def test_dc_only_row_is_scaled_copy(self):
+        # The ISO early-out: all-AC-zero gives blk[0] << 3 everywhere.
+        for dc in (-2048, -100, -1, 0, 1, 100, 2047):
+            assert idct_row([dc, 0, 0, 0, 0, 0, 0, 0]) == [dc << 3] * 8
+
+    def test_dc_only_col_is_clipped_scaled_copy(self):
+        for dc in (-3000, -100, 0, 100, 3000):
+            expected = iclip((dc + 32) >> 6)
+            assert idct_col([dc, 0, 0, 0, 0, 0, 0, 0]) == [expected] * 8
+
+    @given(st.lists(coeff, min_size=8, max_size=8))
+    @settings(max_examples=100)
+    def test_row_output_bounded(self, row):
+        # Row outputs feed the column stage; even adversarial 12-bit inputs
+        # stay within 19 signed bits, which the hardware width budgets
+        # (and the Chisel-style width inference) rely on.
+        out = idct_row(row)
+        assert all(-(1 << 18) <= v < (1 << 18) for v in out)
+
+
+class TestFullIdct:
+    def test_zero_block(self):
+        assert chen_wang_idct(zero_block()) == zero_block()
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            chen_wang_idct([[0] * 8] * 7)
+
+    def test_dc_block(self):
+        out = chen_wang_idct(dc_block(64))
+        # DC of 64 -> flat block of (64*8 + 32*... ) ~ 8 per sample.
+        assert all(all(v == out[0][0] for v in row) for row in out)
+        assert out[0][0] == 8
+
+    def test_output_range(self):
+        block = [[INPUT_MAX if (r + c) % 2 else INPUT_MIN for c in range(8)]
+                 for r in range(8)]
+        out = chen_wang_idct(block)
+        assert all(OUTPUT_MIN <= v <= OUTPUT_MAX for row in out for v in row)
+
+    @given(blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_close_to_float_reference(self, block):
+        fixed = chen_wang_idct(block)
+        ref = float_idct(block)
+        # IEEE 1180 peak error criterion on arbitrary in-range blocks:
+        # Chen-Wang stays within 2 of the double-precision reference even
+        # for adversarial (non-DCT-like) inputs.
+        diff = max(
+            abs(fixed[r][c] - ref[r][c]) for r in range(8) for c in range(8)
+        )
+        assert diff <= 2
+
+    @given(blocks)
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_matches_batch(self, block):
+        scalar = chen_wang_idct(block)
+        batched = batch_chen_wang(np.array([block], dtype=np.int64))[0]
+        assert scalar == batched.tolist()
+
+    @given(blocks)
+    @settings(max_examples=20, deadline=None)
+    def test_float_scalar_matches_batch(self, block):
+        scalar = float_idct(block)
+        batched = batch_float_idct(np.array([block], dtype=np.int64))[0]
+        assert scalar == batched.tolist()
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = Ieee1180Generator(seed=1).block(256, 255)
+        b = Ieee1180Generator(seed=1).block(256, 255)
+        assert a == b
+
+    def test_range(self):
+        gen = Ieee1180Generator()
+        values = [gen.value(256, 255) for _ in range(2000)]
+        assert min(values) >= -256
+        assert max(values) <= 255
+        assert min(values) < -200  # actually spans the range
+        assert max(values) > 200
+
+    def test_sign_flip(self):
+        pos = generate_blocks(3, 5, 5, sign=1, seed=7)
+        neg = generate_blocks(3, 5, 5, sign=-1, seed=7)
+        assert np.array_equal(pos, -neg)
+
+    def test_blocks_shape(self):
+        arr = generate_blocks(4, 256, 255)
+        assert arr.shape == (4, 8, 8)
+
+
+class TestCompliance:
+    def test_chen_wang_meets_ieee1180_full_standard(self):
+        # The standard's full 10,000 blocks per condition (the vectorized
+        # generator makes this sub-second).  Note the L=300 OMSE criterion
+        # passes by a hair (0.0199/0.0200 vs the 0.02 limit) — the
+        # documented marginal behaviour of the ISO fast IDCT.
+        report = run_compliance(batch_chen_wang, n_blocks=10_000)
+        assert report.compliant, report.summary()
+
+    def test_vectorized_generator_matches_scalar(self):
+        import numpy as np
+
+        gen = Ieee1180Generator(seed=1)
+        scalar = [gen.block(256, 255) for _ in range(4)]
+        vectorized = generate_blocks(4, 256, 255, seed=1)
+        assert np.array_equal(np.array(scalar), vectorized)
+
+    def test_zero_input_criterion(self):
+        report = run_compliance(batch_chen_wang, n_blocks=1)
+        assert report.zero_input_ok
+
+    def test_condition_metrics_structure(self):
+        # 100 blocks is too few for the mean-error criteria to settle, so
+        # only the structure and the peak criterion are asserted here.
+        result = run_condition(batch_chen_wang, 5, 5, 1, n_blocks=100)
+        assert result.n_blocks == 100
+        assert result.peak_error <= 1
+        assert "L=5 H=5" in result.summary()
+
+    def test_broken_idct_fails(self):
+        def broken(blocks):
+            out = batch_chen_wang(blocks)
+            return out + 2  # constant bias: violates ome and peak error
+
+        report = run_compliance(broken, n_blocks=50)
+        assert not report.compliant
+        assert "FAIL" in report.summary()
+
+    def test_report_summary_mentions_verdict(self):
+        report = run_compliance(batch_chen_wang, n_blocks=20)
+        assert "COMPLIANT" in report.summary()

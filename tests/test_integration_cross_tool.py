@@ -1,0 +1,87 @@
+"""Cross-tool integration: every frontend computes the same function.
+
+The paper's whole methodology assumes all implementations are the same
+algorithm; here that is checked end-to-end: the same random matrices go
+through all seven flows, and every output must be bit-identical to the
+golden model (and therefore to each other).
+"""
+
+import pytest
+
+from repro.axis import StreamHarness, every
+from repro.eval.verify import random_matrices
+from repro.idct import chen_wang_idct
+from repro.sim import Simulator
+
+
+def stream_designs():
+    from repro.frontends.chls import vivado_opt
+    from repro.frontends.hc import chisel_initial, chisel_opt
+    from repro.frontends.rules import bsv_initial, bsv_opt
+    from repro.frontends.flow import xls_design
+    from repro.frontends.vlog import verilog_initial, verilog_opt, verilog_opt1
+
+    return [
+        verilog_initial, verilog_opt1, verilog_opt,
+        chisel_initial, chisel_opt,
+        bsv_initial, bsv_opt,
+        lambda: xls_design(5),
+        vivado_opt,
+    ]
+
+
+@pytest.mark.parametrize("factory", stream_designs(),
+                         ids=lambda f: getattr(f, "__name__", "xls"))
+def test_all_stream_tools_agree_with_golden(factory):
+    design = factory()
+    matrices = random_matrices(3, seed=77)
+    harness = StreamHarness(Simulator(design.top), design.spec)
+    outs, _timing = harness.run_matrices(matrices)
+    assert outs == [chen_wang_idct(m) for m in matrices]
+
+
+@pytest.mark.parametrize("factory", stream_designs()[:7],
+                         ids=lambda f: getattr(f, "__name__", "xls"))
+def test_tools_survive_randomish_throttling(factory):
+    design = factory()
+    matrices = random_matrices(2, seed=55)
+    harness = StreamHarness(Simulator(design.top), design.spec)
+    outs, _ = harness.run_matrices(
+        matrices, valid_pattern=every(2), ready_pattern=every(3, offset=1),
+        timeout=200_000,
+    )
+    assert outs == [chen_wang_idct(m) for m in matrices]
+
+
+def test_maxj_agrees_with_golden():
+    from repro.frontends.maxj import maxj_initial, maxj_opt, verify_maxj
+
+    matrices = random_matrices(3, seed=99)
+    assert verify_maxj(maxj_initial(), matrices)
+    assert verify_maxj(maxj_opt(), matrices)
+
+
+def test_slow_c_designs_agree_with_golden():
+    from repro.frontends.chls import bambu_opt, vivado_initial
+
+    matrices = random_matrices(2, seed=42)
+    for factory in (bambu_opt, vivado_initial):
+        design = factory()
+        harness = StreamHarness(Simulator(design.top), design.spec)
+        outs, _ = harness.run_matrices(matrices, timeout=50_000)
+        assert outs == [chen_wang_idct(m) for m in matrices]
+
+
+def test_interp_and_compiled_engines_agree_on_a_frontend_design():
+    from repro.frontends.hc import chisel_opt
+    from repro.rtl import elaborate
+
+    design = chisel_opt()
+    netlist = elaborate(design.top)
+    matrices = random_matrices(2, seed=5)
+    results = []
+    for engine in ("compiled", "interp"):
+        harness = StreamHarness(Simulator(netlist, engine=engine), design.spec)
+        outs, _ = harness.run_matrices(matrices)
+        results.append(outs)
+    assert results[0] == results[1]

@@ -1,0 +1,257 @@
+"""Tests for the netlist optimization passes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl import Module, Netlist, elaborate, ops, optimize
+from repro.rtl.ir import Const, MemRead, Mux, Ref
+from repro.sim import Simulator
+from repro.synth import synthesize
+
+
+def equivalent(netlist: Netlist, optimized: Netlist, inputs, n=20, seed=3):
+    """Random-stimulus equivalence check over all outputs."""
+    import random
+
+    rng = random.Random(seed)
+    a, b = Simulator(netlist), Simulator(optimized)
+    for _ in range(n):
+        for sig in inputs:
+            value = rng.getrandbits(sig.width)
+            a.poke(sig, value)
+            b.poke(sig, value)
+        for sim in (a, b):
+            sim.step()
+        for out in netlist.outputs:
+            if a.peek(out) != b.peek(out):
+                return False
+    return True
+
+
+class TestFolding:
+    def test_constant_tree_folds(self):
+        m = Module("m")
+        y = m.output("y", 16)
+        m.assign(y, ops.trunc(ops.mul(ops.const(6, 8), ops.const(7, 8),
+                                      signed=False), 16))
+        netlist = elaborate(m)
+        optimized, stats = optimize(netlist)
+        assert stats.folded >= 1
+        expr = optimized.assigns[0][1]
+        assert isinstance(expr, Const)
+        assert expr.value == 42
+
+    def test_folding_matches_interpreter(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        y = m.output("y", 9)
+        # (a + (3*5 - 15)) -> a + 0 -> a after fold + simplify
+        m.assign(y, ops.add(a, ops.trunc(
+            ops.sub(ops.mul(ops.const(3, 4), ops.const(5, 4), signed=False),
+                    ops.const(15, 8)), 8), grow=True))
+        netlist = elaborate(m)
+        optimized, _stats = optimize(netlist)
+        assert equivalent(netlist, optimized, netlist.inputs)
+
+
+class TestSimplify:
+    def make(self, build):
+        m = Module("m")
+        a = m.input("a", 8)
+        y = m.output("y", 8)
+        m.assign(y, build(a))
+        return elaborate(m)
+
+    @pytest.mark.parametrize("build", [
+        lambda a: ops.add(a, 0),
+        lambda a: ops.sub(a, 0),
+        lambda a: ops.bor(a, 0),
+        lambda a: ops.bxor(a, 0),
+        lambda a: ops.shl(a, 0),
+    ], ids=["add0", "sub0", "or0", "xor0", "shl0"])
+    def test_identity_ops_vanish(self, build):
+        netlist = self.make(build)
+        optimized, stats = optimize(netlist)
+        assert stats.simplified >= 1
+        # The output should collapse to a direct read of the input.
+        expr = optimized.assigns[0][1]
+        assert isinstance(expr, Ref)
+
+    def test_mul_by_zero_is_zero(self):
+        netlist = self.make(lambda a: ops.trunc(ops.mul(a, 0), 8))
+        optimized, _ = optimize(netlist)
+        expr = optimized.assigns[0][1]
+        assert isinstance(expr, Const) and expr.value == 0
+
+    def test_mux_same_arms(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        sel = m.input("sel", 1)
+        y = m.output("y", 8)
+        arm = ops.add(a, 1)
+        m.assign(y, Mux(Ref(sel), arm, arm))
+        optimized, stats = optimize(elaborate(m))
+        assert stats.simplified >= 1
+
+    def test_const_mux_picks_arm(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        y = m.output("y", 8)
+        m.assign(y, ops.mux(ops.const(1, 1), Ref(a), ops.const(9, 8)))
+        optimized, _ = optimize(elaborate(m))
+        assert isinstance(optimized.assigns[0][1], Ref)
+
+    def test_slice_of_slice_flattens(self):
+        m = Module("m")
+        a = m.input("a", 16)
+        y = m.output("y", 4)
+        m.assign(y, ops.bits(ops.bits(a, 11, 4), 5, 2))
+        netlist = elaborate(m)
+        optimized, _ = optimize(netlist)
+        assert equivalent(netlist, optimized, netlist.inputs)
+
+
+class TestCse:
+    def test_duplicate_subtrees_merge(self):
+        m = Module("m")
+        a = m.input("a", 12)
+        y0 = m.output("y0", 25)
+        y1 = m.output("y1", 25)
+        # Two structurally identical, distinct trees.
+        m.assign(y0, ops.mul(a, 2841))
+        m.assign(y1, ops.mul(a, 2841))
+        netlist = elaborate(m)
+        optimized, stats = optimize(netlist)
+        assert stats.merged >= 1
+        before = synthesize(netlist, max_dsp=0)
+        after = synthesize(optimized, max_dsp=0)
+        assert after.n_lut < before.n_lut
+
+    def test_cse_preserves_semantics(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        b = m.input("b", 8)
+        y = m.output("y", 10)
+        first = ops.add(a, Ref(b), grow=True)
+        second = ops.add(a, Ref(b), grow=True)  # distinct object, same shape
+        m.assign(y, ops.add(first, second, grow=True))
+        netlist = elaborate(m)
+        optimized, _ = optimize(netlist)
+        assert equivalent(netlist, optimized, netlist.inputs)
+
+
+class TestDce:
+    def test_dead_logic_dropped(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        y = m.output("y", 8)
+        m.assign(y, ops.add(a, 1))
+        ghost = m.wire("ghost", 16)
+        m.assign(ghost, ops.mul(a, Ref(a)))      # never observed
+        m.reg("dead_reg", 8, next=ops.add(a, 2))  # never observed
+        netlist = elaborate(m)
+        optimized, stats = optimize(netlist)
+        assert stats.dead_assigns >= 1
+        assert stats.dead_registers >= 1
+        assert len(optimized.registers) == 0
+
+    def test_dead_memory_dropped(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        y = m.output("y", 8)
+        m.assign(y, ops.add(a, 1))
+        mem = m.memory("unused", 8, 8)
+        m.mem_write(mem, ops.const(1, 1), ops.const(0, 32), ops.bnot(a))
+        optimized, stats = optimize(elaborate(m))
+        assert stats.dead_memories == 1
+        assert not optimized.memories
+
+    def test_live_memory_kept(self):
+        m = Module("m")
+        addr = m.input("addr", 3)
+        we = m.input("we", 1)
+        y = m.output("y", 8)
+        mem = m.memory("ram", 8, 8)
+        m.mem_write(mem, Ref(we), Ref(addr), ops.const(7, 8))
+        m.assign(y, MemRead(mem, Ref(addr)))
+        netlist = elaborate(m)
+        optimized, _ = optimize(netlist)
+        assert len(optimized.memories) == 1
+        assert len(optimized.memories[0].writes) == 1
+
+    def test_feedback_register_stays_live(self):
+        m = Module("m")
+        y = m.output("y", 8)
+        count = m.reg("count", 8)
+        m.set_next(count, ops.add(count, 1))
+        m.assign(y, Ref(count))
+        optimized, stats = optimize(elaborate(m))
+        assert len(optimized.registers) == 1
+
+
+class TestOnRealDesigns:
+    @pytest.mark.parametrize("factory_path", [
+        "repro.frontends.vlog:verilog_opt",
+        "repro.frontends.hc:chisel_initial",
+        "repro.frontends.rules:bsv_opt",
+    ])
+    def test_designs_stay_bit_exact_after_optimize(self, factory_path):
+        import importlib
+
+        from repro.axis import StreamHarness
+        from repro.eval.verify import random_matrices
+        from repro.idct import chen_wang_idct
+        from repro.sim import Simulator
+
+        mod_name, fn_name = factory_path.split(":")
+        design = getattr(importlib.import_module(mod_name), fn_name)()
+        netlist = elaborate(design.top)
+        optimized, stats = optimize(netlist)
+        assert stats.total() > 0
+        mats = random_matrices(3, seed=21)
+        harness = StreamHarness(Simulator(optimized), design.spec)
+        outs, _ = harness.run_matrices(mats)
+        assert outs == [chen_wang_idct(m) for m in mats]
+
+    def test_optimize_never_grows_area(self):
+        from repro.frontends.vlog import verilog_initial
+
+        netlist = elaborate(verilog_initial().top)
+        optimized, _ = optimize(netlist)
+        before = synthesize(netlist, max_dsp=0)
+        after = synthesize(optimized, max_dsp=0)
+        assert after.area <= before.area
+
+
+@st.composite
+def random_comb_module(draw):
+    m = Module("rand")
+    a = m.input("a", 8)
+    b = m.input("b", 8)
+    expr = ops.as_expr(a)
+    for _ in range(draw(st.integers(1, 6))):
+        choice = draw(st.integers(0, 5))
+        if choice == 0:
+            expr = ops.trunc(ops.add(expr, Ref(b)), 8)
+        elif choice == 1:
+            expr = ops.trunc(ops.mul(expr, draw(st.integers(0, 7))), 8)
+        elif choice == 2:
+            expr = ops.bxor(expr, draw(st.integers(0, 255)))
+        elif choice == 3:
+            expr = ops.mux(ops.bit(Ref(b), 0), expr, ops.bnot(expr))
+        elif choice == 4:
+            expr = ops.trunc(ops.add(expr, 0), 8)
+        else:
+            expr = ops.sext(ops.bits(expr, 6, 1), 8)
+    y = m.output("y", 8)
+    m.assign(y, ops.resize(expr, 8, signed=False))
+    return m
+
+
+@given(random_comb_module())
+@settings(max_examples=25, deadline=None)
+def test_property_optimize_preserves_semantics(module):
+    netlist = elaborate(module)
+    optimized, _stats = optimize(netlist)
+    assert equivalent(netlist, optimized, netlist.inputs, n=8)

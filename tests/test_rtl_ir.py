@@ -1,0 +1,306 @@
+"""Tests for the RTL expression IR: width rules and both evaluators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import to_signed
+from repro.core.errors import WidthError
+from repro.rtl import ops
+from repro.rtl.ir import (
+    BinOp,
+    BinOpKind,
+    Cat,
+    Const,
+    Ext,
+    Mux,
+    Ref,
+    Signal,
+    Slice,
+    UnOp,
+    UnOpKind,
+    emit_py,
+    eval_expr,
+    expr_signals,
+    expr_size,
+)
+
+
+def evaluate(expr, env=None):
+    """Evaluate with the reference interpreter against a name->value env."""
+    env = env or {}
+    return eval_expr(expr, lambda sig: env[sig.name])
+
+
+def evaluate_compiled(expr, env=None):
+    """Evaluate via the emitted Python code path."""
+    env = env or {}
+    code = emit_py(expr, lambda sig: f"env[{sig.name!r}]")
+    namespace = {"_sx": to_signed, "env": env}
+    return eval(code, namespace)
+
+
+def both(expr, env=None):
+    interp = evaluate(expr, env)
+    compiled = evaluate_compiled(expr, env)
+    assert interp == compiled, f"interpreter {interp} != compiled {compiled}"
+    return interp
+
+
+class TestConst:
+    def test_masks_value(self):
+        assert Const(0x1FF, 8).value == 0xFF
+
+    def test_negative_value_wraps(self):
+        assert Const(-1, 8).value == 0xFF
+
+    def test_positive_width_required(self):
+        with pytest.raises(WidthError):
+            Const(0, 0)
+
+
+class TestWidthRules:
+    def test_add_requires_equal_widths(self):
+        with pytest.raises(WidthError):
+            BinOp(BinOpKind.ADD, Const(0, 4), Const(0, 5))
+
+    def test_add_keeps_width(self):
+        assert BinOp(BinOpKind.ADD, Const(0, 4), Const(0, 4)).width == 4
+
+    def test_mul_width_is_sum(self):
+        assert BinOp(BinOpKind.MUL, Const(0, 4), Const(0, 6)).width == 10
+
+    def test_compare_width_is_one(self):
+        assert BinOp(BinOpKind.SLT, Const(0, 8), Const(0, 8)).width == 1
+
+    def test_shift_allows_mixed_widths(self):
+        assert BinOp(BinOpKind.SHL, Const(0, 8), Const(0, 3)).width == 8
+
+    def test_mux_needs_one_bit_select(self):
+        with pytest.raises(WidthError):
+            Mux(Const(0, 2), Const(0, 4), Const(0, 4))
+
+    def test_mux_needs_equal_arms(self):
+        with pytest.raises(WidthError):
+            Mux(Const(0, 1), Const(0, 4), Const(0, 5))
+
+    def test_cat_width_is_sum(self):
+        assert Cat((Const(0, 3), Const(0, 5))).width == 8
+
+    def test_cat_needs_parts(self):
+        with pytest.raises(WidthError):
+            Cat(())
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(WidthError):
+            Slice(Const(0, 4), 4, 0)
+        with pytest.raises(WidthError):
+            Slice(Const(0, 4), 1, 2)
+
+    def test_ext_cannot_narrow(self):
+        with pytest.raises(WidthError):
+            Ext(Const(0, 8), 4, signed=False)
+
+    def test_reduction_width_is_one(self):
+        assert UnOp(UnOpKind.REDOR, Const(0, 9)).width == 1
+
+
+class TestSemantics:
+    def test_add_wraps(self):
+        assert both(BinOp(BinOpKind.ADD, Const(15, 4), Const(2, 4))) == 1
+
+    def test_sub_wraps(self):
+        assert both(BinOp(BinOpKind.SUB, Const(0, 4), Const(1, 4))) == 15
+
+    def test_unsigned_vs_signed_product_differ(self):
+        # (-1) * 1 over 2-bit operands: signed -1 -> 0b1111, unsigned 3 -> 0b0011
+        a, b = Const(0b11, 2), Const(0b01, 2)
+        assert both(BinOp(BinOpKind.MUL, a, b)) == 3
+        assert both(BinOp(BinOpKind.MULS, a, b)) == 0b1111
+
+    def test_signed_compare(self):
+        assert both(BinOp(BinOpKind.SLT, Const(0b1000, 4), Const(0, 4))) == 1
+        assert both(BinOp(BinOpKind.ULT, Const(0b1000, 4), Const(0, 4))) == 0
+
+    def test_shl_overflow_drops_bits(self):
+        assert both(BinOp(BinOpKind.SHL, Const(0b1001, 4), Const(1, 3))) == 0b0010
+
+    def test_shift_by_width_or_more_is_zero(self):
+        assert both(BinOp(BinOpKind.SHL, Const(1, 4), Const(4, 4))) == 0
+        assert both(BinOp(BinOpKind.LSHR, Const(8, 4), Const(9, 4))) == 0
+
+    def test_ashr_saturates_shift_amount(self):
+        assert both(BinOp(BinOpKind.ASHR, Const(0b1000, 4), Const(100, 8))) == 0b1111
+
+    def test_ashr_positive(self):
+        assert both(BinOp(BinOpKind.ASHR, Const(0b0100, 4), Const(2, 3))) == 0b0001
+
+    def test_not_and_neg(self):
+        assert both(UnOp(UnOpKind.NOT, Const(0b1010, 4))) == 0b0101
+        assert both(UnOp(UnOpKind.NEG, Const(1, 4))) == 15
+
+    def test_reductions(self):
+        assert both(UnOp(UnOpKind.REDOR, Const(0, 5))) == 0
+        assert both(UnOp(UnOpKind.REDOR, Const(2, 5))) == 1
+        assert both(UnOp(UnOpKind.REDAND, Const(0b11111, 5))) == 1
+        assert both(UnOp(UnOpKind.REDAND, Const(0b11011, 5))) == 0
+        assert both(UnOp(UnOpKind.REDXOR, Const(0b1011, 4))) == 1
+
+    def test_mux_selects(self):
+        expr = Mux(Const(1, 1), Const(3, 4), Const(9, 4))
+        assert both(expr) == 3
+        expr = Mux(Const(0, 1), Const(3, 4), Const(9, 4))
+        assert both(expr) == 9
+
+    def test_cat_is_msb_first(self):
+        assert both(Cat((Const(0b10, 2), Const(0b01, 2)))) == 0b1001
+
+    def test_slice(self):
+        assert both(Slice(Const(0b110101, 6), 4, 1)) == 0b1010
+
+    def test_sext_zext(self):
+        assert both(Ext(Const(0b1000, 4), 8, signed=True)) == 0xF8
+        assert both(Ext(Const(0b1000, 4), 8, signed=False)) == 0x08
+
+    def test_signal_reference(self):
+        sig = Signal("x", 8)
+        assert both(Ref(sig), {"x": 42}) == 42
+
+
+class TestStructuralQueries:
+    def test_expr_signals_collects_transitively(self):
+        a, b = Signal("a", 4), Signal("b", 4)
+        expr = ops.mux(ops.eq(a, b), ops.add(a, b), ops.bnot(a))
+        assert expr_signals(expr) == {a, b}
+
+    def test_expr_size_counts_nodes(self):
+        assert expr_size(Const(0, 1)) == 1
+        expr = BinOp(BinOpKind.ADD, Const(0, 4), Const(0, 4))
+        assert expr_size(expr) == 3
+
+
+class TestOpsHelpers:
+    def test_balance_promotes_int_to_signal_width(self):
+        a = Signal("a", 8)
+        expr = ops.add(a, 3)
+        assert expr.width == 8
+
+    def test_two_ints_rejected(self):
+        with pytest.raises(TypeError):
+            ops.add(1, 2)
+
+    def test_add_grow_adds_carry_bit(self):
+        a, b = Signal("a", 8), Signal("b", 8)
+        assert ops.add(a, b, grow=True).width == 9
+
+    def test_mixed_width_signed_balance(self):
+        a, b = Signal("a", 4), Signal("b", 8)
+        expr = ops.add(a, b)
+        assert expr.width == 8
+        assert both(expr, {"a": 0b1111, "b": 1}) == 0  # -1 + 1
+
+    def test_mixed_width_unsigned_balance(self):
+        a, b = Signal("a", 4), Signal("b", 8)
+        expr = ops.add(a, b, signed=False)
+        assert both(expr, {"a": 0b1111, "b": 1}) == 16
+
+    def test_resize_narrows_and_widens(self):
+        a = Signal("a", 8)
+        assert ops.resize(a, 4).width == 4
+        assert ops.resize(a, 16).width == 16
+        assert ops.resize(a, 8) is not None
+
+    def test_mul_int_operand_uses_min_width(self):
+        a = Signal("a", 8)
+        assert ops.mul(a, 181).width == 8 + 9  # 181 needs 9 signed bits
+        assert ops.mul(a, 181, signed=False).width == 8 + 8
+
+    def test_mux_balances_arms(self):
+        a = Signal("a", 4)
+        expr = ops.mux(ops.eq(a, 0), a, 255)
+        # 255 as an int takes the other arm's width after balancing: the
+        # wider literal arm wins, both become 4 bits wide here since the
+        # integer adopts the signal arm's width.
+        assert expr.width == 4
+
+    def test_shift_helpers(self):
+        a = Signal("a", 8)
+        assert both(ops.shl(a, 2), {"a": 1}) == 4
+        assert both(ops.lshr(a, 2), {"a": 0x80}) == 0x20
+        assert both(ops.ashr(a, 2), {"a": 0x80}) == 0xE0
+
+    def test_bit_and_bits(self):
+        a = Signal("a", 8)
+        assert both(ops.bit(a, 7), {"a": 0x80}) == 1
+        assert both(ops.bits(a, 7, 4), {"a": 0xA5}) == 0xA
+
+    def test_as_expr_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ops.as_expr("nope")  # type: ignore[arg-type]
+
+    def test_as_expr_int_needs_width(self):
+        with pytest.raises(TypeError):
+            ops.as_expr(5)
+
+
+# ----------------------------------------------------------------------
+# property tests: interpreter and compiled evaluator agree on random trees
+# ----------------------------------------------------------------------
+
+_BINOPS = list(BinOpKind)
+_UNOPS = list(UnOpKind)
+
+
+@st.composite
+def random_expr(draw, depth=3):
+    width = draw(st.integers(1, 16))
+    return _random_expr_of_width(draw, width, depth)
+
+
+def _random_expr_of_width(draw, width, depth):
+    if depth == 0:
+        return Const(draw(st.integers(0, 2**width - 1)), width)
+    choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return Const(draw(st.integers(0, 2**width - 1)), width)
+    if choice == 1:  # same-width binop
+        kind = draw(st.sampled_from([BinOpKind.ADD, BinOpKind.SUB, BinOpKind.AND,
+                                     BinOpKind.OR, BinOpKind.XOR]))
+        a = _random_expr_of_width(draw, width, depth - 1)
+        b = _random_expr_of_width(draw, width, depth - 1)
+        return BinOp(kind, a, b)
+    if choice == 2:  # mux
+        sel = _random_expr_of_width(draw, 1, depth - 1)
+        a = _random_expr_of_width(draw, width, depth - 1)
+        b = _random_expr_of_width(draw, width, depth - 1)
+        return Mux(sel, a, b)
+    if choice == 3:  # unop
+        kind = draw(st.sampled_from([UnOpKind.NOT, UnOpKind.NEG]))
+        return UnOp(kind, _random_expr_of_width(draw, width, depth - 1))
+    if choice == 4 and width >= 2:  # slice of something wider
+        inner = _random_expr_of_width(draw, width + 3, depth - 1)
+        lo = draw(st.integers(0, 3))
+        return Slice(inner, lo + width - 1, lo)
+    # extension of something narrower
+    if width >= 2:
+        inner_width = draw(st.integers(1, width - 1))
+        inner = _random_expr_of_width(draw, inner_width, depth - 1)
+        return Ext(inner, width, signed=draw(st.booleans()))
+    return Const(draw(st.integers(0, 1)), width)
+
+
+@given(random_expr())
+def test_compiled_matches_interpreter_on_random_trees(expr):
+    assert evaluate(expr) == evaluate_compiled(expr)
+
+
+@given(random_expr())
+def test_eval_result_fits_width(expr):
+    value = evaluate(expr)
+    assert 0 <= value < 2**expr.width
+
+
+@given(st.integers(-(2**15), 2**15 - 1), st.integers(-(2**15), 2**15 - 1))
+def test_muls_matches_python_signed_product(a, b):
+    expr = BinOp(BinOpKind.MULS, Const(a, 16), Const(b, 16))
+    assert both(expr) == (a * b) % 2**32
