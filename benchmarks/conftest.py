@@ -3,9 +3,47 @@
 Every benchmark regenerates one of the paper's evaluation artifacts; the
 rows/series it prints are the reproduction counterpart of the published
 table or figure.  pytest-benchmark measures the harness runtime on top.
+
+Each benchmark's statistics are additionally persisted through the
+:mod:`repro.obs` metrics exporter as ``.benchmarks/BENCH_<test>.json`` so
+successive runs leave a perf trajectory behind (the ROADMAP's prerequisite
+for judging future optimization PRs).
 """
 
+import re
+
 import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import write_metrics_json
+
+_BENCH_STAT_KEYS = ("min", "max", "mean", "stddev", "median", "rounds",
+                    "iterations", "ops")
+
+
+@pytest.fixture(autouse=True)
+def persist_bench_metrics(request):
+    """After each benchmark, export its stats via the obs metrics exporter."""
+    yield
+    funcargs = getattr(request.node, "funcargs", None) or {}
+    bench = funcargs.get("benchmark")
+    stats = getattr(getattr(bench, "stats", None), "stats", None)
+    if stats is None:  # benchmark fixture unused or never called
+        return
+    registry = MetricsRegistry()
+    for key in _BENCH_STAT_KEYS:
+        value = getattr(stats, key, None)
+        if value is not None:
+            registry.set_gauge(f"bench.{key}", float(value))
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    out_dir = request.config.rootpath / ".benchmarks"
+    out_dir.mkdir(exist_ok=True)
+    write_metrics_json(
+        out_dir / f"BENCH_{name}.json",
+        registry=registry,
+        events=[],
+        extra={"test": request.node.nodeid},
+    )
 
 
 @pytest.fixture(scope="session")

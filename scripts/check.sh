@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo health check: full test suite, a CLI smoke, and the guard that
+# instrumentation stays a no-op while disabled.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tests =="
+python -m pytest -x -q
+
+echo "== cli smoke (table1) =="
+python -m repro table1 > /dev/null
+echo "ok"
+
+echo "== disabled-overhead guard =="
+python -m pytest -q tests/test_obs.py -k disabled
+
+echo "all checks passed"

@@ -17,6 +17,8 @@ from typing import Callable, Sequence
 
 from ..core.bits import to_signed, to_unsigned
 from ..core.errors import ProtocolError, SimulationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..sim import Simulator
 from .spec import KernelSpec
 from .wrapper import AxisPorts
@@ -62,6 +64,8 @@ class StreamTiming:
     start_cycles: list[int] = field(default_factory=list)
     finish_cycles: list[int] = field(default_factory=list)
     total_cycles: int = 0
+    out_stalls: int = 0   # cycles the design had output valid but no ready
+    in_stalls: int = 0    # cycles input was offered but the design stalled it
 
 
 class StreamHarness:
@@ -87,6 +91,35 @@ class StreamHarness:
         retraction, TDATA instability during a stall, TLAST misalignment,
         or the wrapper's sticky error flag).
         """
+        with obs_trace.span("sim.stream", matrices=len(matrices)) as span:
+            settles_before = self.sim.settles
+            outputs, timing = self._run_matrices(
+                matrices, valid_pattern, ready_pattern, timeout, signed_output
+            )
+            if obs_trace.enabled():
+                cycles = timing.total_cycles
+                obs_metrics.inc("sim.runs")
+                obs_metrics.inc("sim.cycles", cycles)
+                obs_metrics.inc("axis.stalls", timing.out_stalls)
+                obs_metrics.inc("axis.backpressure", timing.in_stalls)
+                settles = self.sim.settles - settles_before
+                obs_metrics.set_gauge(
+                    "sim.evals_per_cycle", round(settles / max(1, cycles), 3)
+                )
+                span.set(cycles=cycles, latency=timing.latency,
+                         periodicity=timing.periodicity,
+                         stalls=timing.out_stalls,
+                         backpressure=timing.in_stalls)
+            return outputs, timing
+
+    def _run_matrices(
+        self,
+        matrices: Sequence[Sequence[Sequence[int]]],
+        valid_pattern: Callable[[int], bool],
+        ready_pattern: Callable[[int], bool],
+        timeout: int | None,
+        signed_output: bool,
+    ) -> tuple[list[list[list[int]]], StreamTiming]:
         sim, spec = self.sim, self.spec
         rows, cols = spec.rows, spec.cols
         beats: list[tuple[int, bool]] = []
@@ -110,6 +143,8 @@ class StreamHarness:
         prev_m_data = 0
         prev_m_last = 0
         out_row_in_frame = 0
+        out_stalls = 0
+        in_stalls = 0
 
         while len(out_beats) < expected_out_beats:
             if cycle > timeout:
@@ -143,6 +178,10 @@ class StreamHarness:
             if want_valid and s_tready:
                 in_beat_cycles.append(cycle)
                 next_beat += 1
+            elif want_valid:
+                in_stalls += 1
+            if m_tvalid and not ready:
+                out_stalls += 1
             if m_tvalid and ready:
                 out_beats.append(m_tdata)
                 out_beat_cycles.append(cycle)
@@ -189,5 +228,7 @@ class StreamHarness:
             start_cycles=starts,
             finish_cycles=finishes,
             total_cycles=cycle,
+            out_stalls=out_stalls,
+            in_stalls=in_stalls,
         )
         return outputs, timing

@@ -3,10 +3,20 @@
 Commands:
 
 * ``table1``            — print the tool classification (paper Table I);
-* ``table2 [--tools ...] [--csv PATH]`` — regenerate the evaluation table;
-* ``fig1 [--full] [--csv PATH]``        — regenerate the DSE scatter;
-* ``verify <design>``   — build and verify one design by name;
+* ``table2 [--tools ...] [--csv PATH] [--trace PATH] [--metrics PATH]``
+  — regenerate the evaluation table (optionally with per-phase traces);
+* ``fig1 [--full] [--csv PATH] [--trace PATH] [--metrics PATH]``
+  — regenerate the DSE scatter;
+* ``verify <design> [--engine interp|compiled]`` — build and verify one
+  design by name; exits 1 on a compliance failure;
+* ``profile <design> [--trace PATH] [--metrics PATH]`` — run one design
+  through the full pipeline with tracing on and print the per-phase
+  breakdown;
 * ``list``              — list all registered design names.
+
+Design names accept frontend-package aliases (``vlog-opt`` for
+``verilog-opt``, ``hc-opt`` for ``chisel-opt``, ``rules-*`` for
+``bsv-*``, ``flow-initial``/``flow-opt`` for ``xls-s0``/``xls-s8``).
 """
 
 from __future__ import annotations
@@ -16,6 +26,27 @@ import csv
 import sys
 
 __all__ = ["main"]
+
+# Frontend package names double as design-name aliases for the paper's
+# language names (the packages are named after the *paradigm*, the designs
+# after the *language/tool*).
+_PREFIX_ALIASES = {
+    "vlog": "verilog",
+    "hc": "chisel",
+    "rules": "bsv",
+    "flow": "xls",
+}
+_NAME_ALIASES = {
+    "xls-initial": "xls-s0",
+    "xls-opt": "xls-s8",
+}
+
+
+def _canonical_name(name: str) -> str:
+    prefix, _, rest = name.partition("-")
+    if rest and prefix in _PREFIX_ALIASES:
+        name = f"{_PREFIX_ALIASES[prefix]}-{rest}"
+    return _NAME_ALIASES.get(name, name)
 
 
 def _design_registry() -> dict:
@@ -29,6 +60,22 @@ def _design_registry() -> dict:
     return registry
 
 
+def _find_design(name: str):
+    """Build design pairs lazily until ``name`` (alias-aware) matches.
+
+    Returns ``(design, factory)`` so callers can rebuild the pair (e.g.
+    under tracing), or ``(None, None)`` when the name is unknown.
+    """
+    from .eval.experiments import PAIRS
+
+    wanted = _canonical_name(name)
+    for factory in PAIRS.values():
+        for design in factory():
+            if design.name == wanted:
+                return design, factory
+    return None, None
+
+
 def _cmd_table1(_args) -> int:
     from .eval import render_table1
 
@@ -36,9 +83,37 @@ def _cmd_table1(_args) -> int:
     return 0
 
 
+def _obs_begin(args) -> bool:
+    """Enable instrumentation when an export flag asks for it."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return False
+    from . import obs
+
+    obs.clear()
+    obs.enable()
+    return True
+
+
+def _obs_finish(args, active: bool) -> None:
+    """Export the requested artifacts and disable instrumentation."""
+    if not active:
+        return
+    from . import obs
+    from .obs.report import write_metrics_json, write_trace_jsonl
+
+    if args.trace:
+        count = write_trace_jsonl(args.trace)
+        print(f"wrote {count} trace records to {args.trace}")
+    if args.metrics:
+        write_metrics_json(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
+    obs.disable()
+
+
 def _cmd_table2(args) -> int:
     from .eval import generate_table2, render_table2
 
+    tracing = _obs_begin(args)
     table = generate_table2(tools=args.tools or None)
     print(render_table2(table))
     if args.csv:
@@ -67,12 +142,14 @@ def _cmd_table2(args) -> int:
                         round(column.flexibility, 1),
                     ])
         print(f"\nwrote {args.csv}")
+    _obs_finish(args, tracing)
     return 0
 
 
 def _cmd_fig1(args) -> int:
     from .eval.experiments import generate_fig1, render_fig1
 
+    tracing = _obs_begin(args)
     if args.full:
         series = generate_fig1(bsc_configs=26, bambu_configs=42, xls_stages=18)
     else:
@@ -87,21 +164,26 @@ def _cmd_fig1(args) -> int:
                     writer.writerow([entry.tool, config,
                                      round(throughput, 3), area])
         print(f"\nwrote {args.csv}")
+    _obs_finish(args, tracing)
     return 0
 
 
 def _cmd_verify(args) -> int:
+    from .core.errors import EvaluationError
     from .eval import measure_design
 
-    registry = _design_registry()
-    design = registry.get(args.design)
+    design, _factory = _find_design(args.design)
     if design is None:
         print(f"unknown design {args.design!r}; try `python -m repro list`",
               file=sys.stderr)
         return 2
-    measured = measure_design(design)
+    try:
+        measured = measure_design(design, use_cache=False, engine=args.engine)
+    except EvaluationError as exc:
+        print(f"{design.name}: COMPLIANCE FAILURE — {exc}", file=sys.stderr)
+        return 1
     status = "OK (bit-exact)" if measured.bit_exact else "MISMATCH"
-    print(f"{design.name}: {status}")
+    print(f"{design.name}: {status}  [engine={args.engine}]")
     print(f"  latency {measured.latency} cycles, periodicity "
           f"{measured.periodicity} cycles")
     print(f"  fmax {measured.fmax_mhz:.2f} MHz, throughput "
@@ -109,6 +191,44 @@ def _cmd_verify(args) -> int:
     print(f"  area {measured.area} (N*LUT {measured.lut_star} + "
           f"N*FF {measured.ff_star}), {measured.dsp} DSP, {measured.n_io} IO")
     return 0 if measured.bit_exact else 1
+
+
+def _cmd_profile(args) -> int:
+    from . import obs
+    from .eval import measure_design
+    from .obs.report import render_profile, write_metrics_json, write_trace_jsonl
+
+    design, factory = _find_design(args.design)
+    if design is None:
+        print(f"unknown design {args.design!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+
+    obs.clear()
+    obs.enable()
+    try:
+        # Rebuild the pair under tracing so the frontend.build phase is
+        # part of the profile, then measure the requested point.
+        for rebuilt in factory():
+            if rebuilt.name == design.name:
+                design = rebuilt
+        measured = measure_design(design, use_cache=False)
+        print(f"profile of {design.name} "
+              f"({design.language}/{design.tool}, {design.config})")
+        print(f"  bit-exact: {measured.bit_exact}  "
+              f"latency {measured.latency}  periodicity {measured.periodicity}  "
+              f"fmax {measured.fmax_mhz:.2f} MHz")
+        print()
+        print(render_profile())
+        if args.trace:
+            count = write_trace_jsonl(args.trace)
+            print(f"\nwrote {count} trace records to {args.trace}")
+        if args.metrics:
+            write_metrics_json(args.metrics)
+            print(f"wrote metrics to {args.metrics}")
+    finally:
+        obs.disable()
+    return 0
 
 
 def _cmd_list(_args) -> int:
@@ -129,17 +249,33 @@ def main(argv: list[str] | None = None) -> int:
     p_table2 = sub.add_parser("table2", help="regenerate Table II")
     p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
     p_table2.add_argument("--csv", help="also write CSV to this path")
+    p_table2.add_argument("--trace", help="write span trace (JSON lines)")
+    p_table2.add_argument("--metrics",
+                          help="write metrics + per-design phase timings (JSON)")
     p_table2.set_defaults(fn=_cmd_table2)
 
     p_fig1 = sub.add_parser("fig1", help="regenerate Figure 1 (DSE)")
     p_fig1.add_argument("--full", action="store_true",
                         help="full 26/42/19-point sweeps")
     p_fig1.add_argument("--csv", help="also write CSV to this path")
+    p_fig1.add_argument("--trace", help="write span trace (JSON lines)")
+    p_fig1.add_argument("--metrics",
+                        help="write metrics + per-design phase timings (JSON)")
     p_fig1.set_defaults(fn=_cmd_fig1)
 
     p_verify = sub.add_parser("verify", help="verify one design by name")
     p_verify.add_argument("design")
+    p_verify.add_argument("--engine", choices=("compiled", "interp"),
+                          default="compiled",
+                          help="simulator evaluation engine")
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_profile = sub.add_parser(
+        "profile", help="trace one design through the pipeline")
+    p_profile.add_argument("design")
+    p_profile.add_argument("--trace", help="write span trace (JSON lines)")
+    p_profile.add_argument("--metrics", help="write metrics JSON")
+    p_profile.set_defaults(fn=_cmd_profile)
 
     sub.add_parser("list", help="list design names").set_defaults(fn=_cmd_list)
 

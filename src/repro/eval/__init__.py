@@ -15,7 +15,7 @@ from .experiments import (
     render_table2,
 )
 from .loc import count_loc, delta_loc, design_loc
-from .measure import Measured, measure_design
+from .measure import Measured, clear_measure_cache, measure_design
 from .report import table2_markdown, write_markdown_report
 from .verify import VerifyResult, random_matrices, verify_design
 
@@ -25,6 +25,7 @@ __all__ = [
     "delta_loc",
     "Measured",
     "measure_design",
+    "clear_measure_cache",
     "VerifyResult",
     "verify_design",
     "random_matrices",

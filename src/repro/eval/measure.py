@@ -15,12 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..frontends.base import Design
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..rtl import elaborate
 from ..synth import SynthReport, synthesize
 from .loc import design_loc
 from .verify import verify_design
 
-__all__ = ["Measured", "measure_design"]
+__all__ = ["Measured", "measure_design", "clear_measure_cache"]
 
 
 @dataclass
@@ -61,15 +63,25 @@ class Measured:
 _CACHE: dict[str, Measured] = {}
 
 
+def clear_measure_cache() -> None:
+    """Drop the per-process measurement cache (e.g. before a traced run)."""
+    _CACHE.clear()
+
+
 def measure_design(design: Design, n_matrices: int = 4,
-                   use_cache: bool = True) -> Measured:
+                   use_cache: bool = True, engine: str = "compiled") -> Measured:
     """Fully characterize ``design`` (cached per process by name)."""
     if use_cache and design.name in _CACHE:
+        obs_trace.event("measure.cache_hit", design=design.name)
+        obs_metrics.inc("measure.cache_hits")
         return _CACHE[design.name]
-    if "maxj" in design.meta:
-        measured = _measure_maxj(design)
-    else:
-        measured = _measure_stream(design, n_matrices)
+    with obs_trace.span("measure", design=design.name, tool=design.tool,
+                        config=design.config):
+        if "maxj" in design.meta:
+            measured = _measure_maxj(design)
+        else:
+            measured = _measure_stream(design, n_matrices, engine)
+        obs_metrics.inc("measure.designs")
     if use_cache:
         _CACHE[design.name] = measured
     return measured
@@ -80,8 +92,9 @@ def _synth_pair(design: Design) -> tuple[SynthReport, SynthReport]:
     return synthesize(netlist), synthesize(netlist, max_dsp=0)
 
 
-def _measure_stream(design: Design, n_matrices: int) -> Measured:
-    run = verify_design(design, n_matrices=n_matrices)
+def _measure_stream(design: Design, n_matrices: int,
+                    engine: str = "compiled") -> Measured:
+    run = verify_design(design, n_matrices=n_matrices, engine=engine)
     with_dsp, no_dsp = _synth_pair(design)
     return Measured(
         name=design.name,

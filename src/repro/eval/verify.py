@@ -51,14 +51,16 @@ def verify_design(
     seed: int = 1,
     simulator: Simulator | None = None,
     strict: bool = True,
+    engine: str = "compiled",
 ) -> VerifyResult:
     """Run ``design`` on random matrices; check against the golden model.
 
     Raises :class:`EvaluationError` on a functional mismatch when
     ``strict`` (the default) — a design whose output is wrong must never
-    contribute numbers to a reproduction table.
+    contribute numbers to a reproduction table.  ``engine`` selects the
+    simulator evaluation engine when no ``simulator`` is supplied.
     """
-    sim = simulator or Simulator(design.top)
+    sim = simulator or Simulator(design.top, engine=engine)
     harness = StreamHarness(sim, design.spec)
     matrices = random_matrices(n_matrices, seed)
     outputs, timing = harness.run_matrices(matrices, always, always)

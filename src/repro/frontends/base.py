@@ -7,16 +7,19 @@ whose lines of code the paper's L metric counts.
 
 from __future__ import annotations
 
+import functools
 import inspect
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..axis.spec import KernelSpec
+from ..obs import trace as obs_trace
 from ..rtl.ir import Expr, Signal, Slice
 from ..rtl.module import Module
 from ..rtl import ops
 
-__all__ = ["Design", "SourceArtifact", "unpack_elements", "pack_elements", "source_of"]
+__all__ = ["Design", "SourceArtifact", "unpack_elements", "pack_elements",
+           "source_of", "traced_build"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,26 @@ class Design:
     @property
     def is_optimized(self) -> bool:
         return self.config != "initial"
+
+
+def traced_build(frontend: str):
+    """Wrap a design factory in a ``frontend.build`` span.
+
+    The produced :class:`Design`'s name/config are attached to the span so
+    the profiling report can attribute build time per design point.  While
+    tracing is disabled the wrapper costs one flag check.
+    """
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with obs_trace.span("frontend.build", frontend=frontend,
+                                factory=fn.__name__) as span:
+                result = fn(*args, **kwargs)
+                if isinstance(result, Design):
+                    span.set(design=result.name, config=result.config)
+                return result
+        return wrapper
+    return decorate
 
 
 def source_of(obj: Callable | type, label: str, kind: str = "code") -> SourceArtifact:

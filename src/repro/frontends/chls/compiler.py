@@ -82,6 +82,7 @@ class HlsResult:
     n_states: int
     loop_info: dict[str, dict] = field(default_factory=dict)
     regions: int = 0
+    schedule_retries: int = 0
 
 
 @dataclass
@@ -147,6 +148,7 @@ class Compiler:
         self._port_refs: dict[tuple[str, int], Expr] = {}
         self.loop_info: dict[str, dict] = {}
         self.regions = 0
+        self.schedule_retries = 0  # state-close retries (obs: chls.schedule.iterations)
 
     # ==================================================================
     # state machinery
@@ -465,6 +467,7 @@ class Compiler:
                 # accept it (the clock stretches, as real tools report).
                 pass
         except ScheduleError:
+            self.schedule_retries += 1
             self._restore(checkpoint)
             self._close(_Transition("goto", self._state_index() + 1))
             try:

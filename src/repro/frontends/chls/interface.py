@@ -15,6 +15,8 @@ simulator's memory backdoor).
 from __future__ import annotations
 
 from ...core.errors import HlsError
+from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
 from ...rtl import Module, ops
 from ...rtl.ir import Expr, Ref
 from .cast import Function
@@ -32,6 +34,19 @@ def build_axis_top(function: Function, options: HlsOptions,
     The function must take exactly one ``short[64]`` array parameter,
     transformed in place (the benchmark's shape).
     """
+    with obs_trace.span("chls.compile", function=function.name,
+                        top=name or "") as span:
+        result = _build_axis_top(function, options, name)
+        if obs_trace.enabled():
+            obs_metrics.inc("chls.schedule.states", result.n_states)
+            obs_metrics.inc("chls.schedule.iterations", result.schedule_retries)
+            span.set(states=result.n_states, regions=result.regions,
+                     retries=result.schedule_retries)
+        return result
+
+
+def _build_axis_top(function: Function, options: HlsOptions,
+                    name: str | None = None) -> HlsResult:
     arrays = [p for p in function.params if p.is_array]
     if len(arrays) != 1 or any(not p.is_array for p in function.params):
         raise HlsError("axis interface synthesis expects one array parameter")
@@ -245,7 +260,8 @@ def build_axis_top(function: Function, options: HlsOptions,
     module.assign(error, Ref(compiler._vars["__err"][0]))
 
     return HlsResult(module=module, n_states=len(compiler._states),
-                     loop_info=compiler.loop_info, regions=compiler.regions)
+                     loop_info=compiler.loop_info, regions=compiler.regions,
+                     schedule_retries=compiler.schedule_retries)
 
 
 def build_function_top(function: Function, options: HlsOptions,
@@ -287,4 +303,5 @@ def build_function_top(function: Function, options: HlsOptions,
             raise HlsError(f"{function.name}: non-void function never returns")
         module.assign(retval, ops.sext(Ref(compiler._vars["__retval"][0]), INT_W))
     return HlsResult(module=module, n_states=len(compiler._states),
-                     loop_info=compiler.loop_info, regions=compiler.regions)
+                     loop_info=compiler.loop_info, regions=compiler.regions,
+                     schedule_retries=compiler.schedule_retries)

@@ -23,7 +23,7 @@ import importlib.resources
 from dataclasses import dataclass, replace
 
 from ...axis.spec import KernelSpec, KernelStyle
-from ..base import Design, SourceArtifact
+from ..base import Design, SourceArtifact, traced_build
 from .compiler import HlsOptions, HlsResult
 from .interface import build_axis_top
 from .parser import parse, parse_pragma
@@ -127,6 +127,7 @@ class BambuConfig:
         return " ".join(parts)
 
 
+@traced_build("chls")
 def bambu_design(config: BambuConfig, label: str) -> Design:
     source = load_source("idct.c")
     result = _compile(source, config.to_options(), inline_all=True,
@@ -187,6 +188,7 @@ def bambu_opt() -> Design:
 # Vivado HLS
 # ----------------------------------------------------------------------
 
+@traced_build("chls")
 def vivado_design(source_name: str, label: str,
                   clock_period_ns: float = 10.0) -> Design:
     source = load_source(source_name)

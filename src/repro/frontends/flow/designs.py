@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ...axis.spec import KernelSpec, KernelStyle
 from ...axis.wrapper import build_axis_wrapper
-from ..base import Design, SourceArtifact, source_of
+from ..base import Design, SourceArtifact, source_of, traced_build
 from .kernel import COLS, IN_W, OUT_W, ROWS, idct_kernel
 from .pipeline import PipelineResult, pipeline_kernel
 
@@ -52,6 +52,7 @@ def _sources(n_stages: int) -> list[SourceArtifact]:
     return artifacts
 
 
+@traced_build("flow")
 def xls_design(n_stages: int, config: str | None = None) -> Design:
     """One XLS design point with ``n_stages`` pipeline stages (0 = comb)."""
     result = build_kernel(n_stages)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from ...axis.spec import KernelSpec, KernelStyle
 from ...axis.wrapper import build_axis_wrapper
 from ...rtl import Module
-from ..base import Design, SourceArtifact, source_of
+from ..base import Design, SourceArtifact, source_of, traced_build
 from .dsl import HcModule, Sig, lit, mux, select, transpose
 from .idct import idct_col_hc, idct_row_hc
 
@@ -164,6 +164,7 @@ def _sources(*builders) -> list[SourceArtifact]:
     return artifacts
 
 
+@traced_build("hc")
 def chisel_initial() -> Design:
     spec = KernelSpec(style=KernelStyle.COMB_MATRIX, rows=ROWS, cols=COLS,
                       in_width=IN_W, out_width=OUT_W)
@@ -179,6 +180,7 @@ def chisel_initial() -> Design:
     )
 
 
+@traced_build("hc")
 def chisel_opt() -> Design:
     spec = KernelSpec(style=KernelStyle.ROW_SERIAL, rows=ROWS, cols=COLS,
                       in_width=IN_W, out_width=OUT_W, latency=16)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ...axis.spec import KernelSpec, KernelStyle
 from ...idct.constants import W1, W2, W3, W5, W6, W7
-from ..base import Design, SourceArtifact, source_of
+from ..base import Design, SourceArtifact, source_of, traced_build
 from .lang import MaxKernel, MaxVal
 from .lib import transpose_8x8
 from .manager import PCIE3_X16, system_throughput
@@ -123,6 +123,7 @@ def _sources(builder) -> list[SourceArtifact]:
     ]
 
 
+@traced_build("maxj")
 def maxj_initial() -> Design:
     kernel = build_matrix_kernel()
     spec = KernelSpec(style=KernelStyle.PIPELINED_MATRIX, rows=ROWS, cols=COLS,
@@ -146,6 +147,7 @@ def maxj_initial() -> Design:
     return design
 
 
+@traced_build("maxj")
 def maxj_opt() -> Design:
     kernel = build_row_kernel()
     spec = KernelSpec(style=KernelStyle.PIPELINED_MATRIX, rows=ROWS, cols=COLS,

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from ...axis.spec import KernelSpec, KernelStyle
 from ...rtl import Module
-from ..base import Design, SourceArtifact, source_of
+from ..base import Design, SourceArtifact, source_of, traced_build
 from ..hc.dsl import Sig, lit, mux, select
 from ..hc.idct import idct_col_hc, idct_row_hc
 from .engine import RulesModule, Schedule, SchedulerOptions
@@ -275,6 +275,7 @@ def _sources(builder) -> list[SourceArtifact]:
     ]
 
 
+@traced_build("rules")
 def bsv_initial(options: SchedulerOptions | None = None, config: str = "initial") -> Design:
     top, schedule = build_initial_system(options)
     design = Design(
@@ -290,6 +291,7 @@ def bsv_initial(options: SchedulerOptions | None = None, config: str = "initial"
     return design
 
 
+@traced_build("rules")
 def bsv_opt(options: SchedulerOptions | None = None, config: str = "opt") -> Design:
     top, schedule = build_opt_system(options)
     design = Design(

@@ -16,7 +16,7 @@ from ...axis.spec import KernelSpec, KernelStyle
 from ...axis.wrapper import build_axis_wrapper
 from ...rtl import Module, ops
 from ...rtl.ir import Expr, Ref, Signal
-from ..base import Design, SourceArtifact, source_of
+from ..base import Design, SourceArtifact, source_of, traced_build
 from .units import MID_WIDTH, idct_col_unit, idct_row_unit
 
 __all__ = [
@@ -326,6 +326,7 @@ def _sources(*builders, adapter: bool) -> list[SourceArtifact]:
     return artifacts
 
 
+@traced_build("vlog")
 def verilog_initial() -> Design:
     kernel = build_initial_kernel()
     spec = _comb_spec()
@@ -341,6 +342,7 @@ def verilog_initial() -> Design:
     )
 
 
+@traced_build("vlog")
 def verilog_opt1() -> Design:
     kernel = build_opt1_kernel()
     spec = _row_spec(latency=2)
@@ -356,6 +358,7 @@ def verilog_opt1() -> Design:
     )
 
 
+@traced_build("vlog")
 def verilog_opt() -> Design:
     kernel = build_opt_kernel()
     spec = _row_spec(latency=16)

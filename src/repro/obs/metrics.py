@@ -1,0 +1,213 @@
+"""Named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` holds instruments by dotted name
+(``sim.cycles``, ``synth.cells_mapped``, ``chls.schedule.iterations`` …).
+Histograms bucket observations by power-of-two upper bound (``le``), which
+keeps the math exact and testable without configuration.
+
+Two layers:
+
+* **instance methods** (``registry.inc(...)``) always record — used by
+  code that owns its own registry (e.g. the benchmark exporter);
+* **module functions** (``metrics.inc(...)``) forward to the default
+  :data:`REGISTRY` only while :func:`repro.obs.trace.enabled` — these are
+  what pipeline instrumentation calls, so disabled mode records nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from .trace import enabled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "inc",
+    "set_gauge",
+    "observe",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "clear",
+    "export_json",
+]
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+def bucket_le(value: float) -> int:
+    """Power-of-two bucket upper bound containing ``value``."""
+    if value <= 1:
+        return 1
+    return 2 ** math.ceil(math.log2(value))
+
+
+class Histogram:
+    """Log2-bucketed distribution with exact count/sum/min/max."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        le = bucket_le(value)
+        self.buckets[le] = self.buckets.get(le, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": round(self.mean, 6),
+            "buckets": {str(le): n for le, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Instruments by name, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    # -- recording shorthands ------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- inspection / export -------------------------------------------
+    def snapshot(self) -> dict:
+        """All instrument values as one JSON-ready dict."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.to_dict()
+                           for k, h in sorted(self._histograms.items())},
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def export_json(self, path, extra: dict | None = None) -> dict:
+        payload = dict(extra or {})
+        payload["metrics"] = self.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return payload
+
+
+REGISTRY = MetricsRegistry()
+
+
+# Guarded module-level conveniences: no-ops while tracing is disabled, so
+# instrumented pipeline code records nothing (and allocates nothing) by
+# default.
+def inc(name: str, n: int = 1) -> None:
+    if enabled():
+        REGISTRY.inc(name, n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if enabled():
+        REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    if enabled():
+        REGISTRY.observe(name, value)
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+def clear() -> None:
+    REGISTRY.clear()
+
+
+def export_json(path, extra: dict | None = None) -> dict:
+    return REGISTRY.export_json(path, extra)

@@ -1,0 +1,159 @@
+"""Profiling report layer: flame-style text summary and file exporters.
+
+Consumes the default tracer/registry (or explicit ones) and renders:
+
+* :func:`render_profile` — indented span tree with durations and percent
+  of total, followed by a metrics summary (the ``python -m repro profile``
+  output);
+* :func:`phase_breakdown` — per-design, per-phase wall time aggregated
+  from spans, attributing each span to its nearest ancestor carrying a
+  ``design`` attribute (this is what ``table2 --metrics`` exports);
+* :func:`write_trace_jsonl` / :func:`write_metrics_json` — the
+  ``trace.jsonl`` / ``metrics.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import metrics as _metrics
+from . import trace as _trace
+from .trace import SpanRecord
+
+__all__ = [
+    "render_profile",
+    "phase_breakdown",
+    "write_trace_jsonl",
+    "write_metrics_json",
+]
+
+
+def _span_tree(events: list[SpanRecord]):
+    """(roots, children-by-id), each level sorted by start time."""
+    children: dict[int, list[SpanRecord]] = {}
+    by_id = {rec.span_id: rec for rec in events}
+    roots: list[SpanRecord] = []
+    for rec in events:
+        if rec.parent_id is not None and rec.parent_id in by_id:
+            children.setdefault(rec.parent_id, []).append(rec)
+        else:
+            roots.append(rec)
+    for bucket in children.values():
+        bucket.sort(key=lambda r: r.t_start)
+    roots.sort(key=lambda r: r.t_start)
+    return roots, children
+
+
+def _attr_summary(attrs: dict, limit: int = 4) -> str:
+    parts = []
+    for key, value in attrs.items():
+        text = f"{key}={value}"
+        if len(text) > 40:
+            text = text[:37] + "..."
+        parts.append(text)
+        if len(parts) >= limit:
+            break
+    return "  ".join(parts)
+
+
+def render_profile(
+    events: list[SpanRecord] | None = None,
+    registry: _metrics.MetricsRegistry | None = None,
+) -> str:
+    """Flame-style text profile plus a metrics summary."""
+    if events is None:
+        events = _trace.events()
+    if registry is None:
+        registry = _metrics.REGISTRY
+    spans = [rec for rec in events if rec.kind == "span"]
+    roots, children = _span_tree(spans)
+    total = sum(rec.duration for rec in roots) or 1e-12
+
+    lines = ["== phase profile =="]
+    if not spans:
+        lines.append("(no spans recorded — is tracing enabled?)")
+
+    def emit(rec: SpanRecord, depth: int) -> None:
+        pct = rec.duration / total * 100
+        flag = "" if rec.status == "ok" else "  [ERROR]"
+        name = "  " * depth + rec.name
+        lines.append(
+            f"{name:<36s} {rec.duration * 1000:10.2f} ms {pct:6.1f}%"
+            f"  {_attr_summary(rec.attrs)}{flag}"
+        )
+        for child in children.get(rec.span_id, ()):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+
+    snap = registry.snapshot()
+    if snap["counters"] or snap["gauges"] or snap["histograms"]:
+        lines.append("")
+        lines.append("== metrics ==")
+        for name, value in snap["counters"].items():
+            lines.append(f"{name:<36s} {value:>14,d}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name:<36s} {value:>14g}")
+        for name, hist in snap["histograms"].items():
+            lines.append(
+                f"{name:<36s} count={hist['count']} mean={hist['mean']:g} "
+                f"min={hist['min']:g} max={hist['max']:g}"
+            )
+    return "\n".join(lines)
+
+
+def phase_breakdown(
+    events: list[SpanRecord] | None = None,
+) -> dict[str, dict[str, dict]]:
+    """``{design: {phase: {"calls": n, "seconds": s}}}`` from span records.
+
+    A span's design is its own ``design`` attribute or the nearest
+    ancestor's; spans with no design in scope land under ``"-"``.
+    """
+    if events is None:
+        events = _trace.events()
+    spans = [rec for rec in events if rec.kind == "span"]
+    by_id = {rec.span_id: rec for rec in spans}
+
+    def design_of(rec: SpanRecord) -> str:
+        node: SpanRecord | None = rec
+        while node is not None:
+            design = node.attrs.get("design")
+            if design:
+                return str(design)
+            node = by_id.get(node.parent_id) if node.parent_id else None
+        return "-"
+
+    out: dict[str, dict[str, dict]] = {}
+    for rec in spans:
+        slot = out.setdefault(design_of(rec), {}).setdefault(
+            rec.name, {"calls": 0, "seconds": 0.0}
+        )
+        slot["calls"] += 1
+        slot["seconds"] += rec.duration
+    for phases in out.values():
+        for slot in phases.values():
+            slot["seconds"] = round(slot["seconds"], 6)
+    return out
+
+
+def write_trace_jsonl(path, tracer: _trace.Tracer | None = None) -> int:
+    """Export the trace ring buffer as JSON lines; returns record count."""
+    return (tracer or _trace.TRACER).export_jsonl(path)
+
+
+def write_metrics_json(
+    path,
+    registry: _metrics.MetricsRegistry | None = None,
+    events: list[SpanRecord] | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Write ``{metrics, phases, **extra}`` as pretty JSON."""
+    payload = dict(extra or {})
+    payload["metrics"] = (registry or _metrics.REGISTRY).snapshot()
+    payload["phases"] = phase_breakdown(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

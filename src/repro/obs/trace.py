@@ -1,0 +1,239 @@
+"""Structured span/event tracer with a bounded in-memory ring buffer.
+
+Spans nest lexically::
+
+    with trace.span("elaborate", design="vlog-opt"):
+        ...
+
+Each completed span records wall-clock and monotonic start timestamps, a
+duration, free-form attributes, and its position in the span tree
+(``span_id``/``parent_id``/``depth``).  Records land in a ``deque`` ring
+buffer (oldest evicted first) and export as JSON lines.
+
+The tracer is deliberately single-threaded (like the rest of the
+framework) and zero-dependency.  While :func:`enabled` is false,
+:meth:`Tracer.span` returns one shared no-op context manager and
+:meth:`Tracer.event` returns before touching its arguments' storage, so
+disabled-mode overhead is a single global read per call site.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "TRACER",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "event",
+    "events",
+    "clear",
+    "to_jsonl",
+    "export_jsonl",
+]
+
+_ENABLED = False
+
+
+def enable() -> None:
+    """Turn tracing (and guarded metrics) on, process-wide."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn tracing off; already-recorded events are kept."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return _ENABLED
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (or point event, ``duration == 0``)."""
+
+    span_id: int
+    parent_id: int | None
+    depth: int
+    name: str
+    t_wall: float          # epoch seconds at span start
+    t_start: float         # monotonic seconds at span start
+    duration: float        # seconds; 0.0 for point events
+    kind: str = "span"     # "span" | "event"
+    status: str = "ok"     # "error" when an exception escaped the span
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "t_wall": round(self.t_wall, 6),
+            "t_start": round(self.t_start, 6),
+            "dur_us": round(self.duration * 1e6, 3),
+            "kind": self.kind,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        return cls(
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            depth=data["depth"],
+            name=data["name"],
+            t_wall=data["t_wall"],
+            t_start=data["t_start"],
+            duration=data["dur_us"] / 1e6,
+            kind=data.get("kind", "span"),
+            status=data.get("status", "ok"),
+            attrs=data.get("attrs", {}),
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for disabled mode."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, **_attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: context manager that records itself on exit."""
+
+    __slots__ = ("_tracer", "_t0", "name", "attrs", "span_id",
+                 "parent_id", "depth", "t_wall")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-span (e.g. result sizes)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        stack.append(self)
+        self.t_wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        tracer = self._tracer
+        if self in tracer._stack:
+            # Pop abandoned children (spans opened inside this one that an
+            # exception skipped past) along with this span itself.
+            while tracer._stack.pop() is not self:
+                pass
+        tracer._events.append(SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            depth=self.depth,
+            name=self.name,
+            t_wall=self.t_wall,
+            t_start=self._t0,
+            duration=duration,
+            status="error" if exc_type is not None else "ok",
+            attrs=self.attrs,
+        ))
+        return False
+
+
+class Tracer:
+    """Ring-buffered span recorder (one global instance: :data:`TRACER`)."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._events: deque[SpanRecord] = deque(maxlen=capacity)
+        self._stack: list[_Span] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs) -> _Span | _NullSpan:
+        """Open a nested span; a no-op singleton while disabled."""
+        if not _ENABLED:
+            return NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous point event under the current span."""
+        if not _ENABLED:
+            return
+        parent = self._stack[-1].span_id if self._stack else None
+        self._events.append(SpanRecord(
+            span_id=self._next_id,
+            parent_id=parent,
+            depth=len(self._stack),
+            name=name,
+            t_wall=time.time(),
+            t_start=time.perf_counter(),
+            duration=0.0,
+            kind="event",
+            attrs=attrs,
+        ))
+        self._next_id += 1
+
+    # -- inspection / export -------------------------------------------
+    def events(self) -> list[SpanRecord]:
+        """Completed records, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(rec.to_dict(), sort_keys=True)
+                         for rec in self._events)
+
+    def export_jsonl(self, path) -> int:
+        """Write all records as JSON lines; returns the record count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self._events)
+
+
+TRACER = Tracer()
+
+# Module-level conveniences bound to the default tracer.
+span = TRACER.span
+event = TRACER.event
+events = TRACER.events
+clear = TRACER.clear
+to_jsonl = TRACER.to_jsonl
+export_jsonl = TRACER.export_jsonl

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 from ..core.errors import CombinationalLoopError, DriverError, ElaborationError
 from ..core.naming import Namespace
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .ir import (
     BinOp,
     Cat,
@@ -280,21 +282,29 @@ def _substitute_uncached(
 
 def elaborate(top: Module) -> Netlist:
     """Flatten ``top`` and its instances into a validated :class:`Netlist`."""
-    netlist = Netlist(name=top.name)
-    ns = Namespace()
-    # Top-level ports keep their identity so testbenches can use them.
-    top_map: dict[Signal, Expr] = {}
-    for sig in top.inputs:
-        ns.reserve(sig.name)
-        top_map[sig] = Ref(sig)
-        netlist.inputs.append(sig)
-    for sig in top.outputs:
-        ns.reserve(sig.name)
-        top_map[sig] = Ref(sig)
-        netlist.outputs.append(sig)
-    _flatten(top, "", top_map, netlist, ns, keep_names=True)
-    netlist.validate()
-    return netlist
+    with obs_trace.span("elaborate", module=top.name) as sp:
+        netlist = Netlist(name=top.name)
+        ns = Namespace()
+        # Top-level ports keep their identity so testbenches can use them.
+        top_map: dict[Signal, Expr] = {}
+        for sig in top.inputs:
+            ns.reserve(sig.name)
+            top_map[sig] = Ref(sig)
+            netlist.inputs.append(sig)
+        for sig in top.outputs:
+            ns.reserve(sig.name)
+            top_map[sig] = Ref(sig)
+            netlist.outputs.append(sig)
+        _flatten(top, "", top_map, netlist, ns, keep_names=True)
+        netlist.validate()
+        if obs_trace.enabled():
+            obs_metrics.inc("elaborate.runs")
+            obs_metrics.inc("elaborate.nodes", len(netlist.assigns))
+            obs_metrics.inc("elaborate.registers", len(netlist.registers))
+            sp.set(assigns=len(netlist.assigns),
+                   registers=len(netlist.registers),
+                   memories=len(netlist.memories))
+        return netlist
 
 
 def _flat_target(sig: Signal, sig_map: dict[Signal, Expr], context: str) -> Signal:

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.errors import ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .elaborate import FlatRegister, Netlist
 from .ir import (
     BinOp,
@@ -251,6 +253,11 @@ def optimize(
     dce: bool = True,
 ) -> tuple[Netlist, OptStats]:
     """Run the selected passes; returns (new netlist, statistics)."""
+    with obs_trace.span("optimize", netlist=netlist.name) as span:
+        return _optimize_traced(netlist, fold, simplify, cse, dce, span)
+
+
+def _optimize_traced(netlist, fold, simplify, cse, dce, span):
     stats = OptStats()
     memories: list[Memory] = []
     mem_map: dict[Memory, Memory] = {}
@@ -281,10 +288,15 @@ def optimize(
                 rewriter.rewrite(write.data),
             ))
 
+    if obs_trace.enabled():
+        obs_trace.event("optimize.rewrite", folded=stats.folded,
+                        simplified=stats.simplified, merged=stats.merged)
+
     if dce:
-        assigns, registers, memories, stats = _dce(
-            netlist, assigns, registers, memories, stats
-        )
+        with obs_trace.span("optimize.dce", netlist=netlist.name):
+            assigns, registers, memories, stats = _dce(
+                netlist, assigns, registers, memories, stats
+            )
 
     optimized = Netlist(
         name=netlist.name,
@@ -295,6 +307,15 @@ def optimize(
         memories=memories,
     )
     optimized.validate()
+    if obs_trace.enabled():
+        obs_metrics.inc("optimize.runs")
+        obs_metrics.inc("optimize.folded", stats.folded)
+        obs_metrics.inc("optimize.simplified", stats.simplified)
+        obs_metrics.inc("optimize.merged", stats.merged)
+        obs_metrics.inc("optimize.dead", stats.dead_assigns
+                        + stats.dead_registers + stats.dead_memories)
+        span.set(assigns_in=len(netlist.assigns), assigns_out=len(assigns),
+                 total=stats.total())
     return optimized, stats
 
 

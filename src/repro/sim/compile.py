@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.bits import to_signed
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..rtl.elaborate import Netlist
 from ..rtl.ir import Const, Expr, MemRead, Ref, Signal, emit_py
 from ..rtl.module import Memory
@@ -183,6 +185,11 @@ def _emit_node(
 
 def compile_netlist(netlist: Netlist) -> CompiledNetlist:
     """Compile ``netlist`` into fast ``settle``/``tick`` functions."""
+    with obs_trace.span("sim.compile", netlist=netlist.name) as span:
+        return _compile_traced(netlist, span)
+
+
+def _compile_traced(netlist: Netlist, span) -> CompiledNetlist:
     signals = netlist.signals()
     index_of = {sig: i for i, sig in enumerate(signals)}
     mem_index_of = {mem: i for i, mem in enumerate(netlist.memories)}
@@ -244,6 +251,11 @@ def compile_netlist(netlist: Netlist) -> CompiledNetlist:
     )
     namespace: dict[str, object] = {"_sx": to_signed}
     exec(compile(source, f"<netlist {netlist.name}>", "exec"), namespace)
+    if obs_trace.enabled():
+        n_lines = source.count("\n") + 1
+        obs_metrics.inc("sim.compile.netlists")
+        obs_metrics.observe("sim.compile.source_lines", n_lines)
+        span.set(signals=len(signals), source_lines=n_lines)
     return CompiledNetlist(
         netlist=netlist,
         index_of=index_of,

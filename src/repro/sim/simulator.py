@@ -20,6 +20,8 @@ from typing import Callable, Iterable
 
 from ..core.bits import BV
 from ..core.errors import SimulationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..rtl.elaborate import Netlist, elaborate
 from ..rtl.ir import Signal, eval_expr
 from ..rtl.module import Memory, Module
@@ -52,7 +54,11 @@ class Simulator:
         self._comb_order = design.comb_order()
         self._dirty = True
         self.cycles = 0
+        self.settles = 0   # lifetime count of combinational settle passes
         self._watchers: list[Callable[[int], None]] = []
+        if obs_trace.enabled():
+            obs_metrics.inc("sim.instances")
+            obs_metrics.inc(f"sim.engine.{engine}")
         self.reset()
 
     # ------------------------------------------------------------------
@@ -152,6 +158,7 @@ class Simulator:
         else:
             self._settle_interp()
         self._dirty = False
+        self.settles += 1
 
     def _settle_interp(self) -> None:
         read = lambda sig: self._values[self._index_of[sig]]

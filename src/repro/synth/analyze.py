@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass, field
 
 from ..core.errors import SynthesisError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..rtl.elaborate import Netlist
 from ..rtl.ir import BinOp, Cat, Const, Expr, Ext, MemRead, Mux, Ref, Signal, Slice, UnOp
 from ..rtl.module import Memory
@@ -119,6 +121,12 @@ def synthesize(
     device limit).  Raises :class:`SynthesisError` when the design cannot
     fit the device.
     """
+    with obs_trace.span("synth", netlist=netlist.name,
+                        max_dsp="device" if max_dsp is None else max_dsp) as sp:
+        return _synthesize_traced(netlist, tech, device, max_dsp, sp)
+
+
+def _synthesize_traced(netlist, tech, device, max_dsp, sp) -> SynthReport:
     roots: list[Expr] = [expr for _sig, expr in netlist.assigns]
     for reg in netlist.registers:
         roots.append(reg.next)
@@ -128,6 +136,8 @@ def synthesize(
         for write in mem.writes:
             roots.extend((write.en, write.addr, write.data))
 
+    map_span = obs_trace.span("synth.map", netlist=netlist.name)
+    map_span.__enter__()
     nodes = _collect_nodes(roots)
 
     # ------------------------------------------------------------------
@@ -159,10 +169,14 @@ def synthesize(
         mem_luts, mem_brams = _memory_area(mem, tech)
         luts += mem_luts
         n_bram += mem_brams
+    map_span.set(cells=len(nodes), dsp=used_dsp)
+    map_span.__exit__(None, None, None)
 
     # ------------------------------------------------------------------
     # Static timing: arrival times over the DAG in dependency order.
     # ------------------------------------------------------------------
+    sta_span = obs_trace.span("synth.sta", netlist=netlist.name)
+    sta_span.__enter__()
     arrival_sig: dict[Signal, float] = {}
     for sig in netlist.inputs:
         arrival_sig[sig] = 0.0
@@ -207,6 +221,8 @@ def synthesize(
         consider(arrival_sig.get(sig, 0.0) + tech.t_setup, f"output {sig.name}")
 
     t_clk = critical * tech.routing_factor + tech.clock_overhead
+    sta_span.set(t_clk_ns=round(t_clk, 3))
+    sta_span.__exit__(None, None, None)
 
     n_lut = int(round(luts))
     report = SynthReport(
@@ -223,6 +239,13 @@ def synthesize(
         raise SynthesisError(
             f"{netlist.name} does not fit {device.name}: {report.summary()}"
         )
+    if obs_trace.enabled():
+        obs_metrics.inc("synth.runs")
+        obs_metrics.inc("synth.cells_mapped", len(nodes))
+        obs_metrics.inc("synth.dsp_used", used_dsp)
+        obs_metrics.observe("synth.t_clk_ns", t_clk)
+        sp.set(n_lut=n_lut, n_ff=n_ff, n_dsp=used_dsp,
+               t_clk_ns=round(t_clk, 3))
     return report
 
 

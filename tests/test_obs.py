@@ -1,0 +1,216 @@
+"""Tests for the observability substrate (``repro.obs``)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry, bucket_le
+from repro.obs.report import phase_breakdown, render_profile, write_metrics_json
+from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with instrumentation off and empty."""
+    obs.disable()
+    obs.clear()
+    yield
+    obs.disable()
+    obs.clear()
+
+
+class TestSpans:
+    def test_nesting_and_ordering(self):
+        obs.enable()
+        with obs.trace.span("outer", design="d") as outer:
+            with obs.trace.span("inner") as inner:
+                obs.trace.event("tick", n=3)
+            outer.set(late=True)
+        records = obs.trace.events()
+        # Records complete innermost-first: event, inner, then outer.
+        assert [r.name for r in records] == ["tick", "inner", "outer"]
+        tick, rec_inner, rec_outer = records
+        assert rec_outer.parent_id is None and rec_outer.depth == 0
+        assert rec_inner.parent_id == rec_outer.span_id and rec_inner.depth == 1
+        assert tick.parent_id == rec_inner.span_id and tick.kind == "event"
+        assert tick.duration == 0.0 and tick.attrs == {"n": 3}
+        assert rec_outer.attrs == {"design": "d", "late": True}
+        assert rec_outer.duration >= rec_inner.duration >= 0.0
+
+    def test_exception_marks_error_and_unwinds(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.trace.span("boom"):
+                raise ValueError("no")
+        (rec,) = obs.trace.events()
+        assert rec.status == "error"
+        # Stack fully unwound: a new span is a root again.
+        with obs.trace.span("after"):
+            pass
+        assert obs.trace.events()[-1].parent_id is None
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=4)
+        obs.enable()
+        for i in range(6):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.events()] == ["s2", "s3", "s4", "s5"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        obs.enable()
+        with obs.trace.span("phase", design="vlog-opt", cycles=16):
+            obs.trace.event("mark")
+        path = tmp_path / "trace.jsonl"
+        count = obs.trace.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 2
+        restored = [SpanRecord.from_dict(json.loads(line)) for line in lines]
+        for original, copy in zip(obs.trace.events(), restored):
+            assert copy.name == original.name
+            assert copy.span_id == original.span_id
+            assert copy.parent_id == original.parent_id
+            assert copy.kind == original.kind
+            assert copy.attrs == original.attrs
+            assert copy.duration == pytest.approx(original.duration, abs=1e-6)
+
+
+class TestMetrics:
+    def test_counter_gauge_math(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 41)
+        reg.set_gauge("g", 2.5)
+        reg.set_gauge("g", 7.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 42}
+        assert snap["gauges"] == {"g": 7.0}
+
+    def test_histogram_buckets(self):
+        assert bucket_le(0) == 1
+        assert bucket_le(1) == 1
+        assert bucket_le(2) == 2
+        assert bucket_le(3) == 4
+        assert bucket_le(1024) == 1024
+        assert bucket_le(1025) == 2048
+        reg = MetricsRegistry()
+        for v in (1, 3, 3, 100):
+            reg.observe("h", v)
+        hist = reg.snapshot()["histograms"]["h"]
+        assert hist["count"] == 4
+        assert hist["sum"] == 107
+        assert hist["min"] == 1 and hist["max"] == 100
+        assert hist["mean"] == pytest.approx(26.75)
+        assert hist["buckets"] == {"1": 1, "4": 2, "128": 1}
+
+    def test_guarded_module_functions_follow_enable(self):
+        obs.metrics.inc("guarded")
+        assert obs.metrics.snapshot()["counters"] == {}
+        obs.enable()
+        obs.metrics.inc("guarded")
+        assert obs.metrics.snapshot()["counters"] == {"guarded": 1}
+
+
+class TestDisabledMode:
+    def test_disabled_is_noop(self):
+        assert not obs.enabled()
+        # One shared null singleton, regardless of name/attrs.
+        assert obs.trace.span("x") is obs.trace.span("y", a=1) is NULL_SPAN
+        with obs.trace.span("x") as sp:
+            sp.set(anything=1)
+        obs.trace.event("e", n=1)
+        obs.metrics.inc("c")
+        obs.metrics.observe("h", 5)
+        assert obs.trace.events() == []
+        snap = obs.metrics.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_pipeline_records_nothing(self):
+        from repro.frontends.vlog.designs import verilog_initial
+
+        design = verilog_initial()
+        from repro.eval.verify import verify_design
+
+        verify_design(design)
+        assert obs.trace.events() == []
+        assert obs.metrics.snapshot()["counters"] == {}
+
+
+class TestReport:
+    def test_phase_breakdown_attributes_to_ancestor_design(self):
+        obs.enable()
+        with obs.trace.span("measure", design="d1"):
+            with obs.trace.span("elaborate"):
+                pass
+            with obs.trace.span("synth"):
+                pass
+        with obs.trace.span("orphan"):
+            pass
+        phases = phase_breakdown()
+        assert set(phases) == {"d1", "-"}
+        assert set(phases["d1"]) == {"measure", "elaborate", "synth"}
+        assert phases["d1"]["elaborate"]["calls"] == 1
+        assert phases["-"]["orphan"]["calls"] == 1
+
+    def test_render_profile_lists_spans_and_metrics(self):
+        obs.enable()
+        with obs.trace.span("top", design="d"):
+            with obs.trace.span("child"):
+                pass
+        obs.metrics.inc("sim.cycles", 16)
+        text = render_profile()
+        assert "== phase profile ==" in text
+        assert "top" in text and "  child" in text
+        assert "sim.cycles" in text and "16" in text
+
+    def test_write_metrics_json_payload(self, tmp_path):
+        obs.enable()
+        with obs.trace.span("measure", design="d1"):
+            pass
+        obs.metrics.inc("n", 2)
+        path = tmp_path / "metrics.json"
+        payload = write_metrics_json(path, extra={"run": "unit"})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["run"] == "unit"
+        assert on_disk["metrics"]["counters"] == {"n": 2}
+        assert on_disk["phases"]["d1"]["measure"]["calls"] == 1
+
+
+class TestCliObs:
+    def test_profile_smoke(self, capsys):
+        # hc-opt is the frontend-package alias for chisel-opt.
+        assert main(["profile", "hc-opt"]) == 0
+        out = capsys.readouterr().out
+        assert "profile of chisel-opt" in out
+        assert "frontend.build" in out
+        assert "elaborate" in out and "synth" in out
+        assert "sim.cycles" in out and "axis.stalls" in out
+        # Tracing was scoped to the command.
+        assert not obs.enabled()
+
+    def test_profile_unknown_design(self, capsys):
+        assert main(["profile", "nope"]) == 2
+
+    def test_table2_metrics_export(self, capsys, tmp_path):
+        from repro.eval import clear_measure_cache
+
+        clear_measure_cache()  # a warm cache would skip the measure spans
+        path = tmp_path / "out.json"
+        assert main(["table2", "--tools", "Chisel/Chisel",
+                     "--metrics", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"metrics", "phases"}
+        designs = {d for d in payload["phases"] if d != "-"}
+        assert {"chisel-initial", "chisel-opt"} <= designs
+        for phases in (payload["phases"][d] for d in designs):
+            assert "measure" in phases
+            assert all(slot["calls"] >= 1 and slot["seconds"] >= 0.0
+                       for slot in phases.values())
+
+    def test_verify_engine_interp(self, capsys):
+        assert main(["verify", "vlog-initial", "--engine", "interp"]) == 0
+        out = capsys.readouterr().out
+        assert "[engine=interp]" in out and "bit-exact" in out
