@@ -15,4 +15,22 @@ echo "ok"
 echo "== disabled-overhead guard =="
 python -m pytest -q tests/test_obs.py -k disabled
 
+echo "== resilience smoke: injected fault must fail the verifier =="
+python -m repro faults verilog-initial --smoke
+
+echo "== resilience smoke: checkpointed fig1 kill -> resume -> identical =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+python -m repro fig1 > "$tmp/fresh.txt"
+if REPRO_ABORT_AFTER=4 python -m repro fig1 \
+    --checkpoint "$tmp/ck.jsonl" > /dev/null 2> "$tmp/interrupt.log"; then
+  echo "expected the interrupted sweep to exit non-zero" >&2
+  exit 1
+fi
+test -s "$tmp/ck.jsonl"
+python -m repro fig1 \
+    --checkpoint "$tmp/ck.jsonl" --resume > "$tmp/resumed.txt"
+cmp "$tmp/fresh.txt" "$tmp/resumed.txt"
+echo "ok"
+
 echo "all checks passed"

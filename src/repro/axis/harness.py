@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.bits import to_signed, to_unsigned
-from ..core.errors import ProtocolError, SimulationError
+from ..core.errors import HarnessTimeout, ProtocolError, SimulationError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..sim import Simulator
@@ -89,7 +89,11 @@ class StreamHarness:
         Returns ``(output_matrices, timing)``.  Raises
         :class:`ProtocolError` on any AXI-Stream violation (TVALID
         retraction, TDATA instability during a stall, TLAST misalignment,
-        or the wrapper's sticky error flag).
+        or the wrapper's sticky error flag), and
+        :class:`~repro.core.errors.HarnessTimeout` — carrying the cycles
+        elapsed and beats consumed/produced — when the stream does not
+        complete within ``timeout`` cycles.  Either propagates through the
+        enclosing ``sim.stream`` span, which records the error status.
         """
         with obs_trace.span("sim.stream", matrices=len(matrices)) as span:
             settles_before = self.sim.settles
@@ -125,7 +129,8 @@ class StreamHarness:
         beats: list[tuple[int, bool]] = []
         for matrix in matrices:
             if len(matrix) != rows:
-                raise SimulationError(f"matrix must have {rows} rows")
+                raise SimulationError(f"matrix must have {rows} rows",
+                                      phase="sim.stream")
             for r, row in enumerate(matrix):
                 beats.append((pack_row(row, spec.in_width), r == rows - 1))
 
@@ -148,9 +153,16 @@ class StreamHarness:
 
         while len(out_beats) < expected_out_beats:
             if cycle > timeout:
-                raise SimulationError(
+                obs_trace.event("sim.stream.timeout", cycles=cycle,
+                                beats_in=next_beat, beats_out=len(out_beats),
+                                expected_out=expected_out_beats)
+                obs_metrics.inc("sim.stream.timeouts")
+                raise HarnessTimeout(
                     f"stream run timed out at cycle {cycle} "
-                    f"({len(out_beats)}/{expected_out_beats} beats out)"
+                    f"({next_beat}/{len(beats)} beats in, "
+                    f"{len(out_beats)}/{expected_out_beats} beats out)",
+                    phase="sim.stream", cycles=cycle,
+                    beats_in=next_beat, beats_out=len(out_beats),
                 )
             # Drive inputs for this cycle.
             want_valid = next_beat < len(beats) and valid_pattern(cycle)

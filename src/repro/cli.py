@@ -12,7 +12,17 @@ Commands:
 * ``profile <design> [--trace PATH] [--metrics PATH]`` — run one design
   through the full pipeline with tracing on and print the per-phase
   breakdown;
+* ``faults <design> [--limit N] [--seed S] [--smoke]`` — run the
+  fault-injection campaign against the compliance verifier; exits 1 when
+  the detection rate drops below ``--min-detect``;
 * ``list``              — list all registered design names.
+
+``table2`` and ``fig1`` share the resilience flags: ``--checkpoint PATH``
+(JSONL progress log), ``--resume`` (skip designs already in the
+checkpoint), ``--inject-fault NAME`` (force a design to fail, repeatable),
+``--budget-s`` / ``--budget-cycles`` (per-design budgets) and ``--retries``.
+An interrupted sweep (``SweepInterrupted`` / ^C) exits with code 3 and the
+checkpoint stays consistent for ``--resume``.
 
 Design names accept frontend-package aliases (``vlog-opt`` for
 ``verilog-opt``, ``hc-opt`` for ``chisel-opt``, ``rules-*`` for
@@ -110,12 +120,41 @@ def _obs_finish(args, active: bool) -> None:
     obs.disable()
 
 
+def _make_runner(args):
+    """Build the SweepRunner the table2/fig1 resilience flags describe."""
+    from .resilience.checkpoint import Checkpoint
+    from .resilience.runner import RunnerConfig, SweepRunner
+
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = Checkpoint(args.checkpoint, resume=args.resume)
+    config = RunnerConfig(wall_s=args.budget_s, max_cycles=args.budget_cycles,
+                          retries=args.retries)
+    inject = frozenset(_canonical_name(name)
+                       for name in (args.inject_fault or []))
+    return SweepRunner(config=config, checkpoint=checkpoint,
+                       inject_failures=inject)
+
+
+def _runner_summary(runner) -> str | None:
+    stats = runner.stats
+    if not (stats["failed"] or stats["checkpoint_hits"] or stats["retries"]):
+        return None
+    return (f"resilience: {stats['ok']} ok, {stats['failed']} failed, "
+            f"{stats['retries']} retries, {stats['degraded_runs']} degraded, "
+            f"{stats['checkpoint_hits']} from checkpoint")
+
+
 def _cmd_table2(args) -> int:
     from .eval import generate_table2, render_table2
 
     tracing = _obs_begin(args)
-    table = generate_table2(tools=args.tools or None)
+    runner = _make_runner(args)
+    table = generate_table2(tools=args.tools or None, runner=runner)
     print(render_table2(table))
+    summary = _runner_summary(runner)
+    if summary:
+        print(summary, file=sys.stderr)
     if args.csv:
         with open(args.csv, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
@@ -126,6 +165,10 @@ def _cmd_table2(args) -> int:
                 "controllability_pct", "flexibility",
             ])
             for key, column in table.columns.items():
+                if column.failed:
+                    # No numbers to report; the failure is in the rendered
+                    # table and the checkpoint.
+                    continue
                 for measured, alpha in (
                     (column.initial, column.automation_initial),
                     (column.optimized, column.automation_opt),
@@ -150,11 +193,17 @@ def _cmd_fig1(args) -> int:
     from .eval.experiments import generate_fig1, render_fig1
 
     tracing = _obs_begin(args)
+    runner = _make_runner(args)
     if args.full:
-        series = generate_fig1(bsc_configs=26, bambu_configs=42, xls_stages=18)
+        series = generate_fig1(bsc_configs=26, bambu_configs=42,
+                               xls_stages=18, runner=runner)
     else:
-        series = generate_fig1(bsc_configs=4, bambu_configs=6, xls_stages=8)
+        series = generate_fig1(bsc_configs=4, bambu_configs=6,
+                               xls_stages=8, runner=runner)
     print(render_fig1(series))
+    summary = _runner_summary(runner)
+    if summary:
+        print(summary, file=sys.stderr)
     if args.csv:
         with open(args.csv, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
@@ -231,6 +280,58 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    import json
+
+    from .rtl.elaborate import elaborate
+
+    design, _factory = _find_design(args.design)
+    if design is None:
+        print(f"unknown design {args.design!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+
+    if args.smoke:
+        # Deterministic single-fault check: flip one bit of an output data
+        # driver and require the verifier to flag it.
+        from .resilience.campaign import run_mutant
+        from .resilience.faults import inject, output_data_sites
+
+        netlist = elaborate(design.top)
+        sites = output_data_sites(netlist)
+        if not sites:
+            print(f"{design.name}: no output data sites to mutate",
+                  file=sys.stderr)
+            return 2
+        site = sites[0]
+        verdict = run_mutant(design, inject(netlist, site, "flip"))
+        label = site.describe("flip")
+        if verdict is None:
+            print(f"{design.name}: fault {label} NOT detected", file=sys.stderr)
+            return 1
+        print(f"{design.name}: fault {label} detected ({verdict})")
+        return 0
+
+    from .resilience.campaign import run_campaign
+
+    report = run_campaign(design, limit=args.limit, seed=args.seed)
+    print(f"fault-injection campaign on {design.name}:")
+    print(f"  mutants: {report.total}  "
+          f"detection rate: {report.detection_rate:.1%}  "
+          f"(gate-only: {report.strict_rate:.1%})")
+    for verdict, count in report.by_verdict().items():
+        print(f"  {verdict:12s} {count}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote {args.report}")
+    if report.detection_rate < args.min_detect:
+        print(f"FAIL: detection rate {report.detection_rate:.1%} below "
+              f"required {args.min_detect:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_list(_args) -> int:
     for name in sorted(_design_registry()):
         print(name)
@@ -246,12 +347,27 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("table1", help="print Table I").set_defaults(fn=_cmd_table1)
 
+    def add_runner_args(p) -> None:
+        p.add_argument("--checkpoint",
+                       help="JSONL checkpoint path for this sweep")
+        p.add_argument("--resume", action="store_true",
+                       help="skip designs already in --checkpoint")
+        p.add_argument("--inject-fault", action="append", metavar="NAME",
+                       help="force this design to fail (repeatable)")
+        p.add_argument("--budget-s", type=float, default=None,
+                       help="wall-clock budget per design, seconds")
+        p.add_argument("--budget-cycles", type=int, default=None,
+                       help="simulation-cycle budget per design")
+        p.add_argument("--retries", type=int, default=1,
+                       help="same-config retries per design (default 1)")
+
     p_table2 = sub.add_parser("table2", help="regenerate Table II")
     p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
     p_table2.add_argument("--csv", help="also write CSV to this path")
     p_table2.add_argument("--trace", help="write span trace (JSON lines)")
     p_table2.add_argument("--metrics",
                           help="write metrics + per-design phase timings (JSON)")
+    add_runner_args(p_table2)
     p_table2.set_defaults(fn=_cmd_table2)
 
     p_fig1 = sub.add_parser("fig1", help="regenerate Figure 1 (DSE)")
@@ -261,6 +377,7 @@ def main(argv: list[str] | None = None) -> int:
     p_fig1.add_argument("--trace", help="write span trace (JSON lines)")
     p_fig1.add_argument("--metrics",
                         help="write metrics + per-design phase timings (JSON)")
+    add_runner_args(p_fig1)
     p_fig1.set_defaults(fn=_cmd_fig1)
 
     p_verify = sub.add_parser("verify", help="verify one design by name")
@@ -277,11 +394,38 @@ def main(argv: list[str] | None = None) -> int:
     p_profile.add_argument("--metrics", help="write metrics JSON")
     p_profile.set_defaults(fn=_cmd_profile)
 
+    p_faults = sub.add_parser(
+        "faults", help="fault-injection campaign against the verifier")
+    p_faults.add_argument("design")
+    p_faults.add_argument("--limit", type=int, default=64,
+                          help="mutants to sample (default 64)")
+    p_faults.add_argument("--seed", type=int, default=1,
+                          help="campaign sampling seed")
+    p_faults.add_argument("--report", help="write campaign report JSON")
+    p_faults.add_argument("--min-detect", type=float, default=0.95,
+                          help="required detection rate (default 0.95)")
+    p_faults.add_argument("--smoke", action="store_true",
+                          help="inject one output-bit flip and require "
+                               "detection (fast CI check)")
+    p_faults.set_defaults(fn=_cmd_faults)
+
     sub.add_parser("list", help="list design names").set_defaults(fn=_cmd_list)
 
     args = parser.parse_args(argv)
+    from .core.errors import SweepInterrupted
+
     try:
         return args.fn(args)
+    except SweepInterrupted as exc:
+        checkpoint = getattr(args, "checkpoint", None)
+        print(f"sweep interrupted: {exc}", file=sys.stderr)
+        if checkpoint:
+            print(f"resume with: --checkpoint {checkpoint} --resume",
+                  file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 3
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

@@ -6,6 +6,14 @@ figure).  Everything is regenerated from scratch: the designs are built,
 simulated against the golden model, and run through the synthesis cost
 model, then the paper's derived metrics (α, Q, C_Q, F_Q) are computed
 per equations (1)-(3).
+
+Sweeps are fault-tolerant: every design point is measured through a
+:class:`~repro.resilience.runner.SweepRunner`, which contains per-design
+failures (budgets, retries, checkpoint/resume) so one broken configuration
+renders as ``FAILED(<reason>)`` instead of aborting the table or figure.
+Pass your own ``runner=`` to set budgets, inject faults, or resume from a
+checkpoint; the default runner retries once, then once degraded, with no
+budget limits.
 """
 
 from __future__ import annotations
@@ -13,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..core.errors import EvaluationError, ReproError
 from ..frontends.base import Design
+from ..obs import trace as obs_trace
 from .loc import delta_loc
 from .measure import Measured, measure_design
 
@@ -134,16 +144,36 @@ PAIRS: dict[str, Callable[[], tuple[Design, Design]]] = {
 
 @dataclass
 class ToolColumn:
-    """One tool's pair of Table II columns plus the derived metrics."""
+    """One tool's pair of Table II columns plus the derived metrics.
+
+    ``initial``/``optimized`` are ``None`` when that design point failed;
+    the matching ``*_error`` then holds the runner's failure record and the
+    column renders as ``FAILED(<reason>)``.
+    """
 
     key: str
-    initial: Measured
-    optimized: Measured
-    delta_loc: int
+    initial: Measured | None
+    optimized: Measured | None
+    delta_loc: int = 0
     automation_initial: float = 0.0
     automation_opt: float = 0.0
     controllability: float = 0.0
     flexibility: float = 0.0
+    initial_error: dict | None = None
+    optimized_error: dict | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.initial is None or self.optimized is None
+
+    @property
+    def failure_reason(self) -> str:
+        from ..resilience.errors import failure_reason
+
+        for record in (self.initial_error, self.optimized_error):
+            if record is not None:
+                return failure_reason(record)
+        return "unknown"
 
 
 @dataclass
@@ -154,22 +184,60 @@ class Table2:
         return self.columns[key]
 
 
-def generate_table2(tools: list[str] | None = None) -> Table2:
-    """Measure every tool pair and compute α, C_Q, F_Q per the paper."""
+def _measure_column(key: str, runner) -> ToolColumn:
+    """Build and measure one tool pair, containing any typed failure."""
+    from ..resilience.errors import failure_record
+
+    try:
+        initial, optimized = PAIRS[key]()
+    except ReproError as exc:
+        record = failure_record(exc, design=key, phase="frontend.build")
+        obs_trace.event("table2.column_failed", column=key,
+                        reason=record["type"])
+        return ToolColumn(key=key, initial=None, optimized=None,
+                          initial_error=record, optimized_error=record)
+    res_initial = runner.measure(initial)
+    res_optimized = runner.measure(optimized)
+    return ToolColumn(
+        key=key,
+        initial=res_initial.measured,
+        optimized=res_optimized.measured,
+        delta_loc=delta_loc(initial, optimized),
+        initial_error=res_initial.error,
+        optimized_error=res_optimized.error,
+    )
+
+
+def generate_table2(tools: list[str] | None = None, runner=None) -> Table2:
+    """Measure every tool pair and compute α, C_Q, F_Q per the paper.
+
+    Each design point runs through ``runner`` (a
+    :class:`~repro.resilience.runner.SweepRunner`; a default one is built
+    when omitted).  A failed point leaves its column with ``None``
+    measurements and a failure record instead of raising — except the
+    Verilog/Vivado baseline, which every derived metric normalizes
+    against, so its failure raises :class:`EvaluationError`.
+    """
+    from ..resilience.runner import SweepRunner
+
+    if runner is None:
+        runner = SweepRunner()
     keys = tools or list(PAIRS)
     if "Verilog/Vivado" not in keys:
         keys = ["Verilog/Vivado"] + keys
     table = Table2()
     for key in keys:
-        initial, optimized = PAIRS[key]()
-        table.columns[key] = ToolColumn(
-            key=key,
-            initial=measure_design(initial),
-            optimized=measure_design(optimized),
-            delta_loc=delta_loc(initial, optimized),
-        )
+        table.columns[key] = _measure_column(key, runner)
     baseline = table.columns["Verilog/Vivado"]
+    if baseline.failed:
+        raise EvaluationError(
+            "Verilog/Vivado baseline failed; Table II cannot be normalized",
+            design="Verilog/Vivado", phase="eval.table2",
+            reason=baseline.failure_reason,
+        )
     for column in table.columns.values():
+        if column.failed:
+            continue
         column.automation_initial = (
             (baseline.initial.loc - column.initial.loc) / baseline.initial.loc * 100
         )
@@ -226,7 +294,13 @@ def render_table2(table: Table2) -> str:
     for label, getter in _ROWS:
         cells = []
         for key in keys:
-            initial, optimized = getter(table.columns[key])
+            column = table.columns[key]
+            if column.failed:
+                # Keep the cell inside the column width, parenthesis closed.
+                cell = f"FAILED({column.failure_reason[: width - 10]})"
+                cells.append(f"{cell:>{width}s}{cell:>{width}s}")
+                continue
+            initial, optimized = getter(column)
             cells.append(f"{initial!s:>{width}s}{optimized!s:>{width}s}")
         lines.append(f"{label:24s}" + "".join(cells))
     return "\n".join(lines)
@@ -238,45 +312,87 @@ def render_table2(table: Table2) -> str:
 
 @dataclass
 class Fig1Series:
-    """One tool's scatter points: (throughput MOPS, area) per design."""
+    """One tool's scatter points: (throughput MOPS, area) per design.
+
+    ``failures`` lists ``(config, reason)`` for design points that could
+    not be built or measured; the sweep continues past them.
+    """
 
     tool: str
     points: list[tuple[str, float, int]] = field(default_factory=list)
+    failures: list[tuple[str, str]] = field(default_factory=list)
 
 
 def generate_fig1(
     bsc_configs: int = 26,
     bambu_configs: int = 42,
     xls_stages: int = 18,
+    runner=None,
 ) -> list[Fig1Series]:
-    """All DSE sweeps of the paper's Figure 1 (sizes configurable)."""
-    from ..frontends.chls import bambu_design, bambu_sweep
+    """All DSE sweeps of the paper's Figure 1 (sizes configurable).
+
+    Every design point goes through ``runner``
+    (:class:`~repro.resilience.runner.SweepRunner`, default-constructed
+    when omitted), so a single failed configuration records a
+    ``(config, reason)`` failure on its series instead of aborting the
+    whole figure.  A list entry may be a built :class:`Design` or a
+    ``(config, factory)`` pair, deferring construction so build-time
+    failures (e.g. a schedule that does not fit) are contained too.
+    """
+    from ..frontends.chls import (
+        bambu_design,
+        bambu_sweep,
+        vivado_initial,
+        vivado_opt,
+    )
     from ..frontends.flow import xls_design
     from ..frontends.hc import chisel_initial, chisel_opt
     from ..frontends.maxj import maxj_initial, maxj_opt
     from ..frontends.rules import bsc_sweep, bsv_initial, bsv_opt
     from ..frontends.vlog import all_designs as verilog_designs
+    from ..resilience.errors import failure_reason, failure_record
+    from ..resilience.runner import SweepRunner
 
+    if runner is None:
+        runner = SweepRunner()
     series: list[Fig1Series] = []
 
-    def add(tool: str, designs: list[Design]) -> None:
+    def add(tool: str, designs: list) -> None:
         entry = Fig1Series(tool=tool)
-        for design in designs:
-            measured = measure_design(design)
-            entry.points.append(
-                (design.config, measured.throughput_mops, measured.area)
-            )
+        for item in designs:
+            if isinstance(item, tuple):
+                config, factory = item
+                try:
+                    design = factory()
+                except ReproError as exc:
+                    record = failure_record(exc, design=config,
+                                            phase="frontend.build")
+                    entry.failures.append((config, failure_reason(record)))
+                    obs_trace.event("fig1.point_failed", tool=tool,
+                                    config=config, reason=record["type"])
+                    continue
+            else:
+                design = item
+            result = runner.measure(design)
+            if result.ok:
+                measured = result.measured
+                entry.points.append(
+                    (design.config, measured.throughput_mops, measured.area)
+                )
+            else:
+                entry.failures.append((design.config, result.reason))
+                obs_trace.event("fig1.point_failed", tool=tool,
+                                config=design.config, reason=result.reason)
         series.append(entry)
 
     add("Vivado", verilog_designs())
     add("Chisel", [chisel_initial(), chisel_opt()])
     add("BSC", [bsv_initial(), bsv_opt()] + bsc_sweep()[:bsc_configs])
-    add("XLS", [xls_design(n) for n in range(0, xls_stages + 1)])
+    add("XLS", [(f"pipe{n}", lambda n=n: xls_design(n))
+                for n in range(0, xls_stages + 1)])
     add("MaxCompiler", [maxj_initial(), maxj_opt()])
-    add("Bambu", [bambu_design(cfg, f"sweep{i}")
+    add("Bambu", [(f"sweep{i}", lambda cfg=cfg, i=i: bambu_design(cfg, f"sweep{i}"))
                   for i, cfg in enumerate(bambu_sweep()[:bambu_configs])])
-    from ..frontends.chls import vivado_initial, vivado_opt
-
     add("Vivado HLS", [vivado_initial(), vivado_opt()])
     return series
 
@@ -288,4 +404,6 @@ def render_fig1(series: list[Fig1Series]) -> str:
         lines.append(f"\n{entry.tool}:")
         for config, throughput, area in entry.points:
             lines.append(f"  {config:24s} P={throughput:10.3f} MOPS  A={area:7d}")
+        for config, reason in entry.failures:
+            lines.append(f"  {config:24s} FAILED({reason})")
     return "\n".join(lines)

@@ -29,6 +29,12 @@ def table2_markdown(table: Table2) -> str:
     )
     out.write("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
     for key, column in table.columns.items():
+        if column.failed:
+            out.write(
+                f"| {key} | — | FAILED({column.failure_reason}) "
+                + "| — " * 10 + "|\n"
+            )
+            continue
         for measured, alpha in (
             (column.initial, column.automation_initial),
             (column.optimized, column.automation_opt),
@@ -47,6 +53,8 @@ def table2_markdown(table: Table2) -> str:
 
 
 def _column_notes(column: ToolColumn) -> str:
+    if column.failed:
+        return f"FAILED({column.failure_reason})"
     notes = []
     if column.optimized.periodicity == 9:
         notes.append("one-cycle scheduling bubble (periodicity 9)")

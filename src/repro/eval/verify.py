@@ -20,10 +20,15 @@ from ..sim import Simulator
 __all__ = ["VerifyResult", "verify_design", "random_matrices"]
 
 
-def random_matrices(count: int, seed: int = 1, low: int = 256, high: int = 255):
-    """IEEE-1180-style random input matrices."""
+def random_matrices(count: int, seed: int = 1, low: int = 256, high: int = 255,
+                    sign: int = 1):
+    """IEEE-1180-style random input matrices.
+
+    ``low``/``high``/``sign`` select one of the standard's input
+    conditions (range ``[-L, H]``, optionally negated).
+    """
     gen = Ieee1180Generator(seed)
-    return [gen.block(low, high) for _ in range(count)]
+    return [gen.block(low, high, sign) for _ in range(count)]
 
 
 @dataclass
@@ -52,17 +57,27 @@ def verify_design(
     simulator: Simulator | None = None,
     strict: bool = True,
     engine: str = "compiled",
+    low: int = 256,
+    high: int = 255,
+    sign: int = 1,
+    matrices=None,
 ) -> VerifyResult:
     """Run ``design`` on random matrices; check against the golden model.
 
     Raises :class:`EvaluationError` on a functional mismatch when
     ``strict`` (the default) — a design whose output is wrong must never
     contribute numbers to a reproduction table.  ``engine`` selects the
-    simulator evaluation engine when no ``simulator`` is supplied.
+    simulator evaluation engine when no ``simulator`` is supplied;
+    ``low``/``high``/``sign`` pick the IEEE 1180 input condition the
+    stimulus is drawn from, or pass explicit ``matrices`` (used by the
+    fault-injection campaign's directed batteries).
     """
     sim = simulator or Simulator(design.top, engine=engine)
     harness = StreamHarness(sim, design.spec)
-    matrices = random_matrices(n_matrices, seed)
+    if matrices is None:
+        matrices = random_matrices(n_matrices, seed, low, high, sign)
+    else:
+        n_matrices = len(matrices)
     outputs, timing = harness.run_matrices(matrices, always, always)
     expected = [chen_wang_idct(m) for m in matrices]
     mismatches = sum(1 for got, want in zip(outputs, expected) if got != want)

@@ -136,7 +136,11 @@ class Compiler:
         self._arrays: dict[str, _BankArray | _MemArray] = {}
         self._states: list[_State] = []
         self._chain: dict[str, Expr] = {}
-        self._arrival: dict[int, float] = {}
+        # Arrival-time memo keyed by id(expr).  Each entry retains the expr
+        # itself: a dangling id from a freed node could be reused by a later
+        # allocation and alias a stale arrival, making schedules depend on
+        # heap history.
+        self._arrival: dict[int, tuple[Expr, float]] = {}
         self._loads_this_cycle = 0
         self._stores_this_cycle: list[tuple[_MemArray, Expr, Expr]] = []
         self._cur_gate: Expr | None = None
@@ -202,13 +206,13 @@ class Compiler:
         key = id(expr)
         cached = self._arrival.get(key)
         if cached is not None:
-            return cached
+            return cached[1]
         from ...rtl.ir import BinOp, Cat, Const, Ext, Mux, Slice, UnOp
 
         if isinstance(expr, Const):
             value = 0.0
         elif isinstance(expr, Ref):
-            value = self._arrival.get(key, 0.1)
+            value = 0.1
         elif isinstance(expr, MemRead):
             value = self._node_arrival(expr.addr) + node_cost(expr, self.tech).delay
         else:
@@ -223,7 +227,7 @@ class Compiler:
                 children = expr.parts
             base = max((self._node_arrival(c) for c in children), default=0.0)
             value = base + node_cost(expr, self.tech, allow_dsp=False).delay
-        self._arrival[key] = value
+        self._arrival[key] = (expr, value)
         return value
 
     def _budget(self) -> float:
@@ -271,9 +275,8 @@ class Compiler:
         idx = self._eval(index)
         slot = self._alloc_read_port(array, idx)
         wire = self._read_wires[(array.name, slot)]
-        self._arrival[id(Ref(wire))] = 0.0  # conservative; set on the shared ref
         ref = self._port_refs.setdefault((array.name, slot), Ref(wire))
-        self._arrival[id(ref)] = self._node_arrival(idx) + 0.8
+        self._arrival[id(ref)] = (ref, self._node_arrival(idx) + 0.8)
         return ops.sext(ref, INT_W)
 
     def _alloc_read_port(self, array: _MemArray, addr: Expr) -> int:
@@ -289,7 +292,10 @@ class Compiler:
                     wire = self.module.wire(f"rd_{array.name}_{slot}", array.width)
                     self._read_wires[(array.name, slot)] = wire
                 return slot
-        raise ScheduleError("out of read ports this cycle")
+        raise ScheduleError("out of read ports this cycle",
+                            phase="chls.schedule",
+                            array=array.name,
+                            read_ports=self.options.mem_read_ports)
 
     def _store(self, name: str, index: CExpr, value: Expr) -> None:
         array = self._arrays.get(name)
@@ -315,7 +321,9 @@ class Compiler:
         # Memory-mapped store: one write port slot per cycle.
         used = len([s for s in self._stores_this_cycle if s[0] is array])
         if used >= self.options.mem_write_ports:
-            raise ScheduleError("out of write ports this cycle")
+            raise ScheduleError("out of write ports this cycle",
+                                phase="chls.schedule", array=array.name,
+                                write_ports=self.options.mem_write_ports)
         idx = self._eval(index)
         self._stores_this_cycle.append((array, idx, sized))
 
@@ -328,7 +336,9 @@ class Compiler:
             if not any(rec[0] == state_idx for rec in records):
                 records.append((state_idx, self._states[state_idx].gate, addr, data))
                 return
-        raise ScheduleError("out of write ports at finalize")
+        raise ScheduleError("out of write ports at finalize",
+                            phase="chls.schedule", array=array.name,
+                            write_ports=self.options.mem_write_ports)
 
     # ==================================================================
     # expression evaluation (C semantics, 32-bit)
@@ -461,7 +471,7 @@ class Compiler:
             else:
                 over = len(self._chain) > 1 or bool(self._stores_this_cycle)
             if over and checkpoint["had_content"]:
-                raise ScheduleError("over budget")
+                raise ScheduleError("over budget", phase="chls.schedule")
             if over and not checkpoint["had_content"]:
                 # A single operation that exceeds the budget on its own:
                 # accept it (the clock stretches, as real tools report).
@@ -475,7 +485,8 @@ class Compiler:
             except ScheduleError as exc:
                 raise HlsError(
                     "a single statement needs more memory ports than the "
-                    f"configuration provides ({exc})"
+                    f"configuration provides ({exc})",
+                    phase="chls.schedule",
                 ) from exc
 
     def _snapshot(self) -> dict:

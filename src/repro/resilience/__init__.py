@@ -1,0 +1,87 @@
+"""repro.resilience — fault-tolerant sweeps for the paper's evaluation.
+
+Five pieces:
+
+* :mod:`~repro.resilience.errors`     — the typed failure taxonomy
+  (canonical re-export of :mod:`repro.core.errors`) plus failure records;
+* :mod:`~repro.resilience.budget`     — wall-clock / simulation-cycle
+  budgets, charged by the simulator while armed;
+* :mod:`~repro.resilience.runner`     — :class:`SweepRunner`, the per-design
+  sandbox with retry/degrade policy and failure containment;
+* :mod:`~repro.resilience.checkpoint` — JSONL checkpoint/resume for
+  interruptible ``table2``/``fig1`` sweeps;
+* :mod:`~repro.resilience.faults` / :mod:`~repro.resilience.campaign` —
+  stuck-at/bit-flip netlist mutation and the campaign that measures how
+  reliably ``verify_design`` detects injected faults.
+
+Only ``errors`` and ``budget`` are imported eagerly: the simulator charges
+the active budget on every cycle, so this package must stay importable
+from below the sim layer.  ``runner``/``checkpoint``/``campaign`` (which
+import the evaluation stack) load lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from . import budget
+from .errors import (
+    BudgetExceeded,
+    BuildError,
+    HarnessTimeout,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SweepInterrupted,
+    failure_reason,
+    failure_record,
+)
+
+__all__ = [
+    "budget",
+    "checkpoint",
+    "runner",
+    "faults",
+    "campaign",
+    "errors",
+    "ReproError",
+    "BuildError",
+    "ScheduleError",
+    "SimulationError",
+    "HarnessTimeout",
+    "BudgetExceeded",
+    "SweepInterrupted",
+    "failure_record",
+    "failure_reason",
+    "Budget",
+    "Checkpoint",
+    "SweepRunner",
+    "RunnerConfig",
+    "DesignResult",
+    "run_campaign",
+]
+
+Budget = budget.Budget
+
+_LAZY_ATTRS = {
+    "checkpoint": ("repro.resilience.checkpoint", None),
+    "runner": ("repro.resilience.runner", None),
+    "faults": ("repro.resilience.faults", None),
+    "campaign": ("repro.resilience.campaign", None),
+    "errors": ("repro.resilience.errors", None),
+    "Checkpoint": ("repro.resilience.checkpoint", "Checkpoint"),
+    "SweepRunner": ("repro.resilience.runner", "SweepRunner"),
+    "RunnerConfig": ("repro.resilience.runner", "RunnerConfig"),
+    "DesignResult": ("repro.resilience.runner", "DesignResult"),
+    "run_campaign": ("repro.resilience.campaign", "run_campaign"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY_ATTRS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(target[0])
+    value = module if target[1] is None else getattr(module, target[1])
+    globals()[name] = value
+    return value

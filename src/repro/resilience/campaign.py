@@ -1,0 +1,254 @@
+"""Mutation-style fault-injection campaign against the compliance checker.
+
+The paper's evaluation assumes ``verify_design`` (the IEEE 1180-1990-style
+bit-exactness gate) would flag a broken design.  This campaign *measures*
+that: inject single stuck-at/bit-flip faults into a design's netlist, run
+each mutant through the same verification path the sweep uses, and report
+the detection rate.
+
+A mutant counts as detected when verification observes *anything* wrong:
+
+* ``mismatch``  — outputs differ from the Chen-Wang golden model;
+* ``protocol``  — the AXI-Stream monitor caught a handshake violation;
+* ``timeout``   — the stream hung (HarnessTimeout);
+* ``budget``    — the cycle budget expired (hung before the timeout);
+* ``error``     — any other typed ReproError escaped the run;
+* ``deep``      — caught only by the escalation pass (below).
+
+Verification is tiered, exactly like the standard's own procedure (which
+prescribes 10,000 blocks per condition precisely because short streams
+miss data-dependent faults):
+
+1. the *gate* pass — the directed impulse/extreme battery plus a short
+   random stream from each of the six IEEE 1180 input conditions;
+2. the *escalation* pass for gate survivors — 4× the random blocks and a
+   second generator seed, still plain ``verify_design``.
+
+Mutants neither pass flags are documented as *equivalent-under-test*
+(the fault is masked by the logic — e.g. stuck-at-0 on a bit that is
+never 1) and excluded from the detection denominator.  The acceptance bar
+is ≥95% detection of non-equivalent single-fault mutants;
+``strict_rate`` additionally reports gate-only detection, the honest
+strength of the short compliance stream the sweeps run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.errors import (
+    BudgetExceeded,
+    HarnessTimeout,
+    ProtocolError,
+    ReproError,
+)
+from ..eval.verify import verify_design
+from ..frontends.base import Design
+from ..idct.ieee1180 import STANDARD_CONDITIONS
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..rtl import elaborate
+from ..sim import Simulator
+from . import budget as res_budget
+from .faults import MODES, FaultSite, enumerate_sites, inject
+
+__all__ = ["MutantOutcome", "CampaignReport", "run_campaign", "run_mutant",
+           "directed_matrices"]
+
+
+def directed_matrices() -> list[list[list[int]]]:
+    """The campaign's directed stimulus battery.
+
+    The IDCT is linear, so single-coefficient impulse blocks drive each
+    multiplier/adder chain across its dynamic range one basis function at
+    a time — exactly the stimulus that exposes a stuck or flipped bit in
+    an arithmetic path, which uniform random blocks can take thousands of
+    samples to excite.  The battery is the all-zero block (an IEEE 1180
+    criterion of its own), all-extreme blocks, and a ±extreme impulse at
+    every coefficient position: 131 blocks, milliseconds of streaming.
+    """
+    zero = [[0] * 8 for _ in range(8)]
+    blocks = [zero,
+              [[255] * 8 for _ in range(8)],
+              [[-256] * 8 for _ in range(8)]]
+    for value in (255, -256):
+        for row in range(8):
+            for col in range(8):
+                block = [[0] * 8 for _ in range(8)]
+                block[row][col] = value
+                blocks.append(block)
+    return blocks
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    """One injected fault and how verification responded."""
+
+    site: FaultSite
+    mode: str
+    verdict: str   # mismatch|protocol|timeout|budget|error|deep|equivalent
+
+    @property
+    def detected(self) -> bool:
+        return self.verdict != "equivalent"
+
+    @property
+    def gate_detected(self) -> bool:
+        """Detected by the gate pass alone (no escalation needed)."""
+        return self.detected and self.verdict != "deep"
+
+    def describe(self) -> str:
+        return f"{self.site.describe(self.mode)}: {self.verdict}"
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate campaign result."""
+
+    design: str
+    outcomes: list[MutantOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for o in self.outcomes if o.detected)
+
+    @property
+    def equivalent(self) -> list[MutantOutcome]:
+        return [o for o in self.outcomes if o.verdict == "equivalent"]
+
+    @property
+    def escalated(self) -> list[MutantOutcome]:
+        """Mutants only the escalation pass caught (verdict ``deep``)."""
+        return [o for o in self.outcomes if o.verdict == "deep"]
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected fraction of non-equivalent mutants (1.0 when empty)."""
+        effective = self.total - len(self.equivalent)
+        if effective <= 0:
+            return 1.0
+        return self.detected / effective
+
+    @property
+    def strict_rate(self) -> float:
+        """Gate-pass-only detection of non-equivalent mutants."""
+        effective = self.total - len(self.equivalent)
+        if effective <= 0:
+            return 1.0
+        return sum(1 for o in self.outcomes if o.gate_detected) / effective
+
+    def by_verdict(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.verdict] = counts.get(outcome.verdict, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design,
+            "total": self.total,
+            "detected": self.detected,
+            "detection_rate": round(self.detection_rate, 4),
+            "strict_rate": round(self.strict_rate, 4),
+            "by_verdict": self.by_verdict(),
+            "equivalent": [o.describe() for o in self.equivalent],
+            "escalated": [o.describe() for o in self.escalated],
+        }
+
+
+def run_mutant(
+    design: Design,
+    mutant_netlist,
+    *,
+    n_matrices: int = 4,
+    seed: int = 1,
+    cycle_budget: int | None = None,
+    conditions: tuple[tuple[int, int, int], ...] = STANDARD_CONDITIONS,
+    battery: bool = True,
+) -> str | None:
+    """Verify one mutant; the detection verdict, or ``None`` if it passed.
+
+    Verification mirrors the standard's multi-condition procedure: first
+    the directed battery (:func:`directed_matrices` — impulse and extreme
+    blocks, skipped when ``battery=False``), then ``n_matrices`` random
+    blocks from *each* IEEE 1180 input condition, resetting the simulator
+    in between.  Single-range random stimulus misses data-dependent
+    faults on bits one range rarely toggles; the impulse battery catches
+    most of those directly.  The cycle budget covers each pass
+    separately; the first anomaly wins.
+    """
+    sim = Simulator(mutant_netlist)
+    passes = [{"matrices": directed_matrices()}] if battery else []
+    passes += [{"n_matrices": n_matrices, "seed": seed,
+                "low": low, "high": high, "sign": sign}
+               for low, high, sign in conditions]
+    for kwargs in passes:
+        sim.reset()
+        budget = res_budget.Budget(max_cycles=cycle_budget,
+                                   design=design.name, phase="faults.verify")
+        try:
+            with res_budget.limit(budget):
+                result = verify_design(design, simulator=sim, strict=False,
+                                       **kwargs)
+        except ProtocolError:
+            return "protocol"
+        except HarnessTimeout:
+            return "timeout"
+        except BudgetExceeded:
+            return "budget"
+        except ReproError:
+            return "error"
+        if not result.bit_exact:
+            return "mismatch"
+    return None
+
+
+def run_campaign(
+    design: Design,
+    *,
+    limit: int | None = 64,
+    seed: int = 1,
+    modes: tuple[str, ...] = MODES,
+    n_matrices: int = 8,
+    cycle_budget: int | None = None,
+    equiv_matrices: int = 32,
+    equiv_seed: int = 7,
+) -> CampaignReport:
+    """Inject up to ``limit`` sampled single faults and verify each mutant.
+
+    Sampling is deterministic for a given ``seed`` so campaign results are
+    reproducible.  ``limit=None`` runs every (site × mode) mutant —
+    exhaustive, and only sensible for small netlists.  Gate survivors go
+    through the escalation pass (``equiv_matrices`` blocks per condition,
+    second seed, battery skipped — the gate already streamed it): caught
+    there → verdict ``deep``; caught nowhere → ``equivalent``.
+    """
+    with obs_trace.span("faults.campaign", design=design.name) as span:
+        netlist = elaborate(design.top)
+        sites = enumerate_sites(netlist)
+        pairs = [(site, mode) for site in sites for mode in modes]
+        if limit is not None and limit < len(pairs):
+            pairs = random.Random(seed).sample(pairs, limit)
+        report = CampaignReport(design=design.name)
+        for site, mode in pairs:
+            mutant = inject(netlist, site, mode)
+            verdict = run_mutant(design, mutant, n_matrices=n_matrices,
+                                 seed=seed, cycle_budget=cycle_budget)
+            if verdict is None:
+                deep = run_mutant(design, mutant, n_matrices=equiv_matrices,
+                                  seed=equiv_seed, battery=False,
+                                  cycle_budget=None if cycle_budget is None
+                                  else 4 * cycle_budget)
+                verdict = "equivalent" if deep is None else "deep"
+            report.outcomes.append(MutantOutcome(site, mode, verdict))
+            obs_metrics.inc("faults.injected")
+            obs_metrics.inc(f"faults.{verdict}")
+        span.set(total=report.total, detected=report.detected,
+                 rate=round(report.detection_rate, 4),
+                 strict=round(report.strict_rate, 4))
+        return report

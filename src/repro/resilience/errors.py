@@ -1,0 +1,58 @@
+"""The resilience error taxonomy (canonical re-export) and failure records.
+
+The structured exception types live in :mod:`repro.core.errors` so that the
+lowest layers (simulator, AXI harness, HLS compiler) can raise them without
+importing upward.  This module is the facade sweep-level code programs
+against, plus the helpers that turn a caught error into the JSON-ready
+failure record stored in checkpoints and rendered as ``FAILED(…)`` cells.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import (
+    BudgetExceeded,
+    BuildError,
+    EvaluationError,
+    HarnessTimeout,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SweepInterrupted,
+    SynthesisError,
+)
+
+__all__ = [
+    "ReproError",
+    "BuildError",
+    "ScheduleError",
+    "SimulationError",
+    "HarnessTimeout",
+    "BudgetExceeded",
+    "ProtocolError",
+    "SynthesisError",
+    "EvaluationError",
+    "SweepInterrupted",
+    "failure_record",
+    "failure_reason",
+]
+
+
+def failure_record(error: BaseException, design: str | None = None,
+                   phase: str | None = None) -> dict:
+    """A JSON-ready record of ``error`` (works for non-Repro errors too)."""
+    if isinstance(error, ReproError):
+        error.with_context(design=design, phase=phase)
+        return error.record()
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "design": design,
+        "phase": phase,
+        "context": {},
+    }
+
+
+def failure_reason(record: dict) -> str:
+    """The short reason shown in a ``FAILED(…)`` table cell."""
+    return record.get("type") or "error"

@@ -1,0 +1,115 @@
+"""Netlist-level fault injection: stuck-at-0/1 and bit-flip mutations.
+
+A fault site is one bit of one driven signal in a flat
+:class:`~repro.rtl.elaborate.Netlist` — either a combinational assignment
+target or a register.  Injection wraps the site's driving expression with a
+masking operation::
+
+    stuck-at-0   expr & ~(1 << bit)
+    stuck-at-1   expr |  (1 << bit)
+    bit-flip     expr ^  (1 << bit)
+
+and returns a *new* netlist sharing every untouched node with the original,
+so building thousands of mutants costs one list copy each.  The mutation
+campaign (:mod:`repro.resilience.campaign`) runs each mutant through
+:func:`~repro.eval.verify.verify_design` to measure how reliably the
+IEEE 1180-style compliance checker flags broken hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import EvaluationError
+from ..rtl.elaborate import FlatRegister, Netlist
+from ..rtl.ir import BinOp, BinOpKind, Const, Expr
+
+__all__ = ["MODES", "FaultSite", "enumerate_sites", "apply_fault", "inject",
+           "output_data_sites"]
+
+MODES = ("stuck0", "stuck1", "flip")
+
+_MODE_OP = {
+    "stuck0": BinOpKind.AND,
+    "stuck1": BinOpKind.OR,
+    "flip": BinOpKind.XOR,
+}
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One mutable bit in a flat netlist."""
+
+    kind: str       # "assign" | "register"
+    index: int      # position in netlist.assigns / netlist.registers
+    bit: int
+    signal: str     # flat signal name, for reports
+
+    def describe(self, mode: str) -> str:
+        return f"{mode}@{self.signal}[{self.bit}]"
+
+
+def enumerate_sites(netlist: Netlist) -> list[FaultSite]:
+    """Every (driven signal, bit) pair, assigns first, in netlist order."""
+    sites: list[FaultSite] = []
+    for index, (sig, _expr) in enumerate(netlist.assigns):
+        for bit in range(sig.width):
+            sites.append(FaultSite("assign", index, bit, sig.name))
+    for index, reg in enumerate(netlist.registers):
+        for bit in range(reg.signal.width):
+            sites.append(FaultSite("register", index, bit, reg.signal.name))
+    return sites
+
+
+def output_data_sites(netlist: Netlist) -> list[FaultSite]:
+    """Sites driving multi-bit output ports (guaranteed-observable faults).
+
+    Used by the CLI smoke: a bit-flip on a data output must be caught by
+    the compliance checker, so these make a deterministic self-test.
+    """
+    output_names = {sig.name for sig in netlist.outputs if sig.width > 1}
+    return [site for site in enumerate_sites(netlist)
+            if site.signal in output_names]
+
+
+def apply_fault(expr: Expr, mode: str, bit: int, width: int) -> Expr:
+    """Wrap ``expr`` so that ``bit`` is stuck or flipped."""
+    if mode not in _MODE_OP:
+        raise EvaluationError(f"unknown fault mode {mode!r}")
+    if not 0 <= bit < width:
+        raise EvaluationError(f"fault bit {bit} out of range for width {width}")
+    mask = 1 << bit
+    if mode == "stuck0":
+        mask = ~mask  # Const masks to width
+    return BinOp(_MODE_OP[mode], expr, Const(mask, width))
+
+
+def inject(netlist: Netlist, site: FaultSite, mode: str) -> Netlist:
+    """A copy of ``netlist`` with one fault injected at ``site``.
+
+    Only the mutated entry is fresh; all other expression DAGs, memories,
+    and port signals are shared with the original netlist.
+    """
+    assigns = list(netlist.assigns)
+    registers = list(netlist.registers)
+    if site.kind == "assign":
+        sig, expr = assigns[site.index]
+        assigns[site.index] = (sig, apply_fault(expr, mode, site.bit, sig.width))
+    elif site.kind == "register":
+        reg = registers[site.index]
+        registers[site.index] = FlatRegister(
+            reg.signal,
+            apply_fault(reg.next, mode, site.bit, reg.signal.width),
+            reg.init,
+            reg.en,
+        )
+    else:
+        raise EvaluationError(f"unknown fault site kind {site.kind!r}")
+    return Netlist(
+        name=f"{netlist.name}__{site.describe(mode)}",
+        inputs=list(netlist.inputs),
+        outputs=list(netlist.outputs),
+        assigns=assigns,
+        registers=registers,
+        memories=list(netlist.memories),
+    )

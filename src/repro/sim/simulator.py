@@ -22,6 +22,7 @@ from ..core.bits import BV
 from ..core.errors import SimulationError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience import budget as res_budget
 from ..rtl.elaborate import Netlist, elaborate
 from ..rtl.ir import Signal, eval_expr
 from ..rtl.module import Memory, Module
@@ -167,8 +168,15 @@ class Simulator:
             self._values[self._index_of[sig]] = eval_expr(expr, read, read_mem)
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the clock by ``cycles`` edges."""
+        """Advance the clock by ``cycles`` edges.
+
+        While a :mod:`repro.resilience.budget` is armed, each edge charges
+        one cycle against it; :class:`~repro.core.errors.BudgetExceeded`
+        propagates before the over-budget edge is simulated.
+        """
+        charge = res_budget.charge
         for _ in range(cycles):
+            charge()
             self._settle_if_dirty()
             if self.engine == "compiled":
                 self._compiled.tick(self._values, self._mems)
@@ -215,7 +223,8 @@ class Simulator:
         while not predicate(self):
             if self.cycles - start >= timeout:
                 raise SimulationError(
-                    f"run_until timed out after {timeout} cycles"
+                    f"run_until timed out after {timeout} cycles",
+                    phase="sim.run_until", timeout=timeout,
                 )
             self.step()
         return self.cycles - start
