@@ -33,4 +33,24 @@ python -m repro fig1 \
 cmp "$tmp/fresh.txt" "$tmp/resumed.txt"
 echo "ok"
 
+echo "== exec smoke: fig1 --jobs 2 byte-identical to serial =="
+python -m repro fig1 --jobs 2 > "$tmp/parallel.txt"
+cmp "$tmp/fresh.txt" "$tmp/parallel.txt"
+echo "ok"
+
+echo "== cache smoke: warm table2 run identical, with cache hits =="
+python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_cold.txt"
+python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_warm.txt"
+cmp "$tmp/t2_cold.txt" "$tmp/t2_warm.txt"
+python -m repro table2 --cache "$tmp/cache" \
+    --metrics "$tmp/t2_metrics.json" > /dev/null
+python - "$tmp/t2_metrics.json" <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+hits = payload["metrics"]["counters"].get("cache.hits", 0)
+assert hits > 0, f"expected warm-cache hits, got {hits}"
+print(f"cache.hits = {hits}")
+EOF
+echo "ok"
+
 echo "all checks passed"

@@ -1,0 +1,387 @@
+"""Stable programmatic facade: ``repro.api``.
+
+:class:`Session` is the supported entry point for driving the
+reproduction pipeline from Python (the CLI and ``scripts/check.sh`` go
+through it).  It owns *execution policy* — parallelism (``jobs``), the
+content-addressed artifact cache (``cache``), runner budgets/retries
+(``runner``), checkpointing, and tracing — while the underlying
+generators (:mod:`repro.eval.experiments`), the measurement pipeline
+(:mod:`repro.eval.measure`), and the fault campaign
+(:mod:`repro.resilience.campaign`) stay policy-free and remain
+importable directly for backward compatibility::
+
+    from repro.api import Session
+
+    session = Session(jobs=4, cache="/tmp/repro-cache")
+    table = session.table2()
+    series = session.fig1(full=True)
+    measured = session.verify("bambu-opt")
+
+Design names everywhere accept frontend-package aliases (``vlog-opt``
+for ``verilog-opt``, ``hc-*`` for ``chisel-*``, ``rules-*`` for
+``bsv-*``, ``flow-initial``/``flow-opt`` for ``xls-s0``/``xls-s8``);
+:func:`resolve_design` is the one place that resolution lives, and it
+raises :class:`UnknownDesignError` listing near-miss names.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from contextlib import contextmanager, nullcontext
+
+from .cache import ArtifactCache
+from .cache import activate as _activate_cache
+from .core.errors import EvaluationError
+from .eval.measure import Measured, measure_design
+from .frontends.base import Design
+from .resilience.checkpoint import Checkpoint
+from .resilience.runner import RunnerConfig, SweepRunner
+
+__all__ = [
+    "Session",
+    "resolve_design",
+    "find_design",
+    "design_names",
+    "canonical_name",
+    "UsageError",
+    "UnknownDesignError",
+    "UnknownToolError",
+    "PREFIX_ALIASES",
+    "NAME_ALIASES",
+]
+
+
+# ----------------------------------------------------------------------
+# design-name resolution
+# ----------------------------------------------------------------------
+
+# Frontend package names double as design-name aliases for the paper's
+# language names (the packages are named after the *paradigm*, the designs
+# after the *language/tool*).
+PREFIX_ALIASES = {
+    "vlog": "verilog",
+    "hc": "chisel",
+    "rules": "bsv",
+    "flow": "xls",
+}
+NAME_ALIASES = {
+    "xls-initial": "xls-s0",
+    "xls-opt": "xls-s8",
+}
+
+
+class UsageError(EvaluationError):
+    """A user-supplied name was not recognized (CLI exit code 2)."""
+
+
+class UnknownDesignError(UsageError):
+    """No registered design matches the requested name (or any alias)."""
+
+    def __init__(self, message: str, *, name: str,
+                 suggestions: list[str] | None = None) -> None:
+        super().__init__(message, design=name, phase="api.resolve")
+        self.name = name
+        self.suggestions = suggestions or []
+
+
+class UnknownToolError(UsageError):
+    """No Table II column matches the requested tool key."""
+
+    def __init__(self, message: str, *, name: str,
+                 suggestions: list[str] | None = None) -> None:
+        super().__init__(message, design=name, phase="api.resolve")
+        self.name = name
+        self.suggestions = suggestions or []
+
+
+def canonical_name(name: str) -> str:
+    """Map a possibly-aliased design name to its canonical spelling.
+
+    Purely syntactic — the result is not checked against the registry
+    (use :func:`resolve_design` for that).
+    """
+    prefix, _, rest = name.partition("-")
+    if rest and prefix in PREFIX_ALIASES:
+        name = f"{PREFIX_ALIASES[prefix]}-{rest}"
+    return NAME_ALIASES.get(name, name)
+
+
+def find_design(name: str):
+    """Lazily build design pairs until ``name`` (alias-aware) matches.
+
+    Returns ``(design, factory)`` so callers can rebuild the pair (e.g.
+    under tracing), or ``(None, None)`` when the name is unknown.
+    """
+    from .eval.experiments import PAIRS
+
+    wanted = canonical_name(name)
+    for factory in PAIRS.values():
+        for design in factory():
+            if design.name == wanted:
+                return design, factory
+    return None, None
+
+
+def design_names() -> list[str]:
+    """All registered canonical design names (builds every pair)."""
+    from .eval.experiments import PAIRS
+
+    names = []
+    for factory in PAIRS.values():
+        names.extend(design.name for design in factory())
+    return sorted(names)
+
+
+def _alias_spellings(names: list[str]) -> list[str]:
+    """Every aliased spelling of ``names`` (for near-miss suggestions)."""
+    reverse_prefix = {v: k for k, v in PREFIX_ALIASES.items()}
+    reverse_name = {v: k for k, v in NAME_ALIASES.items()}
+    spellings = set()
+    for name in names:
+        if name in reverse_name:
+            spellings.add(reverse_name[name])
+        prefix, _, rest = name.partition("-")
+        if rest and prefix in reverse_prefix:
+            spellings.add(f"{reverse_prefix[prefix]}-{rest}")
+    return sorted(spellings)
+
+
+def resolve_design(name: str) -> str:
+    """The canonical design name for ``name``, alias-aware and validated.
+
+    Raises :class:`UnknownDesignError` with near-miss suggestions when no
+    registered design matches — the error message is what ``verify``,
+    ``profile``, and ``faults`` print before exiting with code 2.
+    """
+    design, _factory = find_design(name)
+    if design is not None:
+        return design.name
+    names = design_names()
+    close = difflib.get_close_matches(
+        name, names + _alias_spellings(names), n=3, cutoff=0.5)
+    hint = f"; did you mean {', '.join(close)}?" if close else ""
+    raise UnknownDesignError(
+        f"unknown design {name!r}{hint} (try `python -m repro list`)",
+        name=name, suggestions=close)
+
+
+def _find_or_raise(name: str):
+    design, factory = find_design(name)
+    if design is None:
+        resolve_design(name)  # raises UnknownDesignError with suggestions
+    return design, factory
+
+
+# ----------------------------------------------------------------------
+# the Session facade
+# ----------------------------------------------------------------------
+
+class Session:
+    """One configured execution context for the reproduction pipeline.
+
+    Parameters
+    ----------
+    jobs:
+        Design points measured concurrently in sweeps; ``> 1`` shards
+        ``table2``/``fig1`` across a process pool
+        (:class:`repro.exec.ParallelSweepRunner`) with stdout guaranteed
+        byte-identical to a serial run.
+    cache:
+        An :class:`~repro.cache.ArtifactCache` or a directory path.
+        While set, measurements and elaborated netlists are reused from
+        disk across runs *and across commands*, keyed by design + phase
+        + source-tree digest.
+    runner:
+        Sweep policy: a :class:`~repro.resilience.runner.RunnerConfig`
+        (budgets/retries), a prebuilt
+        :class:`~repro.resilience.runner.SweepRunner` (used as-is, e.g.
+        in tests), or ``None`` for defaults.
+    trace:
+        Enable ``repro.obs`` instrumentation for this session's work
+        (the caller exports/disable via :mod:`repro.obs.report`).
+    checkpoint / resume:
+        JSONL sweep checkpoint path and whether to resume from it.
+    inject_faults:
+        Design names (alias-aware) forced to fail, for resilience drills.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ArtifactCache | str | os.PathLike | None = None,
+        runner: SweepRunner | RunnerConfig | None = None,
+        trace: bool = False,
+        checkpoint: str | os.PathLike | None = None,
+        resume: bool = False,
+        inject_faults=(),
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        if cache is not None and not isinstance(cache, ArtifactCache):
+            cache = ArtifactCache(cache)
+        self.cache = cache
+        if isinstance(runner, SweepRunner):
+            self._fixed_runner: SweepRunner | None = runner
+            self.runner_config = runner.config
+        elif isinstance(runner, RunnerConfig) or runner is None:
+            self._fixed_runner = None
+            self.runner_config = runner or RunnerConfig()
+        else:
+            raise TypeError(f"runner must be a SweepRunner or RunnerConfig, "
+                            f"not {type(runner).__name__}")
+        self.trace = bool(trace)
+        self.checkpoint_path = checkpoint
+        self.resume = resume
+        self.inject_faults = frozenset(canonical_name(n)
+                                       for n in inject_faults)
+        self.last_runner: SweepRunner | None = None
+        if self.trace:
+            from . import obs
+
+            obs.clear()
+            obs.enable()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Disable instrumentation this session enabled."""
+        if self.trace:
+            from . import obs
+
+            obs.disable()
+
+    @contextmanager
+    def _activated(self):
+        context = (_activate_cache(self.cache) if self.cache is not None
+                   else nullcontext())
+        with context:
+            yield
+
+    def _make_checkpoint(self) -> Checkpoint | None:
+        if not self.checkpoint_path:
+            return None
+        return Checkpoint(self.checkpoint_path, resume=self.resume)
+
+    def _sweep_runner(self, tasks) -> SweepRunner:
+        if self._fixed_runner is not None:
+            self.last_runner = self._fixed_runner
+            return self._fixed_runner
+        checkpoint = self._make_checkpoint()
+        if self.jobs > 1 and tasks:
+            from .exec import ParallelSweepRunner
+
+            runner: SweepRunner = ParallelSweepRunner(
+                tasks=tasks, jobs=self.jobs, cache=self.cache,
+                config=self.runner_config, checkpoint=checkpoint,
+                inject_failures=self.inject_faults)
+            runner.prefetch()
+        else:
+            runner = SweepRunner(config=self.runner_config,
+                                 checkpoint=checkpoint,
+                                 inject_failures=self.inject_faults)
+        self.last_runner = runner
+        return runner
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable resilience/cache summaries for the last sweep."""
+        lines = []
+        runner = self.last_runner
+        if runner is not None:
+            stats = runner.stats
+            if stats["failed"] or stats["checkpoint_hits"] or stats["retries"]:
+                lines.append(
+                    f"resilience: {stats['ok']} ok, {stats['failed']} failed, "
+                    f"{stats['retries']} retries, {stats['degraded_runs']} "
+                    f"degraded, {stats['checkpoint_hits']} from checkpoint")
+        if self.cache is not None:
+            summary = self.cache.summary()
+            if summary:
+                lines.append(summary)
+        return lines
+
+    # ------------------------------------------------------------------
+    # single-design operations
+    # ------------------------------------------------------------------
+    def build(self, name: str) -> Design:
+        """Build one design point by (alias-aware) name."""
+        design, _factory = _find_or_raise(name)
+        return design
+
+    def measure(self, name: str, **kwargs) -> Measured:
+        """Build and fully characterize one design point."""
+        design = self.build(name)
+        with self._activated():
+            return measure_design(design, **kwargs)
+
+    def verify(self, name: str, engine: str = "compiled") -> Measured:
+        """Freshly measure one design (no caches); raises
+        :class:`~repro.core.errors.EvaluationError` on a compliance
+        failure, mirroring the ``verify`` command's exit-1 contract."""
+        design = self.build(name)
+        return measure_design(design, use_cache=False, engine=engine)
+
+    def profile(self, name: str) -> tuple[Design, Measured]:
+        """Rebuild one design pair under tracing and measure the point
+        (so ``frontend.build`` is part of the profile)."""
+        design, factory = _find_or_raise(name)
+        for rebuilt in factory():
+            if rebuilt.name == design.name:
+                design = rebuilt
+        with self._activated():
+            measured = measure_design(design, use_cache=False)
+        return design, measured
+
+    def faults(self, name: str, limit: int = 64, seed: int = 1, **kwargs):
+        """Run the mutation campaign against the compliance verifier."""
+        from .resilience.campaign import run_campaign
+
+        design = self.build(name)
+        with self._activated():
+            return run_campaign(design, limit=limit, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def table2(self, tools: list[str] | None = None):
+        """Regenerate Table II under this session's policy."""
+        from .eval.experiments import PAIRS, generate_table2
+
+        if tools:
+            unknown = [key for key in tools if key not in PAIRS]
+            if unknown:
+                close = difflib.get_close_matches(unknown[0], list(PAIRS),
+                                                  n=3, cutoff=0.4)
+                hint = f"; did you mean {', '.join(close)}?" if close else ""
+                raise UnknownToolError(
+                    f"unknown tool key {unknown[0]!r}{hint} "
+                    f"(choices: {', '.join(PAIRS)})",
+                    name=unknown[0], suggestions=close)
+        with self._activated():
+            from .exec import table2_tasks
+
+            tasks = table2_tasks(tools) if self.jobs > 1 else None
+            runner = self._sweep_runner(tasks)
+            return generate_table2(tools=tools, runner=runner)
+
+    def fig1(self, full: bool = False, *, bsc_configs: int | None = None,
+             bambu_configs: int | None = None, xls_stages: int | None = None):
+        """Regenerate the Figure 1 DSE sweeps under this session's policy."""
+        from .eval.experiments import fig1_design_lists, generate_fig1
+
+        defaults = (26, 42, 18) if full else (4, 6, 8)
+        sizes = {
+            "bsc_configs": defaults[0] if bsc_configs is None else bsc_configs,
+            "bambu_configs": (defaults[1] if bambu_configs is None
+                              else bambu_configs),
+            "xls_stages": defaults[2] if xls_stages is None else xls_stages,
+        }
+        with self._activated():
+            if self.jobs > 1 and self._fixed_runner is None:
+                from .exec import fig1_tasks
+
+                lists = fig1_design_lists(**sizes)
+                runner = self._sweep_runner(fig1_tasks(lists, sizes))
+                return generate_fig1(**sizes, runner=runner,
+                                     design_lists=lists)
+            runner = self._sweep_runner(None)
+            return generate_fig1(**sizes, runner=runner)

@@ -1,0 +1,28 @@
+"""Content-addressed artifact cache for incremental sweeps.
+
+A :class:`ArtifactCache` (``--cache DIR`` on the CLI,
+``Session(cache=…)`` in :mod:`repro.api`) makes repeat sweeps
+incremental and cross-command: elaborated netlists and ``Measured``
+results are stored on disk keyed by a digest of (design name + config,
+pipeline phase + parameters, source-tree code digest), so a ``fig1`` run
+reuses artifacts a ``table2`` run produced, a warm rerun skips
+simulation entirely, and any edit to the framework source invalidates
+everything automatically.
+
+* :mod:`repro.cache.keys`  — the digest scheme (:func:`code_digest`,
+  :func:`artifact_key`);
+* :mod:`repro.cache.store` — the on-disk store plus the process-wide
+  *active cache* hook the measurement pipeline consults.
+"""
+
+from .keys import artifact_key, code_digest
+from .store import ArtifactCache, activate, active, set_active
+
+__all__ = [
+    "ArtifactCache",
+    "artifact_key",
+    "code_digest",
+    "active",
+    "set_active",
+    "activate",
+]

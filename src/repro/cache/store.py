@@ -1,0 +1,162 @@
+"""Disk-backed, content-addressed artifact store.
+
+Artifacts live under ``<root>/<phase>/<key[:2]>/<key>.<ext>`` where
+``key`` is a :func:`~repro.cache.keys.artifact_key` digest.  Two payload
+shapes are supported:
+
+* **JSON** — ``Measured`` results and other plain records;
+* **pickle** — elaborated netlists and other rich Python objects.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers of
+a sharded sweep can populate the same cache directory without locking:
+the worst case is two workers computing the same artifact and one
+``replace`` winning, which is harmless because entries are content
+addressed.  Corrupt or unreadable entries count as misses (and bump the
+``errors`` stat) instead of failing the sweep.
+
+Every hit/miss/put is tracked twice: in the cache's own ``stats`` dict
+(always, for CLI summaries) and in guarded ``repro.obs`` counters
+(``cache.hits`` / ``cache.misses`` / ``cache.puts``) that record only
+while instrumentation is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["ArtifactCache", "active", "set_active", "activate"]
+
+
+class ArtifactCache:
+    """One cache directory: get/put JSON and pickle payloads by digest."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
+
+    # -- bookkeeping ---------------------------------------------------
+    def _hit(self) -> None:
+        self.stats["hits"] += 1
+        obs_metrics.inc("cache.hits")
+
+    def _miss(self) -> None:
+        self.stats["misses"] += 1
+        obs_metrics.inc("cache.misses")
+
+    def _put(self) -> None:
+        self.stats["puts"] += 1
+        obs_metrics.inc("cache.puts")
+
+    def merge_stats(self, stats: dict) -> None:
+        """Fold another cache handle's stats in (e.g. a worker's delta)."""
+        for key, value in stats.items():
+            self.stats[key] = self.stats.get(key, 0) + value
+
+    def summary(self) -> str | None:
+        """One-line ``cache: …`` summary, or ``None`` when untouched."""
+        stats = self.stats
+        if not any(stats.values()):
+            return None
+        return (f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+                f"{stats['puts']} puts ({self.root})")
+
+    # -- paths ---------------------------------------------------------
+    def _path(self, phase: str, key: str, ext: str) -> str:
+        return os.path.join(self.root, phase, key[:2], f"{key}.{ext}")
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- JSON payloads -------------------------------------------------
+    def get_json(self, phase: str, key: str) -> dict | None:
+        path = self._path(phase, key, "json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except (OSError, ValueError):
+            self.stats["errors"] += 1
+            self._miss()
+            return None
+        self._hit()
+        return payload
+
+    def put_json(self, phase: str, key: str, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._write_atomic(self._path(phase, key, "json"), data)
+        self._put()
+
+    # -- pickle payloads -----------------------------------------------
+    def get_pickle(self, phase: str, key: str):
+        path = self._path(phase, key, "pkl")
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except Exception:
+            self.stats["errors"] += 1
+            self._miss()
+            return None
+        self._hit()
+        return payload
+
+    def put_pickle(self, phase: str, key: str, payload) -> bool:
+        """Store a pickled artifact; unpicklable payloads are skipped."""
+        try:
+            data = pickle.dumps(payload)
+        except Exception:
+            self.stats["errors"] += 1
+            return False
+        self._write_atomic(self._path(phase, key, "pkl"), data)
+        self._put()
+        return True
+
+
+# ----------------------------------------------------------------------
+# process-wide active cache (consulted by measure_design / _synth_pair)
+# ----------------------------------------------------------------------
+
+_ACTIVE: ArtifactCache | None = None
+
+
+def active() -> ArtifactCache | None:
+    """The cache the measurement pipeline should consult, if any."""
+    return _ACTIVE
+
+
+def set_active(cache: ArtifactCache | None) -> ArtifactCache | None:
+    """Install ``cache`` process-wide (workers call this at startup)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+@contextmanager
+def activate(cache: ArtifactCache | None):
+    """Scoped :func:`set_active` for sessions and tests."""
+    previous = set_active(cache)
+    try:
+        yield cache
+    finally:
+        set_active(previous)

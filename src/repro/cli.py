@@ -1,11 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
+A thin shell over :class:`repro.api.Session` — each command builds a
+Session carrying the execution policy the flags describe (parallelism,
+cache, budgets, checkpointing, tracing) and delegates the work.
+
 Commands:
 
 * ``table1``            — print the tool classification (paper Table I);
-* ``table2 [--tools ...] [--csv PATH] [--trace PATH] [--metrics PATH]``
+* ``table2 [--tools ...] [--jobs N] [--cache DIR] [--csv PATH]
+  [--trace PATH] [--metrics PATH]``
   — regenerate the evaluation table (optionally with per-phase traces);
-* ``fig1 [--full] [--csv PATH] [--trace PATH] [--metrics PATH]``
+* ``fig1 [--full] [--jobs N] [--cache DIR] [--csv PATH] [--trace PATH]
+  [--metrics PATH]``
   — regenerate the DSE scatter;
 * ``verify <design> [--engine interp|compiled]`` — build and verify one
   design by name; exits 1 on a compliance failure;
@@ -17,16 +23,32 @@ Commands:
   the detection rate drops below ``--min-detect``;
 * ``list``              — list all registered design names.
 
-``table2`` and ``fig1`` share the resilience flags: ``--checkpoint PATH``
-(JSONL progress log), ``--resume`` (skip designs already in the
-checkpoint), ``--inject-fault NAME`` (force a design to fail, repeatable),
-``--budget-s`` / ``--budget-cycles`` (per-design budgets) and ``--retries``.
-An interrupted sweep (``SweepInterrupted`` / ^C) exits with code 3 and the
-checkpoint stays consistent for ``--resume``.
+``table2`` and ``fig1`` share the execution flags: ``--jobs N`` (measure
+design points across N worker processes; stdout stays byte-identical to
+a serial run), ``--cache DIR`` (content-addressed artifact cache reused
+across runs and commands), ``--checkpoint PATH`` (JSONL progress log),
+``--resume`` (skip designs already in the checkpoint), ``--inject-fault
+NAME`` (force a design to fail, repeatable), ``--budget-s`` /
+``--budget-cycles`` (per-design budgets) and ``--retries``.
+
+Exit-code contract (stable — scripts and CI may rely on it):
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     success (including a ``BrokenPipeError`` from a closed pager)
+1     compliance/verification failure, or fault-detection rate
+      below ``--min-detect``
+2     usage error: unknown design/tool name, bad arguments
+      (argparse also exits 2)
+3     interrupted sweep (``SweepInterrupted`` or ^C); the
+      checkpoint stays consistent for ``--resume``
+====  ==========================================================
 
 Design names accept frontend-package aliases (``vlog-opt`` for
 ``verilog-opt``, ``hc-opt`` for ``chisel-opt``, ``rules-*`` for
-``bsv-*``, ``flow-initial``/``flow-opt`` for ``xls-s0``/``xls-s8``).
+``bsv-*``, ``flow-initial``/``flow-opt`` for ``xls-s0``/``xls-s8``);
+resolution lives in :func:`repro.api.resolve_design`.
 """
 
 from __future__ import annotations
@@ -37,26 +59,12 @@ import sys
 
 __all__ = ["main"]
 
-# Frontend package names double as design-name aliases for the paper's
-# language names (the packages are named after the *paradigm*, the designs
-# after the *language/tool*).
-_PREFIX_ALIASES = {
-    "vlog": "verilog",
-    "hc": "chisel",
-    "rules": "bsv",
-    "flow": "xls",
-}
-_NAME_ALIASES = {
-    "xls-initial": "xls-s0",
-    "xls-opt": "xls-s8",
-}
-
 
 def _canonical_name(name: str) -> str:
-    prefix, _, rest = name.partition("-")
-    if rest and prefix in _PREFIX_ALIASES:
-        name = f"{_PREFIX_ALIASES[prefix]}-{rest}"
-    return _NAME_ALIASES.get(name, name)
+    """Deprecated: use :func:`repro.api.canonical_name`."""
+    from .api import canonical_name
+
+    return canonical_name(name)
 
 
 def _design_registry() -> dict:
@@ -71,19 +79,26 @@ def _design_registry() -> dict:
 
 
 def _find_design(name: str):
-    """Build design pairs lazily until ``name`` (alias-aware) matches.
+    """Deprecated: use :func:`repro.api.find_design` (same contract)."""
+    from .api import find_design
 
-    Returns ``(design, factory)`` so callers can rebuild the pair (e.g.
-    under tracing), or ``(None, None)`` when the name is unknown.
-    """
-    from .eval.experiments import PAIRS
+    return find_design(name)
 
-    wanted = _canonical_name(name)
-    for factory in PAIRS.values():
-        for design in factory():
-            if design.name == wanted:
-                return design, factory
-    return None, None
+
+def _aliases():
+    # Deprecated module-level mirrors of repro.api.{PREFIX,NAME}_ALIASES,
+    # kept importable for older scripts.
+    from .api import NAME_ALIASES, PREFIX_ALIASES
+
+    return PREFIX_ALIASES, NAME_ALIASES
+
+
+def __getattr__(name: str):
+    if name == "_PREFIX_ALIASES":
+        return _aliases()[0]
+    if name == "_NAME_ALIASES":
+        return _aliases()[1]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _cmd_table1(_args) -> int:
@@ -91,17 +106,6 @@ def _cmd_table1(_args) -> int:
 
     print(render_table1())
     return 0
-
-
-def _obs_begin(args) -> bool:
-    """Enable instrumentation when an export flag asks for it."""
-    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
-        return False
-    from . import obs
-
-    obs.clear()
-    obs.enable()
-    return True
 
 
 def _obs_finish(args, active: bool) -> None:
@@ -120,41 +124,32 @@ def _obs_finish(args, active: bool) -> None:
     obs.disable()
 
 
-def _make_runner(args):
-    """Build the SweepRunner the table2/fig1 resilience flags describe."""
-    from .resilience.checkpoint import Checkpoint
-    from .resilience.runner import RunnerConfig, SweepRunner
+def _make_session(args, *, trace: bool = False):
+    """Build the Session the table2/fig1 execution flags describe."""
+    from .api import Session
+    from .resilience.runner import RunnerConfig
 
-    checkpoint = None
-    if args.checkpoint:
-        checkpoint = Checkpoint(args.checkpoint, resume=args.resume)
     config = RunnerConfig(wall_s=args.budget_s, max_cycles=args.budget_cycles,
                           retries=args.retries)
-    inject = frozenset(_canonical_name(name)
-                       for name in (args.inject_fault or []))
-    return SweepRunner(config=config, checkpoint=checkpoint,
-                       inject_failures=inject)
+    return Session(jobs=args.jobs, cache=args.cache, runner=config,
+                   trace=trace, checkpoint=args.checkpoint,
+                   resume=args.resume,
+                   inject_faults=args.inject_fault or [])
 
 
-def _runner_summary(runner) -> str | None:
-    stats = runner.stats
-    if not (stats["failed"] or stats["checkpoint_hits"] or stats["retries"]):
-        return None
-    return (f"resilience: {stats['ok']} ok, {stats['failed']} failed, "
-            f"{stats['retries']} retries, {stats['degraded_runs']} degraded, "
-            f"{stats['checkpoint_hits']} from checkpoint")
+def _print_summaries(session) -> None:
+    for line in session.summary_lines():
+        print(line, file=sys.stderr)
 
 
 def _cmd_table2(args) -> int:
-    from .eval import generate_table2, render_table2
+    from .eval import render_table2
 
-    tracing = _obs_begin(args)
-    runner = _make_runner(args)
-    table = generate_table2(tools=args.tools or None, runner=runner)
+    tracing = bool(args.trace or args.metrics)
+    session = _make_session(args, trace=tracing)
+    table = session.table2(tools=args.tools or None)
     print(render_table2(table))
-    summary = _runner_summary(runner)
-    if summary:
-        print(summary, file=sys.stderr)
+    _print_summaries(session)
     if args.csv:
         with open(args.csv, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
@@ -190,20 +185,13 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_fig1(args) -> int:
-    from .eval.experiments import generate_fig1, render_fig1
+    from .eval.experiments import render_fig1
 
-    tracing = _obs_begin(args)
-    runner = _make_runner(args)
-    if args.full:
-        series = generate_fig1(bsc_configs=26, bambu_configs=42,
-                               xls_stages=18, runner=runner)
-    else:
-        series = generate_fig1(bsc_configs=4, bambu_configs=6,
-                               xls_stages=8, runner=runner)
+    tracing = bool(args.trace or args.metrics)
+    session = _make_session(args, trace=tracing)
+    series = session.fig1(full=args.full)
     print(render_fig1(series))
-    summary = _runner_summary(runner)
-    if summary:
-        print(summary, file=sys.stderr)
+    _print_summaries(session)
     if args.csv:
         with open(args.csv, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
@@ -218,21 +206,17 @@ def _cmd_fig1(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    from .api import Session, resolve_design
     from .core.errors import EvaluationError
-    from .eval import measure_design
 
-    design, _factory = _find_design(args.design)
-    if design is None:
-        print(f"unknown design {args.design!r}; try `python -m repro list`",
-              file=sys.stderr)
-        return 2
+    name = resolve_design(args.design)
     try:
-        measured = measure_design(design, use_cache=False, engine=args.engine)
+        measured = Session().verify(name, engine=args.engine)
     except EvaluationError as exc:
-        print(f"{design.name}: COMPLIANCE FAILURE — {exc}", file=sys.stderr)
+        print(f"{name}: COMPLIANCE FAILURE — {exc}", file=sys.stderr)
         return 1
     status = "OK (bit-exact)" if measured.bit_exact else "MISMATCH"
-    print(f"{design.name}: {status}  [engine={args.engine}]")
+    print(f"{name}: {status}  [engine={args.engine}]")
     print(f"  latency {measured.latency} cycles, periodicity "
           f"{measured.periodicity} cycles")
     print(f"  fmax {measured.fmax_mhz:.2f} MHz, throughput "
@@ -243,25 +227,12 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from . import obs
-    from .eval import measure_design
+    from .api import Session
     from .obs.report import render_profile, write_metrics_json, write_trace_jsonl
 
-    design, factory = _find_design(args.design)
-    if design is None:
-        print(f"unknown design {args.design!r}; try `python -m repro list`",
-              file=sys.stderr)
-        return 2
-
-    obs.clear()
-    obs.enable()
+    session = Session(trace=True)
     try:
-        # Rebuild the pair under tracing so the frontend.build phase is
-        # part of the profile, then measure the requested point.
-        for rebuilt in factory():
-            if rebuilt.name == design.name:
-                design = rebuilt
-        measured = measure_design(design, use_cache=False)
+        design, measured = session.profile(args.design)
         print(f"profile of {design.name} "
               f"({design.language}/{design.tool}, {design.config})")
         print(f"  bit-exact: {measured.bit_exact}  "
@@ -276,20 +247,18 @@ def _cmd_profile(args) -> int:
             write_metrics_json(args.metrics)
             print(f"wrote metrics to {args.metrics}")
     finally:
-        obs.disable()
+        session.close()
     return 0
 
 
 def _cmd_faults(args) -> int:
     import json
 
+    from .api import Session
     from .rtl.elaborate import elaborate
 
-    design, _factory = _find_design(args.design)
-    if design is None:
-        print(f"unknown design {args.design!r}; try `python -m repro list`",
-              file=sys.stderr)
-        return 2
+    session = Session()
+    design = session.build(args.design)
 
     if args.smoke:
         # Deterministic single-fault check: flip one bit of an output data
@@ -312,9 +281,7 @@ def _cmd_faults(args) -> int:
         print(f"{design.name}: fault {label} detected ({verdict})")
         return 0
 
-    from .resilience.campaign import run_campaign
-
-    report = run_campaign(design, limit=args.limit, seed=args.seed)
+    report = session.faults(args.design, limit=args.limit, seed=args.seed)
     print(f"fault-injection campaign on {design.name}:")
     print(f"  mutants: {report.total}  "
           f"detection rate: {report.detection_rate:.1%}  "
@@ -333,7 +300,9 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_list(_args) -> int:
-    for name in sorted(_design_registry()):
+    from .api import design_names
+
+    for name in design_names():
         print(name)
     return 0
 
@@ -348,6 +317,12 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("table1", help="print Table I").set_defaults(fn=_cmd_table1)
 
     def add_runner_args(p) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="measure design points across N worker "
+                            "processes (output is byte-identical to serial)")
+        p.add_argument("--cache", metavar="DIR",
+                       help="content-addressed artifact cache directory "
+                            "(reused across runs and commands)")
         p.add_argument("--checkpoint",
                        help="JSONL checkpoint path for this sweep")
         p.add_argument("--resume", action="store_true",
@@ -412,10 +387,16 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list design names").set_defaults(fn=_cmd_list)
 
     args = parser.parse_args(argv)
+    from .api import UsageError
     from .core.errors import SweepInterrupted
 
     try:
         return args.fn(args)
+    except UsageError as exc:
+        # The bare message; the [design=…, phase=…] provenance suffix is
+        # for failure records, not usage errors.
+        print(exc.message or str(exc), file=sys.stderr)
+        return 2
     except SweepInterrupted as exc:
         checkpoint = getattr(args, "checkpoint", None)
         print(f"sweep interrupted: {exc}", file=sys.stderr)

@@ -7,6 +7,7 @@ from .experiments import (
     Table2,
     ToolColumn,
     ToolEntry,
+    fig1_design_lists,
     generate_fig1,
     generate_table1,
     generate_table2,
@@ -38,6 +39,7 @@ __all__ = [
     "generate_table2",
     "render_table2",
     "Fig1Series",
+    "fig1_design_lists",
     "generate_fig1",
     "render_fig1",
     "PAIRS",

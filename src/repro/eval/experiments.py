@@ -35,6 +35,7 @@ __all__ = [
     "generate_table2",
     "Table2",
     "Fig1Series",
+    "fig1_design_lists",
     "generate_fig1",
     "render_table1",
     "render_table2",
@@ -323,21 +324,20 @@ class Fig1Series:
     failures: list[tuple[str, str]] = field(default_factory=list)
 
 
-def generate_fig1(
+def fig1_design_lists(
     bsc_configs: int = 26,
     bambu_configs: int = 42,
     xls_stages: int = 18,
-    runner=None,
-) -> list[Fig1Series]:
-    """All DSE sweeps of the paper's Figure 1 (sizes configurable).
+) -> list[tuple[str, list]]:
+    """The ordered ``(tool, design points)`` structure behind Figure 1.
 
-    Every design point goes through ``runner``
-    (:class:`~repro.resilience.runner.SweepRunner`, default-constructed
-    when omitted), so a single failed configuration records a
-    ``(config, reason)`` failure on its series instead of aborting the
-    whole figure.  A list entry may be a built :class:`Design` or a
-    ``(config, factory)`` pair, deferring construction so build-time
-    failures (e.g. a schedule that does not fit) are contained too.
+    A point is either a built :class:`Design` or a ``(config, factory)``
+    pair deferring construction so build-time failures (e.g. a schedule
+    that does not fit) are contained per point.  This enumeration is the
+    unit of work the sharded executor (:mod:`repro.exec`) distributes:
+    workers rebuild the identical structure from the same sizes, so a
+    ``(tool, index)`` pair addresses the same design point in every
+    process.
     """
     from ..frontends.chls import (
         bambu_design,
@@ -350,50 +350,97 @@ def generate_fig1(
     from ..frontends.maxj import maxj_initial, maxj_opt
     from ..frontends.rules import bsc_sweep, bsv_initial, bsv_opt
     from ..frontends.vlog import all_designs as verilog_designs
+
+    return [
+        ("Vivado", verilog_designs()),
+        ("Chisel", [chisel_initial(), chisel_opt()]),
+        ("BSC", [bsv_initial(), bsv_opt()] + bsc_sweep()[:bsc_configs]),
+        ("XLS", [(f"pipe{n}", lambda n=n: xls_design(n))
+                 for n in range(0, xls_stages + 1)]),
+        ("MaxCompiler", [maxj_initial(), maxj_opt()]),
+        ("Bambu", [(f"sweep{i}", lambda cfg=cfg, i=i: bambu_design(cfg, f"sweep{i}"))
+                   for i, cfg in enumerate(bambu_sweep()[:bambu_configs])]),
+        ("Vivado HLS", [vivado_initial(), vivado_opt()]),
+    ]
+
+
+def generate_fig1(
+    bsc_configs: int = 26,
+    bambu_configs: int = 42,
+    xls_stages: int = 18,
+    runner=None,
+    design_lists: list[tuple[str, list]] | None = None,
+) -> list[Fig1Series]:
+    """All DSE sweeps of the paper's Figure 1 (sizes configurable).
+
+    Every design point goes through ``runner``
+    (:class:`~repro.resilience.runner.SweepRunner`, default-constructed
+    when omitted), so a single failed configuration records a
+    ``(config, reason)`` failure on its series instead of aborting the
+    whole figure.  ``design_lists`` lets a caller that already built the
+    :func:`fig1_design_lists` enumeration (the sharded executor) reuse it
+    instead of building every design twice.
+
+    When the runner prefetched results for deferred points (it exposes a
+    ``deferred_result`` hook, as :class:`repro.exec.ParallelSweepRunner`
+    does), their factories are never invoked here — the build happened in
+    a worker process — which keeps the serial consume pass cheap.
+    """
     from ..resilience.errors import failure_reason, failure_record
     from ..resilience.runner import SweepRunner
 
     if runner is None:
         runner = SweepRunner()
+    if design_lists is None:
+        design_lists = fig1_design_lists(bsc_configs=bsc_configs,
+                                         bambu_configs=bambu_configs,
+                                         xls_stages=xls_stages)
+    deferred_hook = getattr(runner, "deferred_result", None)
     series: list[Fig1Series] = []
+
+    def fail(entry: Fig1Series, tool: str, config: str, reason: str) -> None:
+        entry.failures.append((config, reason))
+        obs_trace.event("fig1.point_failed", tool=tool, config=config,
+                        reason=reason)
 
     def add(tool: str, designs: list) -> None:
         entry = Fig1Series(tool=tool)
         for item in designs:
             if isinstance(item, tuple):
                 config, factory = item
-                try:
-                    design = factory()
-                except ReproError as exc:
-                    record = failure_record(exc, design=config,
-                                            phase="frontend.build")
-                    entry.failures.append((config, failure_reason(record)))
-                    obs_trace.event("fig1.point_failed", tool=tool,
-                                    config=config, reason=record["type"])
-                    continue
+                pre = deferred_hook(tool, config) if deferred_hook else None
+                if pre is not None:
+                    if pre.build_error is not None:
+                        fail(entry, tool, config,
+                             failure_reason(pre.build_error))
+                        continue
+                    result = pre.result
+                    config = pre.config
+                else:
+                    try:
+                        design = factory()
+                    except ReproError as exc:
+                        record = failure_record(exc, design=config,
+                                                phase="frontend.build")
+                        fail(entry, tool, config, failure_reason(record))
+                        continue
+                    config = design.config
+                    result = runner.measure(design)
             else:
                 design = item
-            result = runner.measure(design)
+                config = design.config
+                result = runner.measure(design)
             if result.ok:
                 measured = result.measured
                 entry.points.append(
-                    (design.config, measured.throughput_mops, measured.area)
+                    (config, measured.throughput_mops, measured.area)
                 )
             else:
-                entry.failures.append((design.config, result.reason))
-                obs_trace.event("fig1.point_failed", tool=tool,
-                                config=design.config, reason=result.reason)
+                fail(entry, tool, config, result.reason)
         series.append(entry)
 
-    add("Vivado", verilog_designs())
-    add("Chisel", [chisel_initial(), chisel_opt()])
-    add("BSC", [bsv_initial(), bsv_opt()] + bsc_sweep()[:bsc_configs])
-    add("XLS", [(f"pipe{n}", lambda n=n: xls_design(n))
-                for n in range(0, xls_stages + 1)])
-    add("MaxCompiler", [maxj_initial(), maxj_opt()])
-    add("Bambu", [(f"sweep{i}", lambda cfg=cfg, i=i: bambu_design(cfg, f"sweep{i}"))
-                  for i, cfg in enumerate(bambu_sweep()[:bambu_configs])])
-    add("Vivado HLS", [vivado_initial(), vivado_opt()])
+    for tool, designs in design_lists:
+        add(tool, designs)
     return series
 
 

@@ -12,8 +12,10 @@ N_IO (the paper's 59).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
+from .. import cache as artifact_cache
 from ..frontends.base import Design
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -59,6 +61,16 @@ class Measured:
         """Q = P / A, in the paper's OPS-per-(LUT+FF) unit."""
         return self.throughput_mops * 1e6 / self.area
 
+    def to_dict(self) -> dict:
+        """Flatten into JSON-ready primitives (exact float round-trip)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Measured":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
 
 _CACHE: dict[str, Measured] = {}
 
@@ -70,11 +82,30 @@ def clear_measure_cache() -> None:
 
 def measure_design(design: Design, n_matrices: int = 4,
                    use_cache: bool = True, engine: str = "compiled") -> Measured:
-    """Fully characterize ``design`` (cached per process by name)."""
+    """Fully characterize ``design`` (cached per process by name).
+
+    When an artifact cache is active (:func:`repro.cache.active`) the
+    result is also looked up on — and persisted to — disk, keyed by the
+    design identity, the measurement parameters, and the source-tree
+    code digest, so repeat sweeps (and other commands measuring the same
+    design points) skip simulation and synthesis entirely.
+    """
     if use_cache and design.name in _CACHE:
         obs_trace.event("measure.cache_hit", design=design.name)
         obs_metrics.inc("measure.cache_hits")
         return _CACHE[design.name]
+    disk = artifact_cache.active() if use_cache else None
+    key = None
+    if disk is not None:
+        key = artifact_cache.artifact_key(
+            "measured", design.name, design.config,
+            n_matrices=n_matrices, engine=engine)
+        payload = disk.get_json("measured", key)
+        if payload is not None:
+            obs_trace.event("measure.disk_cache_hit", design=design.name)
+            measured = Measured.from_dict(payload)
+            _CACHE[design.name] = measured
+            return measured
     with obs_trace.span("measure", design=design.name, tool=design.tool,
                         config=design.config):
         if "maxj" in design.meta:
@@ -84,11 +115,22 @@ def measure_design(design: Design, n_matrices: int = 4,
         obs_metrics.inc("measure.designs")
     if use_cache:
         _CACHE[design.name] = measured
+    if disk is not None:
+        disk.put_json("measured", key, measured.to_dict())
     return measured
 
 
 def _synth_pair(design: Design) -> tuple[SynthReport, SynthReport]:
-    netlist = elaborate(design.top)
+    disk = artifact_cache.active()
+    key = None
+    netlist = None
+    if disk is not None:
+        key = artifact_cache.artifact_key("netlist", design.name, design.config)
+        netlist = disk.get_pickle("netlist", key)
+    if netlist is None:
+        netlist = elaborate(design.top)
+        if disk is not None:
+            disk.put_pickle("netlist", key, netlist)
     return synthesize(netlist), synthesize(netlist, max_dsp=0)
 
 

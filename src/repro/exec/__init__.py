@@ -1,0 +1,18 @@
+"""Sharded sweep execution (``--jobs N``).
+
+Splits Table II / Figure 1 sweeps into per-design-point tasks, measures
+them across a process pool, and replays the results through the
+unchanged serial generators so rendered output stays byte-identical to
+a serial run:
+
+* :mod:`repro.exec.tasks`    — picklable task coordinates;
+* :mod:`repro.exec.worker`   — worker-process entry points;
+* :mod:`repro.exec.parallel` — :class:`ParallelSweepRunner`, the
+  pool-backed :class:`~repro.resilience.runner.SweepRunner`.
+"""
+
+from .parallel import ParallelSweepRunner, PrebuiltPoint
+from .tasks import SweepTask, fig1_tasks, table2_tasks
+
+__all__ = ["ParallelSweepRunner", "PrebuiltPoint", "SweepTask",
+           "fig1_tasks", "table2_tasks"]

@@ -1,0 +1,162 @@
+"""Sharded sweep execution: a process-pool front-end over ``SweepRunner``.
+
+:class:`ParallelSweepRunner` splits a sweep into two phases:
+
+1. **prefetch** — the task list is dispatched to a
+   ``ProcessPoolExecutor``; each worker builds and measures its design
+   point under the sweep's normal :class:`~repro.resilience.runner`
+   policy (budgets, retries, degraded final attempt, fault injection)
+   and ships back a checkpoint-schema record plus its obs buffers.
+   Worker outputs are merged **in task order**, not completion order, so
+   traces, metrics, and cache stats are deterministic.
+2. **consume** — the unchanged serial generators
+   (:func:`~repro.eval.experiments.generate_table2` /
+   :func:`~repro.eval.experiments.generate_fig1`) run as usual, but
+   every ``measure`` call is satisfied from the prefetched records
+   instead of re-simulating.  Because records round-trip measurements
+   exactly (the same JSON float guarantee the resume path relies on),
+   rendered stdout is byte-identical to a serial run.
+
+Checkpointing, resume, stats, and the deterministic
+``REPRO_ABORT_AFTER`` interrupt all live in the consume phase via the
+inherited :meth:`SweepRunner.commit` bookkeeping, so an interrupted
+parallel sweep leaves the same checkpoint prefix a serial one would,
+and a resumed parallel sweep skips re-measuring checkpointed designs
+(workers still *build* them, in parallel, to learn their names).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from ..cache import ArtifactCache
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..resilience.runner import DesignResult, SweepRunner, result_from_record
+from .tasks import SweepTask
+from . import worker as worker_mod
+
+__all__ = ["ParallelSweepRunner", "PrebuiltPoint"]
+
+
+@dataclass
+class PrebuiltPoint:
+    """A deferred Fig. 1 point resolved by a worker (no parent rebuild)."""
+
+    name: str | None
+    config: str | None
+    result: DesignResult | None
+    build_error: dict | None = None
+
+
+def _pool_context():
+    """Prefer fork (cheap, library already imported); fall back otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ParallelSweepRunner(SweepRunner):
+    """A :class:`SweepRunner` that prefetches results across processes."""
+
+    def __init__(self, tasks: list[SweepTask] | tuple = (), jobs: int = 2,
+                 cache: ArtifactCache | None = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.tasks = list(tasks)
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self._prefetched: dict[str, dict] = {}
+        self._deferred: dict[tuple[str, str], dict] = {}
+        self._prefetch_done = False
+
+    # ------------------------------------------------------------------
+    def prefetch(self) -> int:
+        """Measure every task in the pool; returns the prefetched count."""
+        if self._prefetch_done:
+            return len(self._prefetched)
+        self._prefetch_done = True
+        if not self.tasks or self.jobs <= 1:
+            return 0
+        trace_on = obs_trace.enabled()
+        skip = frozenset(self.checkpoint.names()) if self.checkpoint else ()
+        base = {"config": self.config, "inject": self.inject_failures,
+                "trace": trace_on, "skip": skip}
+        cache_dir = self.cache.root if self.cache is not None else None
+        results: list[dict | None] = [None] * len(self.tasks)
+        pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=_pool_context(),
+            initializer=worker_mod.init_worker,
+            initargs=(cache_dir, trace_on),
+        )
+        try:
+            futures = {
+                pool.submit(worker_mod.run_task, dict(base, task=task)): i
+                for i, task in enumerate(self.tasks)
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            pool.shutdown(wait=True)
+        self._merge(results)
+        obs_trace.event("exec.prefetch_done", tasks=len(self.tasks),
+                        jobs=self.jobs)
+        return len(self._prefetched)
+
+    def _merge(self, results: list[dict | None]) -> None:
+        """Fold worker outputs in task order (deterministic by design)."""
+        for res in results:
+            if res is None:
+                continue
+            if res["spans"]:
+                obs_trace.TRACER.ingest(res["spans"])
+            if res["metrics"]:
+                obs_metrics.REGISTRY.merge_snapshot(res["metrics"])
+            if self.cache is not None and res["cache"]:
+                self.cache.merge_stats(res["cache"])
+            if res["stats"]:
+                self.stats["retries"] += res["stats"]["retries"]
+                self.stats["degraded_runs"] += res["stats"]["degraded_runs"]
+            if res["deferred"]:
+                self._deferred[(res["key"], res["label"])] = res
+            if not res["skipped"] and res["record"] and res["name"]:
+                self._prefetched[res["name"]] = res["record"]
+
+    # ------------------------------------------------------------------
+    def _measure_with_retries(self, design) -> DesignResult:
+        """Satisfy a measure from the prefetch map; fall back to inline."""
+        record = self._prefetched.pop(design.name, None)
+        if record is None:
+            return super()._measure_with_retries(design)
+        return result_from_record(record)
+
+    def deferred_result(self, tool: str, config: str) -> PrebuiltPoint | None:
+        """Resolve a deferred ``(config, factory)`` Fig. 1 point.
+
+        Returns ``None`` when no worker handled this point (the caller
+        builds and measures inline, exactly like a serial sweep).  A
+        checkpoint record still takes precedence over a prefetched
+        measurement, preserving resume semantics.
+        """
+        res = self._deferred.pop((tool, config), None)
+        if res is None:
+            return None
+        if res["build_error"] is not None:
+            return PrebuiltPoint(name=None, config=config, result=None,
+                                 build_error=res["build_error"])
+        name = res["name"]
+        self._prefetched.pop(name, None)
+        cached = self._from_checkpoint(name)
+        if cached is not None:
+            return PrebuiltPoint(name=name, config=res["config"],
+                                 result=cached)
+        if res["record"] is None:
+            return None
+        result = self.commit(result_from_record(res["record"]))
+        return PrebuiltPoint(name=name, config=res["config"], result=result)

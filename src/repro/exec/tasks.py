@@ -1,0 +1,53 @@
+"""Picklable task specs addressing individual sweep design points.
+
+A :class:`SweepTask` never carries a built design (netlists hold cyclic,
+process-local structure): it carries the *coordinates* of a point in a
+deterministic enumeration that every process can rebuild identically —
+Table II pairs come from :data:`repro.eval.experiments.PAIRS`, Figure 1
+points from :func:`repro.eval.experiments.fig1_design_lists` with the
+same sizes.  ``(kind, key, index)`` therefore names the same design
+point in the parent and in every worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SweepTask", "table2_tasks", "fig1_tasks"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """Coordinates of one design point in a sweep enumeration."""
+
+    kind: str            # "table2" | "fig1"
+    key: str             # PAIRS key, or the Fig. 1 tool name
+    index: int           # 0=initial / 1=optimized, or the point index
+    sizes: tuple = ()    # sorted (name, value) pairs for fig1_design_lists
+
+
+def table2_tasks(tools: list[str] | None = None) -> list[SweepTask]:
+    """One task per Table II design point, in generation order."""
+    from ..eval.experiments import PAIRS
+
+    keys = list(tools) if tools else list(PAIRS)
+    if "Verilog/Vivado" not in keys:
+        keys = ["Verilog/Vivado"] + keys
+    return [SweepTask("table2", key, index)
+            for key in keys for index in (0, 1)]
+
+
+def fig1_tasks(design_lists: list[tuple[str, list]],
+               sizes: dict) -> list[SweepTask]:
+    """One task per Figure 1 design point, in generation order.
+
+    ``design_lists`` is the parent's already-built
+    :func:`~repro.eval.experiments.fig1_design_lists` structure (only
+    point *counts* are read here); ``sizes`` are the keyword arguments
+    that produced it, shipped so workers can rebuild the identical
+    enumeration.
+    """
+    packed = tuple(sorted(sizes.items()))
+    return [SweepTask("fig1", tool, index, packed)
+            for tool, designs in design_lists
+            for index in range(len(designs))]

@@ -1,0 +1,138 @@
+"""Worker-process side of the sharded sweep executor.
+
+Everything here is module-level (the pool pickles references, not
+closures).  A worker resolves a :class:`~repro.exec.tasks.SweepTask`
+back into a built design, measures it through a private
+:class:`~repro.resilience.runner.SweepRunner` carrying the sweep's
+budget/retry policy, and ships the outcome back as plain dicts:
+
+* the result in the checkpoint record schema (exact float round-trip,
+  the same guarantee the resume path relies on);
+* its obs span buffer and metrics snapshot (when tracing is on) for the
+  parent's deterministic task-order merge;
+* its artifact-cache stats delta.
+
+Design enumerations are memoized per worker process, so a worker
+building the Figure 1 structure once serves every point it is handed.
+Workers never checkpoint and never abort: the parent owns the
+checkpoint (written in serial consume order) and the deterministic
+``REPRO_ABORT_AFTER`` hook, which is why :func:`init_worker` drops that
+variable from the worker's environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .. import cache as cache_mod
+from .. import obs
+from ..core.errors import ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..resilience.errors import failure_record
+from ..resilience.runner import ABORT_ENV, SweepRunner, result_to_record
+from .tasks import SweepTask
+
+__all__ = ["init_worker", "run_task"]
+
+# Per-worker-process memos: fig1 enumerations by sizes, table2 pairs by key.
+_FIG1_LISTS: dict[tuple, dict] = {}
+_TABLE2_PAIRS: dict[str, tuple] = {}
+
+
+def init_worker(cache_dir: str | None = None, trace: bool = False) -> None:
+    """Pool initializer: cache handle, tracing mode, no inherited abort."""
+    os.environ.pop(ABORT_ENV, None)
+    if cache_dir:
+        cache_mod.set_active(cache_mod.ArtifactCache(cache_dir))
+    if trace:
+        obs.enable()
+    else:
+        # A forked worker inherits the parent's enabled flag and buffers.
+        obs.disable()
+    obs.clear()
+
+
+def _fig1_item(task: SweepTask):
+    lists = _FIG1_LISTS.get(task.sizes)
+    if lists is None:
+        from ..eval.experiments import fig1_design_lists
+
+        lists = _FIG1_LISTS[task.sizes] = dict(
+            fig1_design_lists(**dict(task.sizes)))
+    return lists[task.key][task.index]
+
+
+def _table2_design(task: SweepTask):
+    pair = _TABLE2_PAIRS.get(task.key)
+    if pair is None:
+        from ..eval.experiments import PAIRS
+
+        pair = _TABLE2_PAIRS[task.key] = PAIRS[task.key]()
+    return pair[task.index]
+
+
+def run_task(payload: dict) -> dict:
+    """Resolve, build, and measure one task; never raises ``ReproError``.
+
+    ``payload`` carries ``task`` (a :class:`SweepTask`), ``config`` (the
+    sweep's :class:`~repro.resilience.runner.RunnerConfig`), ``inject``
+    (forced-failure design names), ``skip`` (names already checkpointed —
+    built for identification but not re-measured), and ``trace``.
+    """
+    task: SweepTask = payload["task"]
+    trace_on = bool(payload.get("trace"))
+    if trace_on:
+        obs.clear()
+        obs.enable()
+    cache = cache_mod.active()
+    cache_before = dict(cache.stats) if cache is not None else None
+    out = {
+        "kind": task.kind, "key": task.key, "index": task.index,
+        "deferred": False, "label": None, "name": None, "config": None,
+        "record": None, "build_error": None, "skipped": False,
+        "stats": None, "spans": [], "metrics": None, "cache": None,
+    }
+    try:
+        design = None
+        if task.kind == "fig1":
+            item = _fig1_item(task)
+            if isinstance(item, tuple):
+                out["deferred"] = True
+                label, factory = item
+                out["label"] = out["config"] = label
+                try:
+                    design = factory()
+                except ReproError as exc:
+                    out["build_error"] = failure_record(
+                        exc, design=label, phase="frontend.build")
+            else:
+                design = item
+        else:
+            design = _table2_design(task)
+        if design is not None:
+            out["name"] = design.name
+            out["config"] = design.config
+            if design.name in payload.get("skip", ()):
+                out["skipped"] = True
+            else:
+                runner = SweepRunner(
+                    config=payload["config"],
+                    inject_failures=payload.get("inject", ()),
+                    abort_after=None,
+                )
+                result = runner._measure_with_retries(design)
+                out["record"] = result_to_record(result)
+                out["stats"] = {
+                    "retries": runner.stats["retries"],
+                    "degraded_runs": runner.stats["degraded_runs"],
+                }
+    finally:
+        if trace_on:
+            out["spans"] = [rec.to_dict() for rec in obs_trace.events()]
+            out["metrics"] = obs_metrics.snapshot()
+            obs.clear()
+        if cache is not None:
+            out["cache"] = {key: cache.stats[key] - cache_before[key]
+                            for key in cache.stats}
+    return out

@@ -34,6 +34,7 @@ __all__ = [
     "gauge",
     "histogram",
     "snapshot",
+    "merge_snapshot",
     "clear",
     "export_json",
 ]
@@ -144,6 +145,33 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histogram contents add; gauges take the incoming
+        value (last write wins, matching their semantics).  The sharded
+        sweep executor uses this to merge worker registries in task
+        order, keeping merged metrics deterministic.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, data in snap.get("histograms", {}).items():
+            hist = self.histogram(name)
+            count = data.get("count", 0)
+            if not count:
+                continue
+            hist.count += count
+            hist.total += data.get("sum", 0.0)
+            if data.get("min") is not None and data["min"] < hist.min:
+                hist.min = data["min"]
+            if data.get("max") is not None and data["max"] > hist.max:
+                hist.max = data["max"]
+            for le, n in data.get("buckets", {}).items():
+                le = int(le)
+                hist.buckets[le] = hist.buckets.get(le, 0) + n
+
     # -- inspection / export -------------------------------------------
     def snapshot(self) -> dict:
         """All instrument values as one JSON-ready dict."""
@@ -203,6 +231,10 @@ def histogram(name: str) -> Histogram:
 
 def snapshot() -> dict:
     return REGISTRY.snapshot()
+
+
+def merge_snapshot(snap: dict) -> None:
+    REGISTRY.merge_snapshot(snap)
 
 
 def clear() -> None:

@@ -35,6 +35,7 @@ __all__ = [
     "event",
     "events",
     "clear",
+    "ingest",
     "to_jsonl",
     "export_jsonl",
 ]
@@ -215,6 +216,29 @@ class Tracer:
         self._stack.clear()
         self._next_id = 1
 
+    def ingest(self, records: list[dict]) -> int:
+        """Merge foreign span records (a worker's shipped buffer).
+
+        Records must be in the :meth:`SpanRecord.to_dict` shape and in
+        buffer order (parents before children).  Span ids are renumbered
+        into this tracer's id space, preserving parent/child structure;
+        a record whose parent is outside the batch becomes a root.  The
+        merge is deterministic given the input order, which is how the
+        sharded sweep executor keeps trace artifacts reproducible: it
+        ingests worker buffers in task order, not completion order.
+        """
+        id_map: dict[int, int] = {}
+        for data in records:
+            rec = SpanRecord.from_dict(data)
+            old_id = rec.span_id
+            rec.span_id = self._next_id
+            self._next_id += 1
+            if rec.parent_id is not None:
+                rec.parent_id = id_map.get(rec.parent_id)
+            id_map[old_id] = rec.span_id
+            self._events.append(rec)
+        return len(records)
+
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(rec.to_dict(), sort_keys=True)
                          for rec in self._events)
@@ -235,5 +259,6 @@ span = TRACER.span
 event = TRACER.event
 events = TRACER.events
 clear = TRACER.clear
+ingest = TRACER.ingest
 to_jsonl = TRACER.to_jsonl
 export_jsonl = TRACER.export_jsonl

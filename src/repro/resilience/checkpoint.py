@@ -18,7 +18,6 @@ Record schema (one object per line)::
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 
@@ -32,13 +31,12 @@ SCHEMA_VERSION = 1
 
 def measured_to_dict(measured: Measured) -> dict:
     """Flatten a :class:`Measured` into JSON-ready primitives."""
-    return dataclasses.asdict(measured)
+    return measured.to_dict()
 
 
 def measured_from_dict(data: dict) -> Measured:
     """Rebuild a :class:`Measured` from its checkpoint form."""
-    fields = {f.name for f in dataclasses.fields(Measured)}
-    return Measured(**{k: v for k, v in data.items() if k in fields})
+    return Measured.from_dict(data)
 
 
 class Checkpoint:
@@ -77,6 +75,10 @@ class Checkpoint:
 
     def __contains__(self, design: str) -> bool:
         return design in self._records
+
+    def names(self) -> list[str]:
+        """Design names with stored records (used to skip resumed work)."""
+        return list(self._records)
 
     def get(self, design: str) -> dict | None:
         return self._records.get(design)

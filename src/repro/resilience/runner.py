@@ -36,10 +36,16 @@ from ..frontends.base import Design
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from . import budget as res_budget
-from .checkpoint import Checkpoint, measured_from_dict
+from .checkpoint import (
+    SCHEMA_VERSION,
+    Checkpoint,
+    measured_from_dict,
+    measured_to_dict,
+)
 from .errors import failure_record, failure_reason
 
-__all__ = ["RunnerConfig", "DesignResult", "SweepRunner", "ABORT_ENV"]
+__all__ = ["RunnerConfig", "DesignResult", "SweepRunner", "ABORT_ENV",
+           "result_to_record", "result_from_record"]
 
 # After this many freshly measured designs the runner raises
 # SweepInterrupted — a deterministic stand-in for kill -9 used by the
@@ -86,6 +92,40 @@ class DesignResult:
         return failure_reason(self.error or {})
 
 
+def result_to_record(result: DesignResult) -> dict:
+    """Serialize a :class:`DesignResult` in the checkpoint record shape.
+
+    The same JSON schema backs the on-disk checkpoint and the byte stream
+    a sharded-sweep worker ships its results over, so both round-trip
+    measurements exactly (floats serialize via ``repr``).
+    """
+    measured = result.measured
+    return {
+        "schema": SCHEMA_VERSION,
+        "design": result.name,
+        "status": result.status,
+        "measured": None if measured is None else measured_to_dict(measured),
+        "error": result.error,
+        "attempts": result.attempts,
+        "degraded": result.degraded,
+    }
+
+
+def result_from_record(record: dict, *,
+                       from_checkpoint: bool = False) -> DesignResult:
+    """Rebuild a :class:`DesignResult` from its record form."""
+    measured = record.get("measured")
+    return DesignResult(
+        name=record["design"],
+        status=record["status"],
+        measured=None if measured is None else measured_from_dict(measured),
+        error=record.get("error"),
+        attempts=record.get("attempts", 1),
+        degraded=record.get("degraded", False),
+        from_checkpoint=from_checkpoint,
+    )
+
+
 class SweepRunner:
     """Runs design measurements with failure containment for a whole sweep."""
 
@@ -115,24 +155,31 @@ class SweepRunner:
         cached = self._from_checkpoint(design.name)
         if cached is not None:
             return cached
-        result = self._measure_with_retries(design)
+        return self.commit(self._measure_with_retries(design))
+
+    def commit(self, result: DesignResult) -> DesignResult:
+        """Record a freshly produced result: checkpoint, stats, obs, and
+        the deterministic-abort hook.  Called by :meth:`measure` for every
+        non-checkpoint result; the sharded executor calls it directly when
+        adopting worker results, so parallel sweeps share the exact same
+        bookkeeping (and checkpoint write order) as serial ones."""
         if self.checkpoint is not None:
             self.checkpoint.record(
-                design.name, status=result.status, measured=result.measured,
+                result.name, status=result.status, measured=result.measured,
                 error=result.error, attempts=result.attempts,
                 degraded=result.degraded,
             )
         self.stats["ok" if result.ok else "failed"] += 1
         if not result.ok:
             obs_metrics.inc("resilience.failures")
-            obs_trace.event("resilience.failed", design=design.name,
+            obs_trace.event("resilience.failed", design=result.name,
                             reason=result.reason, attempts=result.attempts)
         self._fresh_completed += 1
         if self.abort_after is not None and self._fresh_completed >= self.abort_after:
             raise SweepInterrupted(
                 f"sweep aborted after {self._fresh_completed} designs "
                 f"({ABORT_ENV}); checkpoint is consistent",
-                design=design.name, phase="sweep",
+                design=result.name, phase="sweep",
             )
         return result
 
@@ -146,16 +193,7 @@ class SweepRunner:
         self.stats["checkpoint_hits"] += 1
         obs_metrics.inc("resilience.checkpoint_hits")
         obs_trace.event("resilience.checkpoint_hit", design=name)
-        measured = record.get("measured")
-        return DesignResult(
-            name=name,
-            status=record["status"],
-            measured=None if measured is None else measured_from_dict(measured),
-            error=record.get("error"),
-            attempts=record.get("attempts", 1),
-            degraded=record.get("degraded", False),
-            from_checkpoint=True,
-        )
+        return result_from_record(record, from_checkpoint=True)
 
     def _attempt_plan(self) -> list[bool]:
         """Per-attempt degraded flags: normal, retries…, degraded final."""
