@@ -1,0 +1,116 @@
+"""Service benchmark: batched vs unbatched ``/v1/idct`` throughput.
+
+Drives a live :class:`repro.serve.EvalServer` over real sockets twice —
+once with the micro-batch window disabled (``max_batch=1``) and once
+with a window of 16 — and argues the batching win from obs metrics
+rather than ad-hoc timing: per-block compute cost comes from the
+``serve.evaluate`` span durations the evaluator records around each
+invocation, and the ``serve.batch_size`` histogram proves the coalescing
+actually happened.  The acceptance bar is batched throughput >= 3x
+unbatched at a window of 16.
+"""
+
+import http.client
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.api import Session
+from repro.eval.verify import random_matrices
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.serve import EvalServer, ServeConfig
+
+DESIGN = "verilog-initial"
+N_BLOCKS = 64
+WINDOW = 16
+
+
+class _LiveServer:
+    def __init__(self, session, **config):
+        self.server = EvalServer(session, ServeConfig(port=0, **config))
+        self.host = self.port = None
+        self._announced = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._announced.wait(120)
+
+    def _run(self):
+        def announce(host, port):
+            self.host, self.port = host, port
+            self._announced.set()
+
+        self.server.serve_forever(announce=announce)
+
+    def post_idct(self, blocks):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
+        try:
+            conn.request("POST", "/v1/idct", body=json.dumps(
+                {"design": DESIGN, "blocks": blocks}).encode())
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 200, body
+            return json.loads(body)
+        finally:
+            conn.close()
+
+    def stop(self):
+        self.server.request_drain(0)
+        self._thread.join(timeout=120)
+
+
+def _evaluate_stats():
+    """(total compute µs, total blocks) over all serve.evaluate spans."""
+    total_us = blocks = 0
+    for record in obs_trace.events():
+        if record.name == "serve.evaluate" and record.kind == "span":
+            total_us += record.duration * 1e6
+            blocks += record.attrs.get("blocks", 0)
+    return total_us, blocks
+
+
+def _burst(server, blocks, workers):
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(lambda b: server.post_idct([b]), blocks))
+
+
+def test_serve_batching_speedup(benchmark):
+    session = Session()
+    session.evaluator(DESIGN)  # warm start outside the measured phases
+    blocks = [[list(row) for row in m] for m in random_matrices(N_BLOCKS)]
+
+    # -- unbatched: window disabled, sequential single-block requests ----
+    obs.clear()
+    server = _LiveServer(session, max_batch=1, batch_wait_s=0.0)
+    for block in blocks:
+        server.post_idct([block])
+    server.stop()
+    unbatched_us, unbatched_blocks = _evaluate_stats()
+    assert unbatched_blocks == N_BLOCKS
+
+    # -- batched: a 16-block window coalescing a concurrent burst --------
+    obs.clear()
+    server = _LiveServer(session, max_batch=WINDOW, batch_wait_s=0.25)
+    benchmark.pedantic(_burst, args=(server, blocks, WINDOW),
+                       rounds=3, iterations=1)
+    server.stop()
+    batched_us, batched_blocks = _evaluate_stats()
+    assert batched_blocks == 3 * N_BLOCKS  # three benchmark rounds
+
+    # coalescing evidence: the obs histogram saw real multi-block batches
+    hist = obs_metrics.REGISTRY.histogram("serve.batch_size")
+    assert hist.max >= WINDOW
+    assert hist.count < batched_blocks  # fewer invocations than blocks
+
+    # throughput argued from the evaluator's own span durations
+    unbatched_us_per_block = unbatched_us / unbatched_blocks
+    batched_us_per_block = batched_us / batched_blocks
+    speedup = unbatched_us_per_block / batched_us_per_block
+    print(f"\nunbatched: {unbatched_us_per_block:.1f} us/block over "
+          f"{unbatched_blocks} blocks in {unbatched_blocks} invocations")
+    print(f"batched:   {batched_us_per_block:.1f} us/block over "
+          f"{batched_blocks} blocks in {hist.count} invocations "
+          f"(max batch {hist.max:g})")
+    print(f"speedup:   {speedup:.2f}x (bar: >= 3x)")
+    assert speedup >= 3.0

@@ -53,4 +53,71 @@ print(f"cache.hits = {hits}")
 EOF
 echo "ok"
 
+echo "== serve smoke: live service vs CLI, batching, cache hits, drain =="
+python -m repro serve --port 0 --cache "$tmp/cache" \
+    --warm verilog-initial --batch-wait-ms 50 > "$tmp/serve.out" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2> /dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 600); do
+  grep -q '^serving on ' "$tmp/serve.out" && break
+  if ! kill -0 "$serve_pid" 2> /dev/null; then
+    echo "serve process died during startup" >&2
+    cat "$tmp/serve.out" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+addr="$(sed -n 's/^serving on //p' "$tmp/serve.out" | head -n 1)"
+test -n "$addr"
+python -m repro measure verilog-initial --cache "$tmp/cache" --json \
+    > "$tmp/measure_cli.json" 2> /dev/null
+python - "$addr" "$tmp" <<'EOF'
+import json, sys, urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+base = "http://" + sys.argv[1]
+tmp = sys.argv[2]
+
+def post(path, payload):
+    req = urllib.request.Request(base + path, data=json.dumps(payload).encode())
+    with urllib.request.urlopen(req, timeout=300) as resp:
+        return resp.status, resp.read()
+
+with urllib.request.urlopen(base + "/healthz", timeout=60) as resp:
+    health = json.load(resp)
+assert health["status"] == "ok", health
+
+# /v1/measure must be byte-identical to `measure --json` on the same cache
+status, body = post("/v1/measure", {"design": "verilog-initial"})
+assert status == 200
+cli = open(tmp + "/measure_cli.json", "rb").read()
+assert body == cli, "service and CLI measure outputs differ"
+
+# a concurrent burst of single-block requests must coalesce
+from repro.eval.verify import random_matrices
+from repro.idct.reference import chen_wang_idct
+blocks = [[list(r) for r in m] for m in random_matrices(8)]
+with ThreadPoolExecutor(max_workers=8) as pool:
+    results = list(pool.map(
+        lambda b: post("/v1/idct", {"design": "verilog-initial",
+                                    "blocks": [b]}), blocks))
+for (status, body), block in zip(results, blocks):
+    assert status == 200
+    assert json.loads(body)["outputs"] == [chen_wang_idct(block)]
+
+with urllib.request.urlopen(base + "/metrics", timeout=60) as resp:
+    metrics = resp.read().decode()
+lines = dict(line.split(" ", 1) for line in metrics.splitlines()
+             if line and not line.startswith("#") and "{" not in line)
+assert float(lines.get("repro_cache_hits", 0)) > 0, "expected warm-cache hits"
+invocations = int(lines["repro_serve_sim_invocations"])
+assert invocations < len(blocks), \
+    f"{len(blocks)} requests should coalesce below {len(blocks)} invocations"
+print(f"serve: cache.hits={lines['repro_cache_hits']}, "
+      f"{len(blocks)} requests -> {invocations} invocations")
+EOF
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+echo "ok"
+
 echo "all checks passed"

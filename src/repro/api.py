@@ -38,6 +38,10 @@ from .frontends.base import Design
 from .resilience.checkpoint import Checkpoint
 from .resilience.runner import RunnerConfig, SweepRunner
 
+# Default worker-recycling stride (mirrored from repro.exec without
+# importing it eagerly — exec pulls in multiprocessing machinery).
+_DEFAULT_RECYCLE = 64
+
 __all__ = [
     "Session",
     "resolve_design",
@@ -204,6 +208,9 @@ class Session:
         JSONL sweep checkpoint path and whether to resume from it.
     inject_faults:
         Design names (alias-aware) forced to fail, for resilience drills.
+    max_tasks_per_child:
+        Recycle sweep pool workers after this many tasks each (bounds
+        worker memory on long-running services); ``None`` disables.
     """
 
     def __init__(
@@ -216,6 +223,7 @@ class Session:
         checkpoint: str | os.PathLike | None = None,
         resume: bool = False,
         inject_faults=(),
+        max_tasks_per_child: int | None = _DEFAULT_RECYCLE,
     ) -> None:
         self.jobs = max(1, int(jobs))
         if cache is not None and not isinstance(cache, ArtifactCache):
@@ -236,6 +244,8 @@ class Session:
         self.inject_faults = frozenset(canonical_name(n)
                                        for n in inject_faults)
         self.last_runner: SweepRunner | None = None
+        self.max_tasks_per_child = max_tasks_per_child
+        self._evaluators: dict[str, object] = {}
         if self.trace:
             from . import obs
 
@@ -273,7 +283,8 @@ class Session:
             runner: SweepRunner = ParallelSweepRunner(
                 tasks=tasks, jobs=self.jobs, cache=self.cache,
                 config=self.runner_config, checkpoint=checkpoint,
-                inject_failures=self.inject_faults)
+                inject_failures=self.inject_faults,
+                max_tasks_per_child=self.max_tasks_per_child)
             runner.prefetch()
         else:
             runner = SweepRunner(config=self.runner_config,
@@ -330,6 +341,45 @@ class Session:
         with self._activated():
             measured = measure_design(design, use_cache=False)
         return design, measured
+
+    def evaluator(self, name: str):
+        """The memoized hot :class:`~repro.serve.DesignEvaluator` for
+        ``name`` (built — and verified bit-exact — on first use)."""
+        from .serve.evaluator import DesignEvaluator
+
+        resolved = resolve_design(name)
+        evaluator = self._evaluators.get(resolved)
+        if evaluator is None:
+            with self._activated():
+                evaluator = DesignEvaluator(resolved, session=self)
+            self._evaluators[resolved] = evaluator
+        return evaluator
+
+    def loaded_evaluators(self) -> list[str]:
+        """Design names with a live evaluator in this session."""
+        return sorted(self._evaluators)
+
+    def idct(self, name: str, blocks, engine: str = "model"):
+        """Evaluate 8×8 blocks through one verified design point.
+
+        This is the *serial* path the service's batched ``/v1/idct``
+        endpoint is checked bit-exact against: one simulator invocation
+        per call, however many blocks the call carries.
+        """
+        from .serve.evaluator import validate_blocks
+
+        evaluator = self.evaluator(name)
+        with self._activated():
+            return evaluator.evaluate(validate_blocks(blocks), engine=engine)
+
+    def serve(self, *, announce=None, **config) -> int:
+        """Run the evaluation service over this session; returns the
+        process exit code (0 after a clean SIGTERM drain, 3 after ^C).
+        ``config`` keywords populate :class:`~repro.serve.ServeConfig`."""
+        from .serve import EvalServer, ServeConfig
+
+        server = EvalServer(self, ServeConfig(**config))
+        return server.serve_forever(announce=announce)
 
     def faults(self, name: str, limit: int = 64, seed: int = 1, **kwargs):
         """Run the mutation campaign against the compliance verifier."""

@@ -15,6 +15,14 @@ Commands:
   — regenerate the DSE scatter;
 * ``verify <design> [--engine interp|compiled]`` — build and verify one
   design by name; exits 1 on a compliance failure;
+* ``measure <design> [--json] [--cache DIR]`` — fully characterize one
+  design; ``--json`` dumps the canonical ``Measured.to_json()`` record
+  (byte-identical to the service's ``POST /v1/measure`` response);
+* ``serve [--host H] [--port P] [--jobs N] [--cache DIR] [--max-batch B]
+  [--batch-wait-ms W] [--max-inflight Q] [--budget-s S] [--warm NAME]``
+  — run the asyncio evaluation service (``/v1/idct`` micro-batching,
+  admission control, ``/healthz`` + ``/metrics``); SIGTERM drains
+  in-flight work and exits 0, ^C drains and exits 3;
 * ``profile <design> [--trace PATH] [--metrics PATH]`` — run one design
   through the full pipeline with tracing on and print the per-phase
   breakdown;
@@ -44,6 +52,11 @@ code  meaning
 3     interrupted sweep (``SweepInterrupted`` or ^C); the
       checkpoint stays consistent for ``--resume``
 ====  ==========================================================
+
+``serve`` maps its lifecycle onto the same contract: a SIGTERM drain
+(finish in-flight work, then exit) is success (0), ^C drains but exits 3,
+and an unusable ``--port`` or unknown ``--warm`` design is a usage
+error (2).
 
 Design names accept frontend-package aliases (``vlog-opt`` for
 ``verilog-opt``, ``hc-opt`` for ``chisel-opt``, ``rules-*`` for
@@ -134,7 +147,8 @@ def _make_session(args, *, trace: bool = False):
     return Session(jobs=args.jobs, cache=args.cache, runner=config,
                    trace=trace, checkpoint=args.checkpoint,
                    resume=args.resume,
-                   inject_faults=args.inject_fault or [])
+                   inject_faults=args.inject_fault or [],
+                   max_tasks_per_child=args.max_tasks_per_child or None)
 
 
 def _print_summaries(session) -> None:
@@ -224,6 +238,64 @@ def _cmd_verify(args) -> int:
     print(f"  area {measured.area} (N*LUT {measured.lut_star} + "
           f"N*FF {measured.ff_star}), {measured.dsp} DSP, {measured.n_io} IO")
     return 0 if measured.bit_exact else 1
+
+
+def _cmd_measure(args) -> int:
+    from .api import Session
+    from .core.errors import EvaluationError
+
+    session = Session(cache=args.cache)
+    try:
+        measured = session.measure(args.design)
+    except EvaluationError as exc:
+        from .api import UsageError
+
+        if isinstance(exc, UsageError):
+            raise
+        print(f"{args.design}: COMPLIANCE FAILURE — {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        sys.stdout.write(measured.to_json())
+    else:
+        print(f"{measured.name} ({measured.language}/{measured.tool}, "
+              f"{measured.config})")
+        print(f"  bit-exact: {measured.bit_exact}  loc {measured.loc}")
+        print(f"  latency {measured.latency} cycles, periodicity "
+              f"{measured.periodicity} cycles")
+        print(f"  fmax {measured.fmax_mhz:.2f} MHz, throughput "
+              f"{measured.throughput_mops:.2f} MOPS")
+        print(f"  area {measured.area} (N*LUT {measured.lut_star} + "
+              f"N*FF {measured.ff_star}), {measured.dsp} DSP, "
+              f"{measured.n_io} IO")
+    _print_summaries(session)
+    return 0 if measured.bit_exact else 1
+
+
+def _cmd_serve(args) -> int:
+    from .api import Session
+
+    session = Session(jobs=args.jobs, cache=args.cache)
+
+    def announce(host: str, port: int) -> None:
+        print(f"serving on {host}:{port}", flush=True)
+
+    try:
+        return session.serve(
+            announce=announce,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            batch_wait_s=args.batch_wait_ms / 1000.0,
+            max_inflight=args.max_inflight,
+            max_jobs=args.max_jobs,
+            request_budget_s=args.budget_s,
+            warm=tuple(args.warm or ()),
+            drain_grace_s=args.drain_grace_s,
+        )
+    except OSError as exc:
+        print(f"cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
 
 
 def _cmd_profile(args) -> int:
@@ -335,6 +407,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="simulation-cycle budget per design")
         p.add_argument("--retries", type=int, default=1,
                        help="same-config retries per design (default 1)")
+        p.add_argument("--max-tasks-per-child", type=int, default=64,
+                       metavar="T",
+                       help="recycle pool workers after T tasks each "
+                            "(bounds worker memory; 0 disables)")
 
     p_table2 = sub.add_parser("table2", help="regenerate Table II")
     p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
@@ -361,6 +437,46 @@ def main(argv: list[str] | None = None) -> int:
                           default="compiled",
                           help="simulator evaluation engine")
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_measure = sub.add_parser(
+        "measure", help="fully characterize one design by name")
+    p_measure.add_argument("design")
+    p_measure.add_argument("--json", action="store_true",
+                           help="dump the canonical Measured record "
+                                "(matches POST /v1/measure byte-for-byte)")
+    p_measure.add_argument("--cache", metavar="DIR",
+                           help="content-addressed artifact cache directory")
+    p_measure.set_defaults(fn=_cmd_measure)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the asyncio evaluation service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8349,
+                         help="TCP port (0 picks a free one; the chosen "
+                              "port is announced on stdout)")
+    p_serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for sweep jobs")
+    p_serve.add_argument("--cache", metavar="DIR",
+                         help="artifact cache for warm starts and sweeps")
+    p_serve.add_argument("--max-batch", type=int, default=16, metavar="B",
+                         help="blocks per /v1/idct batch window (default 16)")
+    p_serve.add_argument("--batch-wait-ms", type=float, default=5.0,
+                         metavar="W",
+                         help="max extra latency a request may wait for "
+                              "its batch to fill (default 5 ms)")
+    p_serve.add_argument("--max-inflight", type=int, default=64, metavar="Q",
+                         help="admitted compute requests before 429")
+    p_serve.add_argument("--max-jobs", type=int, default=8,
+                         help="queued sweep jobs before 429")
+    p_serve.add_argument("--budget-s", type=float, default=None,
+                         help="wall-clock budget per request (504 past it)")
+    p_serve.add_argument("--warm", action="append", metavar="NAME",
+                         help="measure this design at startup (repeatable; "
+                              "hits the cache when warm)")
+    p_serve.add_argument("--drain-grace-s", type=float, default=30.0,
+                         help="max seconds to finish in-flight work on "
+                              "SIGTERM (default 30)")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_profile = sub.add_parser(
         "profile", help="trace one design through the pipeline")

@@ -13,6 +13,7 @@ N_IO (the paper's 59).
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 
 from .. import cache as artifact_cache
@@ -64,6 +65,15 @@ class Measured:
     def to_dict(self) -> dict:
         """Flatten into JSON-ready primitives (exact float round-trip)."""
         return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        """Canonical JSON text, newline-terminated.
+
+        This is the *one* serialization the CLI (``measure --json``) and
+        the evaluation service (``POST /v1/measure``) both emit, so the
+        two can be compared byte-for-byte.
+        """
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     @classmethod
     def from_dict(cls, data: dict) -> "Measured":

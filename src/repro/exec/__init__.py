@@ -11,8 +11,12 @@ a serial run:
   pool-backed :class:`~repro.resilience.runner.SweepRunner`.
 """
 
-from .parallel import ParallelSweepRunner, PrebuiltPoint
+from .parallel import (
+    DEFAULT_MAX_TASKS_PER_CHILD,
+    ParallelSweepRunner,
+    PrebuiltPoint,
+)
 from .tasks import SweepTask, fig1_tasks, table2_tasks
 
 __all__ = ["ParallelSweepRunner", "PrebuiltPoint", "SweepTask",
-           "fig1_tasks", "table2_tasks"]
+           "fig1_tasks", "table2_tasks", "DEFAULT_MAX_TASKS_PER_CHILD"]

@@ -38,7 +38,14 @@ from ..resilience.runner import DesignResult, SweepRunner, result_from_record
 from .tasks import SweepTask
 from . import worker as worker_mod
 
-__all__ = ["ParallelSweepRunner", "PrebuiltPoint"]
+__all__ = ["ParallelSweepRunner", "PrebuiltPoint", "DEFAULT_MAX_TASKS_PER_CHILD"]
+
+#: Tasks a pool worker may serve before the whole pool is recycled.
+#: Design builds memoize netlists and compiled simulators per process, so
+#: a long-lived worker grows monotonically; recycling bounds its footprint
+#: the way ``multiprocessing.Pool(maxtasksperchild=…)`` would, but without
+#: requiring a non-fork start method.
+DEFAULT_MAX_TASKS_PER_CHILD = 64
 
 
 @dataclass
@@ -63,18 +70,31 @@ class ParallelSweepRunner(SweepRunner):
     """A :class:`SweepRunner` that prefetches results across processes."""
 
     def __init__(self, tasks: list[SweepTask] | tuple = (), jobs: int = 2,
-                 cache: ArtifactCache | None = None, **kwargs) -> None:
+                 cache: ArtifactCache | None = None,
+                 max_tasks_per_child: int | None = DEFAULT_MAX_TASKS_PER_CHILD,
+                 **kwargs) -> None:
         super().__init__(**kwargs)
         self.tasks = list(tasks)
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.max_tasks_per_child = (None if not max_tasks_per_child
+                                    else max(1, int(max_tasks_per_child)))
+        self.pools_used = 0
         self._prefetched: dict[str, dict] = {}
         self._deferred: dict[tuple[str, str], dict] = {}
         self._prefetch_done = False
 
     # ------------------------------------------------------------------
     def prefetch(self) -> int:
-        """Measure every task in the pool; returns the prefetched count."""
+        """Measure every task in the pool; returns the prefetched count.
+
+        Pools are recycled every ``jobs * max_tasks_per_child`` tasks so
+        that no worker process ever serves more than
+        ``max_tasks_per_child`` tasks: long-running sweeps (and the
+        evaluation service's background jobs) keep worker memory bounded
+        instead of accumulating per-process design memos forever.  Merge
+        order stays the task order, so recycling never perturbs output.
+        """
         if self._prefetch_done:
             return len(self._prefetched)
         self._prefetch_done = True
@@ -86,27 +106,35 @@ class ParallelSweepRunner(SweepRunner):
                 "trace": trace_on, "skip": skip}
         cache_dir = self.cache.root if self.cache is not None else None
         results: list[dict | None] = [None] * len(self.tasks)
-        pool = ProcessPoolExecutor(
-            max_workers=self.jobs,
-            mp_context=_pool_context(),
-            initializer=worker_mod.init_worker,
-            initargs=(cache_dir, trace_on),
-        )
-        try:
-            futures = {
-                pool.submit(worker_mod.run_task, dict(base, task=task)): i
-                for i, task in enumerate(self.tasks)
-            }
-            for future in as_completed(futures):
-                results[futures[future]] = future.result()
-        except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        finally:
-            pool.shutdown(wait=True)
+        if self.max_tasks_per_child is None:
+            stride = len(self.tasks)
+        else:
+            stride = self.jobs * self.max_tasks_per_child
+        for start in range(0, len(self.tasks), stride):
+            chunk = self.tasks[start:start + stride]
+            pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_pool_context(),
+                initializer=worker_mod.init_worker,
+                initargs=(cache_dir, trace_on),
+            )
+            self.pools_used += 1
+            try:
+                futures = {
+                    pool.submit(worker_mod.run_task, dict(base, task=task)):
+                        start + i
+                    for i, task in enumerate(chunk)
+                }
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            finally:
+                pool.shutdown(wait=True)
         self._merge(results)
         obs_trace.event("exec.prefetch_done", tasks=len(self.tasks),
-                        jobs=self.jobs)
+                        jobs=self.jobs, pools=self.pools_used)
         return len(self._prefetched)
 
     def _merge(self, results: list[dict | None]) -> None:

@@ -9,12 +9,16 @@ Consumes the default tracer/registry (or explicit ones) and renders:
   from spans, attributing each span to its nearest ancestor carrying a
   ``design`` attribute (this is what ``table2 --metrics`` exports);
 * :func:`write_trace_jsonl` / :func:`write_metrics_json` — the
-  ``trace.jsonl`` / ``metrics.json`` artifacts.
+  ``trace.jsonl`` / ``metrics.json`` artifacts;
+* :func:`render_prometheus` — the registry snapshot in Prometheus text
+  exposition format (what ``GET /metrics`` on the evaluation service
+  returns).
 """
 
 from __future__ import annotations
 
 import json
+import re
 
 from . import metrics as _metrics
 from . import trace as _trace
@@ -25,6 +29,7 @@ __all__ = [
     "phase_breakdown",
     "write_trace_jsonl",
     "write_metrics_json",
+    "render_prometheus",
 ]
 
 
@@ -136,6 +141,42 @@ def phase_breakdown(
         for slot in phases.values():
             slot["seconds"] = round(slot["seconds"], 6)
     return out
+
+
+def _prom_name(name: str, prefix: str = "repro_") -> str:
+    """Map a dotted instrument name onto the Prometheus grammar."""
+    return prefix + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def render_prometheus(registry: _metrics.MetricsRegistry | None = None) -> str:
+    """The registry snapshot in Prometheus text exposition format.
+
+    Dotted instrument names become underscored with a ``repro_`` prefix
+    (``cache.hits`` → ``repro_cache_hits``).  Histograms keep their
+    power-of-two buckets, emitted cumulatively with the conventional
+    ``_bucket{le=…}`` / ``_sum`` / ``_count`` series.
+    """
+    snap = (registry or _metrics.REGISTRY).snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in snap["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value:g}")
+    for name, hist in snap["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        running = 0
+        for le, count in sorted((int(k), v) for k, v in hist["buckets"].items()):
+            running += count
+            lines.append(f'{prom}_bucket{{le="{le}"}} {running}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{prom}_sum {hist['sum']:g}")
+        lines.append(f"{prom}_count {hist['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def write_trace_jsonl(path, tracer: _trace.Tracer | None = None) -> int:

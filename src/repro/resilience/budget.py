@@ -6,11 +6,17 @@ per clock edge via :func:`charge`.  Exhausting either dimension raises
 :class:`~repro.core.errors.BudgetExceeded`, which the sweep runner turns
 into a ``FAILED(BudgetExceeded)`` cell instead of a dead sweep.
 
-Costs when no budget is armed: one module-global read per charge call, so
-unbudgeted simulation speed (and the obs disabled-overhead guard) is
-unaffected.  The wall clock is only consulted every
+Costs when no budget is armed: one thread-local attribute read per charge
+call, so unbudgeted simulation speed (and the obs disabled-overhead guard)
+is unaffected.  The wall clock is only consulted every
 :data:`WALL_CHECK_INTERVAL` cycles to keep ``time.monotonic`` off the hot
 path.
+
+The armed budget is **per thread**: the evaluation service
+(:mod:`repro.serve`) arms request budgets from its executor threads, and a
+budget armed for one request must never charge work running on another
+thread.  Sweep processes are single-threaded, so for them this is
+indistinguishable from a process-global.
 
 This module deliberately sits below the rest of :mod:`repro.resilience`
 (it imports only :mod:`repro.core.errors`) so the simulator can depend on
@@ -19,6 +25,7 @@ it without a cycle.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -28,7 +35,7 @@ __all__ = ["Budget", "limit", "active", "charge", "WALL_CHECK_INTERVAL"]
 
 WALL_CHECK_INTERVAL = 256
 
-_ACTIVE: "Budget | None" = None
+_STATE = threading.local()
 
 
 class Budget:
@@ -82,13 +89,13 @@ class Budget:
 
 
 def active() -> Budget | None:
-    """The budget currently armed for this process, if any."""
-    return _ACTIVE
+    """The budget currently armed for this thread, if any."""
+    return getattr(_STATE, "budget", None)
 
 
 def charge(n: int = 1) -> None:
-    """Charge the active budget (no-op — one global read — when unarmed)."""
-    budget = _ACTIVE
+    """Charge the active budget (no-op — one local read — when unarmed)."""
+    budget = getattr(_STATE, "budget", None)
     if budget is not None:
         budget.charge(n)
 
@@ -96,10 +103,9 @@ def charge(n: int = 1) -> None:
 @contextmanager
 def limit(budget: Budget | None):
     """Arm ``budget`` for the enclosed region (nestable; inner wins)."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = budget if budget is not None else previous
+    previous = getattr(_STATE, "budget", None)
+    _STATE.budget = budget if budget is not None else previous
     try:
         yield budget
     finally:
-        _ACTIVE = previous
+        _STATE.budget = previous

@@ -1,0 +1,32 @@
+"""``repro.serve`` — a long-running asyncio evaluation service.
+
+Turns the one-shot pipeline into a server (``python -m repro serve``)
+whose endpoints expose :class:`~repro.api.Session` operations over a
+stdlib-only JSON/HTTP protocol:
+
+* :mod:`repro.serve.protocol`  — HTTP/1.1 framing over asyncio streams;
+* :mod:`repro.serve.evaluator` — hot per-design evaluation state
+  (vectorized model / compiled simulator engines);
+* :mod:`repro.serve.batcher`   — the ``/v1/idct`` micro-batch window;
+* :mod:`repro.serve.jobs`      — async ``table2``/``fig1`` sweep jobs;
+* :mod:`repro.serve.server`    — routing, admission control (429),
+  per-request budgets (504), and the SIGTERM drain lifecycle.
+
+See the README's "Evaluation service" section for the endpoint and
+exit-code contracts.
+"""
+
+from .batcher import MicroBatcher
+from .evaluator import DesignEvaluator, validate_blocks
+from .jobs import Job, JobManager
+from .server import EvalServer, ServeConfig
+
+__all__ = [
+    "EvalServer",
+    "ServeConfig",
+    "MicroBatcher",
+    "DesignEvaluator",
+    "validate_blocks",
+    "Job",
+    "JobManager",
+]

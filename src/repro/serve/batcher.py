@@ -1,0 +1,131 @@
+"""Request coalescing: the micro-batcher behind ``POST /v1/idct``.
+
+Concurrent requests for the same ``(design, engine)`` key are merged into
+one vectorized evaluation.  A batch flushes when either window closes:
+
+* **max-size** — the pending batch holds at least ``max_batch`` blocks
+  (a flush takes *everything* pending, so a burst arriving faster than
+  the flusher runs may evaluate in batches larger than ``max_batch``;
+  coalescing only ever lowers the invocation count);
+* **max-latency** — ``max_wait_s`` elapsed since the batch opened, so a
+  lone request is never parked behind a window that might not fill.
+
+``submit`` resolves to exactly the outputs for the caller's own blocks,
+in order.  If the batch evaluation fails, every member request receives
+the same exception — the server maps budget exhaustion to 504 and
+anything else to 500.
+
+The batcher is a pure asyncio component: it owns no threads and calls
+an async ``runner(key, blocks)`` the server wires to its compute
+executor.  Determinism note for tests: ``submit`` never yields before
+enqueueing, so N submits issued in one task before the first ``await``
+always coalesce into ⌈N·blocks/max_batch⌉ invocations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["MicroBatcher"]
+
+Runner = Callable[[Hashable, list], Awaitable[list]]
+
+
+class _Pending:
+    """One open batch window for a key."""
+
+    __slots__ = ("items", "blocks", "ready", "task")
+
+    def __init__(self) -> None:
+        self.items: list[tuple[list, asyncio.Future]] = []
+        self.blocks = 0
+        self.ready = asyncio.Event()
+        self.task: asyncio.Task | None = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent same-key submissions into one runner call."""
+
+    def __init__(self, runner: Runner, max_batch: int = 16,
+                 max_wait_s: float = 0.005) -> None:
+        self.runner = runner
+        self.max_batch = max(1, int(max_batch))
+        self.max_wait_s = max(0.0, float(max_wait_s))
+        self._pending: dict[Hashable, _Pending] = {}
+        self._flushes: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    async def submit(self, key: Hashable, blocks: list) -> list:
+        """Queue ``blocks`` under ``key``; resolves to their outputs."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        pend = self._pending.get(key)
+        if pend is None:
+            pend = self._pending[key] = _Pending()
+            pend.task = loop.create_task(self._flush_window(key, pend))
+            self._flushes.add(pend.task)
+            pend.task.add_done_callback(self._flushes.discard)
+        pend.items.append((blocks, future))
+        pend.blocks += len(blocks)
+        obs_metrics.set_gauge(
+            "serve.batch_pending",
+            sum(p.blocks for p in self._pending.values()))
+        if pend.blocks >= self.max_batch:
+            pend.ready.set()
+        return await future
+
+    async def drain(self) -> None:
+        """Flush and await every open window (used at shutdown)."""
+        for pend in self._pending.values():
+            pend.ready.set()
+        if self._flushes:
+            await asyncio.gather(*list(self._flushes), return_exceptions=True)
+
+    @property
+    def open_windows(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    async def _flush_window(self, key: Hashable, pend: _Pending) -> None:
+        if self.max_wait_s > 0:
+            try:
+                await asyncio.wait_for(pend.ready.wait(), self.max_wait_s)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            # Zero-latency window: still yield once so a same-tick burst
+            # (submits issued before any await) coalesces.
+            await asyncio.sleep(0)
+        # Close the window first: later submits open a fresh batch.
+        if self._pending.get(key) is pend:
+            del self._pending[key]
+        obs_metrics.set_gauge(
+            "serve.batch_pending",
+            sum(p.blocks for p in self._pending.values()))
+        batch: list = []
+        for blocks, _future in pend.items:
+            batch.extend(blocks)
+        try:
+            outputs = await self.runner(key, batch)
+        except BaseException as exc:  # noqa: BLE001 - forwarded per request
+            for _blocks, future in pend.items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(outputs) != len(batch):
+            mismatch = RuntimeError(
+                f"runner returned {len(outputs)} outputs for {len(batch)} "
+                f"blocks")
+            for _blocks, future in pend.items:
+                if not future.done():
+                    future.set_exception(mismatch)
+            return
+        offset = 0
+        for blocks, future in pend.items:
+            share = outputs[offset:offset + len(blocks)]
+            offset += len(blocks)
+            if not future.done():
+                future.set_result(share)

@@ -1,0 +1,129 @@
+"""Hot per-design evaluation state for the service's ``/v1/idct`` path.
+
+A :class:`DesignEvaluator` is built once per design name and then serves
+every batch that the :class:`~repro.serve.batcher.MicroBatcher` coalesces
+for that design.  Construction is the *warm start*: the design is built,
+fully measured through :func:`~repro.eval.measure.measure_design` (which
+consults the content-addressed artifact cache when one is active), and
+rejected outright unless it verified bit-exact against the golden model —
+a service must never serve blocks through a design whose hardware output
+is wrong.
+
+Two evaluation engines share one results contract (bit-identical output):
+
+* ``"model"`` (default) — the vectorized :func:`repro.idct.batch.\
+batch_chen_wang` twin of the golden model, valid precisely because the
+  warm start proved the design bit-exact against it.  One numpy call per
+  batch, so throughput grows with batch size.
+* ``"sim"`` — the compiled cycle-accurate simulator: all blocks of the
+  batch are streamed through the design's AXI wrapper in a single
+  :meth:`~repro.axis.harness.StreamHarness.run_matrices` run, amortizing
+  pipeline fill across the batch.
+
+Every invocation records ``serve.sim_invocations`` / ``serve.blocks_total``
+counters and the ``serve.batch_size`` histogram, which is how both the
+coalescing test and the service benchmark argue batching wins from obs
+metrics rather than ad-hoc timing.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import EvaluationError
+from ..idct.constants import INPUT_MAX, INPUT_MIN, SIZE
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+__all__ = ["DesignEvaluator", "validate_blocks"]
+
+Block = list[list[int]]
+
+
+def validate_blocks(blocks) -> list[Block]:
+    """Check shape (n×8×8) and the 12-bit signed input range.
+
+    Raises ``ValueError`` with a client-presentable message; the server
+    maps it to a 400 response.
+    """
+    if not isinstance(blocks, (list, tuple)) or not blocks:
+        raise ValueError("'blocks' must be a non-empty list of 8x8 matrices")
+    for b, block in enumerate(blocks):
+        if not isinstance(block, (list, tuple)) or len(block) != SIZE:
+            raise ValueError(f"blocks[{b}] must have {SIZE} rows")
+        for r, row in enumerate(block):
+            if not isinstance(row, (list, tuple)) or len(row) != SIZE:
+                raise ValueError(f"blocks[{b}][{r}] must have {SIZE} values")
+            for value in row:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ValueError(
+                        f"blocks[{b}][{r}] contains a non-integer value")
+                if not INPUT_MIN <= value <= INPUT_MAX:
+                    raise ValueError(
+                        f"blocks[{b}][{r}] value {value} outside "
+                        f"[{INPUT_MIN}, {INPUT_MAX}]")
+    return [list(map(list, block)) for block in blocks]
+
+
+class DesignEvaluator:
+    """One verified design point, kept hot for batched block evaluation."""
+
+    ENGINES = ("model", "sim")
+
+    def __init__(self, name: str, session=None) -> None:
+        if session is None:
+            from ..api import Session
+
+            session = Session()
+        self.design = session.build(name)
+        self.name = self.design.name
+        # Warm start: a full (cache-aware) measurement doubles as the
+        # bit-exactness proof that licenses the vectorized model engine.
+        self.measured = session.measure(self.name)
+        if not self.measured.bit_exact:
+            raise EvaluationError(
+                f"{self.name} is not bit-exact against the golden model; "
+                f"refusing to serve it", design=self.name, phase="serve.warm")
+        self._sim = None
+        self._harness = None
+
+    # ------------------------------------------------------------------
+    def _sim_harness(self):
+        if self._harness is None:
+            from ..axis.harness import StreamHarness
+            from ..sim import Simulator
+
+            self._sim = Simulator(self.design.top)
+            self._harness = StreamHarness(self._sim, self.design.spec)
+        return self._harness
+
+    # ------------------------------------------------------------------
+    def evaluate(self, blocks: list[Block], engine: str = "model") -> list[Block]:
+        """Evaluate one (possibly coalesced) batch of 8×8 blocks.
+
+        Exactly one "simulator invocation" regardless of batch size:
+        one vectorized model call, or one streamed simulator run.
+        """
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (choices: {', '.join(self.ENGINES)})")
+        with obs_trace.span("serve.evaluate", design=self.name,
+                            engine=engine, blocks=len(blocks)):
+            obs_metrics.inc("serve.sim_invocations")
+            obs_metrics.inc("serve.blocks_total", len(blocks))
+            obs_metrics.observe("serve.batch_size", len(blocks))
+            if engine == "model":
+                return self._evaluate_model(blocks)
+            return self._evaluate_sim(blocks)
+
+    def _evaluate_model(self, blocks: list[Block]) -> list[Block]:
+        import numpy as np
+
+        from ..idct.batch import batch_chen_wang
+
+        out = batch_chen_wang(np.asarray(blocks, dtype=np.int64))
+        return [[[int(v) for v in row] for row in block] for block in out]
+
+    def _evaluate_sim(self, blocks: list[Block]) -> list[Block]:
+        harness = self._sim_harness()
+        self._sim.reset()
+        outputs, _timing = harness.run_matrices(blocks)
+        return outputs

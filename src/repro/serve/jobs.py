@@ -1,0 +1,134 @@
+"""Asynchronous sweep jobs: ``POST /v1/jobs`` + ``GET /v1/jobs/<id>``.
+
+A job runs one of the paper's sweep artifacts (``table2`` or ``fig1``)
+through the server's :class:`~repro.api.Session` — inheriting its
+``jobs``/cache/budget policy, so a service started with ``--jobs 4``
+executes sweep jobs on the sharded
+:class:`~repro.exec.ParallelSweepRunner` — and stores the rendered text
+(exactly what the CLI would print) as the job result.
+
+Jobs execute on a dedicated single-thread executor: one sweep at a time,
+never blocking the event loop or the ``/v1/idct`` compute thread.  The
+queue is bounded (:attr:`JobManager.max_queued`); past that, submission
+reports overload and the server answers 429.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["Job", "JobManager", "JobQueueFull", "UnknownJobKind"]
+
+#: Sweep parameters a job may set, per kind (anything else is a 400).
+ALLOWED_PARAMS = {
+    "table2": {"tools"},
+    "fig1": {"full", "bsc_configs", "bambu_configs", "xls_stages"},
+}
+
+
+class JobQueueFull(Exception):
+    """Too many queued jobs; the server answers 429."""
+
+
+class UnknownJobKind(Exception):
+    """Job kind is not ``table2`` or ``fig1``; the server answers 400."""
+
+
+@dataclass
+class Job:
+    """One submitted sweep and its lifecycle state."""
+
+    id: str
+    kind: str
+    params: dict
+    status: str = "queued"       # queued | running | done | failed
+    output: str | None = None
+    error: str | None = None
+    summary: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        payload = {"id": self.id, "kind": self.kind, "params": self.params,
+                   "status": self.status}
+        if self.output is not None:
+            payload["output"] = self.output
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.summary:
+            payload["summary"] = self.summary
+        return payload
+
+
+class JobManager:
+    """Bounded FIFO of sweep jobs over one worker thread."""
+
+    def __init__(self, session, max_queued: int = 8) -> None:
+        self.session = session
+        self.max_queued = max_queued
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-job")
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, params: dict | None = None) -> Job:
+        params = dict(params or {})
+        allowed = ALLOWED_PARAMS.get(kind)
+        if allowed is None:
+            raise UnknownJobKind(
+                f"unknown job kind {kind!r} "
+                f"(choices: {', '.join(ALLOWED_PARAMS)})")
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise UnknownJobKind(
+                f"unknown {kind} parameter {unknown[0]!r} "
+                f"(choices: {', '.join(sorted(allowed))})")
+        with self._lock:
+            waiting = sum(1 for job in self._jobs.values()
+                          if job.status in ("queued", "running"))
+            if waiting >= self.max_queued:
+                raise JobQueueFull(
+                    f"{waiting} jobs already queued (limit {self.max_queued})")
+            job = Job(id=f"job-{next(self._ids)}", kind=kind, params=params)
+            self._jobs[job.id] = job
+        obs_metrics.inc("serve.jobs_submitted")
+        self._executor.submit(self._run, job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Finish queued work and stop accepting more."""
+        self._executor.shutdown(wait=timeout is None or timeout > 0)
+
+    # ------------------------------------------------------------------
+    def _run(self, job: Job) -> None:
+        job.status = "running"
+        obs_metrics.set_gauge("serve.jobs_running", 1)
+        try:
+            if job.kind == "table2":
+                from ..eval import render_table2
+
+                table = self.session.table2(tools=job.params.get("tools"))
+                job.output = render_table2(table)
+            else:
+                from ..eval.experiments import render_fig1
+
+                series = self.session.fig1(**job.params)
+                job.output = render_fig1(series)
+            job.summary = self.session.summary_lines()
+            job.status = "done"
+            obs_metrics.inc("serve.jobs_done")
+        except Exception as exc:  # noqa: BLE001 - reported via the job record
+            job.error = str(exc)
+            job.status = "failed"
+            obs_metrics.inc("serve.jobs_failed")
+        finally:
+            obs_metrics.set_gauge("serve.jobs_running", 0)

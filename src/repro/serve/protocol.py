@@ -1,0 +1,168 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The evaluation service speaks just enough HTTP for its JSON endpoints:
+request line + headers + ``Content-Length`` body in, status line +
+headers + body out, with keep-alive connections.  There is deliberately
+no routing framework, chunked encoding, or TLS — the protocol layer is
+~150 lines the test suite can drive through a pair of in-memory streams.
+
+Errors while *parsing* raise :class:`ProtocolError` carrying the HTTP
+status the connection handler should answer with (400 malformed, 413 too
+large, 505 unsupported version) before closing the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Request",
+    "Response",
+    "ProtocolError",
+    "read_request",
+    "write_response",
+    "json_response",
+    "error_response",
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+]
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Content",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+    505: "HTTP Version Not Supported",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized request; ``status`` is the HTTP answer."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object; raises :class:`ProtocolError` (400)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+
+@dataclass
+class Response:
+    """One response ready to serialize."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = MAX_BODY_BYTES) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF before the request line."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request line")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request line too long", status=413)
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported version {version}", status=505)
+
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolError("truncated headers")
+        if raw == b"\r\n":
+            break
+        total += len(raw)
+        if total > MAX_HEADER_BYTES:
+            raise ProtocolError("headers too large", status=413)
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise ProtocolError("bad Content-Length")
+    if length < 0:
+        raise ProtocolError("bad Content-Length")
+    if length > max_body:
+        raise ProtocolError(f"body exceeds {max_body} bytes", status=413)
+    body = await reader.readexactly(length) if length else b""
+
+    path, _, query = target.partition("?")
+    return Request(method=method.upper(), path=path, query=query,
+                   headers=headers, body=body)
+
+
+async def write_response(writer: asyncio.StreamWriter, response: Response,
+                         keep_alive: bool = True) -> None:
+    """Serialize ``response`` with Content-Length framing and flush."""
+    reason = REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()
+
+
+def json_response(payload: dict, status: int = 200) -> Response:
+    """A canonical (sorted-keys) JSON response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body)
+
+
+def error_response(message: str, status: int) -> Response:
+    return json_response({"error": message}, status=status)

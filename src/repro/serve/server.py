@@ -1,0 +1,491 @@
+"""The asyncio evaluation server: routing, admission control, lifecycle.
+
+:class:`EvalServer` binds a :class:`~repro.api.Session` to a TCP port and
+exposes the pipeline as JSON-over-HTTP endpoints:
+
+====== ==================== ===========================================
+method path                 purpose
+====== ==================== ===========================================
+POST   ``/v1/idct``         evaluate 8×8 blocks against a named design,
+                            micro-batched across concurrent requests
+POST   ``/v1/verify``       fresh compliance verification of one design
+POST   ``/v1/measure``      full characterization; body is byte-identical
+                            to ``python -m repro measure <d> --json``
+POST   ``/v1/jobs``         start an async ``table2``/``fig1`` sweep
+GET    ``/v1/jobs/<id>``    poll a sweep job
+GET    ``/healthz``         liveness + drain state
+GET    ``/metrics``         live obs snapshot, Prometheus text format
+====== ==================== ===========================================
+
+Three policies wrap the endpoints:
+
+* **batching** — concurrent ``/v1/idct`` requests for one design
+  coalesce through :class:`~repro.serve.batcher.MicroBatcher` into
+  single vectorized evaluations (window: ``max_batch`` blocks or
+  ``batch_wait_s`` seconds, whichever closes first);
+* **admission control** — at most ``max_inflight`` compute requests are
+  admitted; past that the server answers **429** immediately (the
+  ``serve.queue_depth`` gauge tracks the admitted depth, and
+  ``serve.rejected_total`` counts the turn-aways).  Each admitted
+  request runs under an optional wall-clock budget
+  (:mod:`repro.resilience.budget`); exhaustion answers **504**;
+* **lifecycle** — construction warm-starts the configured designs
+  through the artifact cache; ``SIGTERM`` stops accepting work (new
+  compute requests answer **503**), finishes everything in flight, and
+  exits 0.  ``SIGINT`` drains the same way but exits 3, matching the
+  CLI's interrupt contract.
+
+All simulation/measurement runs on a single dedicated compute thread —
+the event loop only parses, batches, and answers, so ``/healthz`` and
+``/metrics`` stay live while the simulator is busy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.errors import BudgetExceeded, EvaluationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..resilience import budget as res_budget
+from .batcher import MicroBatcher
+from .evaluator import validate_blocks
+from .jobs import JobManager, JobQueueFull, UnknownJobKind
+from .protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    error_response,
+    json_response,
+    read_request,
+    write_response,
+)
+
+__all__ = ["ServeConfig", "EvalServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunable policy of one :class:`EvalServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8349
+    max_batch: int = 16          # blocks per /v1/idct batch window
+    batch_wait_s: float = 0.005  # max extra latency a request may wait
+    max_inflight: int = 64       # admitted compute requests (429 past this)
+    max_jobs: int = 8            # queued+running sweep jobs (429 past this)
+    request_budget_s: float | None = None  # per-request wall budget (504)
+    warm: tuple = ()             # design names measured at startup
+    drain_grace_s: float = 30.0  # max seconds to wait for in-flight work
+    obs: bool = True             # enable live metrics/span recording
+
+
+class _Admission:
+    """Bounded in-flight request counter with obs gauges."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = max(1, int(limit))
+        self.inflight = 0
+        self.idle = asyncio.Event()
+        self.idle.set()
+
+    def try_acquire(self) -> bool:
+        if self.inflight >= self.limit:
+            obs_metrics.inc("serve.rejected_total")
+            return False
+        self.inflight += 1
+        self.idle.clear()
+        obs_metrics.set_gauge("serve.queue_depth", self.inflight)
+        return True
+
+    def release(self) -> None:
+        self.inflight -= 1
+        obs_metrics.set_gauge("serve.queue_depth", self.inflight)
+        if self.inflight == 0:
+            self.idle.set()
+
+
+class EvalServer:
+    """One listening evaluation service over a configured Session."""
+
+    def __init__(self, session=None, config: ServeConfig | None = None) -> None:
+        if session is None:
+            from ..api import Session
+
+            session = Session()
+        self.session = session
+        self.config = config or ServeConfig()
+        self.port: int | None = None          # actual port once listening
+        self.batcher = MicroBatcher(self._run_batch,
+                                    max_batch=self.config.max_batch,
+                                    max_wait_s=self.config.batch_wait_s)
+        self.jobs = JobManager(session, max_queued=self.config.max_jobs)
+        self.admission = _Admission(self.config.max_inflight)
+        self._compute = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-eval")
+        self._draining = False
+        self._exit: asyncio.Future | None = None
+        self._started = time.monotonic()
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._listener: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def serve_forever(self, announce=None) -> int:
+        """Run until drained; returns the process exit code (0 or 3)."""
+        return asyncio.run(self.run(announce=announce))
+
+    async def run(self, announce=None) -> int:
+        """Async body of :meth:`serve_forever` (tests drive this directly)."""
+        loop = asyncio.get_running_loop()
+        self._exit = loop.create_future()
+        was_enabled = obs_trace.enabled()
+        if self.config.obs:
+            from .. import obs
+
+            obs.enable()
+        try:
+            for name in self.config.warm:
+                await loop.run_in_executor(
+                    self._compute, self.session.evaluator, name)
+            self._listener = await asyncio.start_server(
+                self._handle_conn, self.config.host, self.config.port)
+            self.port = self._listener.sockets[0].getsockname()[1]
+            self._started = time.monotonic()
+            handled_signals = []
+            for signum, code in ((signal.SIGTERM, 0), (signal.SIGINT, 3)):
+                try:
+                    loop.add_signal_handler(
+                        signum, self._begin_drain, code)
+                    handled_signals.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread (tests) or unsupported platform
+            if announce is not None:
+                announce(self.config.host, self.port)
+            try:
+                return await self._exit
+            finally:
+                for signum in handled_signals:
+                    loop.remove_signal_handler(signum)
+                await self._close_everything()
+        finally:
+            if self.config.obs and not was_enabled:
+                from .. import obs
+
+                obs.disable()
+
+    def request_drain(self, code: int = 0) -> None:
+        """Thread-safe drain trigger (what tests use instead of SIGTERM)."""
+        loop = self._exit.get_loop() if self._exit is not None else None
+        if loop is not None:
+            loop.call_soon_threadsafe(self._begin_drain, code)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _begin_drain(self, code: int) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        obs_metrics.set_gauge("serve.draining", 1)
+        obs_trace.event("serve.drain", code=code)
+        if self._listener is not None:
+            self._listener.close()
+        asyncio.get_running_loop().create_task(self._finish_drain(code))
+
+    async def _finish_drain(self, code: int) -> None:
+        grace = self.config.drain_grace_s
+        try:
+            await asyncio.wait_for(self.admission.idle.wait(), grace)
+        except asyncio.TimeoutError:
+            obs_trace.event("serve.drain_grace_expired",
+                            inflight=self.admission.inflight)
+        await self.batcher.drain()
+        loop = asyncio.get_running_loop()
+        # Finish the running sweep job, cancel queued ones.
+        await loop.run_in_executor(
+            None, lambda: self.jobs._executor.shutdown(
+                wait=True, cancel_futures=True))
+        if self._exit is not None and not self._exit.done():
+            self._exit.set_result(code)
+
+    async def _close_everything(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        for writer in list(self._conns):
+            writer.close()
+        self._compute.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    await write_response(
+                        writer, error_response(str(exc), exc.status),
+                        keep_alive=False)
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                keep = request.keep_alive and not self._draining
+                await write_response(writer, response, keep_alive=keep)
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        t_wall = time.time()
+        t0 = time.perf_counter()
+        try:
+            response = await self._route(request)
+        except ProtocolError as exc:
+            response = error_response(str(exc), exc.status)
+        except Exception as exc:  # noqa: BLE001 - never kill the connection
+            response = error_response(f"internal error: {exc}", 500)
+        self._record_request(request, response, t_wall, t0)
+        return response
+
+    def _record_request(self, request: Request, response: Response,
+                        t_wall: float, t0: float) -> None:
+        if not obs_trace.enabled():
+            return
+        duration = time.perf_counter() - t0
+        obs_metrics.inc("serve.requests_total")
+        obs_metrics.inc(f"serve.status.{response.status}")
+        obs_metrics.observe("serve.request_us", round(duration * 1e6, 3))
+        # A true span record per request, ingested rather than opened on
+        # the tracer stack: the stack belongs to the compute thread's
+        # evaluation spans, which requests overlap arbitrarily.
+        obs_trace.TRACER.ingest([{
+            "span_id": 1, "parent_id": None, "depth": 0,
+            "name": "serve.request",
+            "t_wall": round(t_wall, 6), "t_start": round(t0, 6),
+            "dur_us": round(duration * 1e6, 3), "kind": "span",
+            "status": "ok" if response.status < 500 else "error",
+            "attrs": {"method": request.method, "path": request.path,
+                      "http_status": response.status},
+        }])
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(self, request: Request) -> Response:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                return error_response("use GET", 405)
+            return self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return error_response("use GET", 405)
+            return self._metrics()
+        if path == "/v1/idct":
+            if method != "POST":
+                return error_response("use POST", 405)
+            return await self._idct(request)
+        if path == "/v1/verify":
+            if method != "POST":
+                return error_response("use POST", 405)
+            return await self._verify(request)
+        if path == "/v1/measure":
+            if method != "POST":
+                return error_response("use POST", 405)
+            return await self._measure(request)
+        if path == "/v1/jobs":
+            if method != "POST":
+                return error_response("use POST", 405)
+            return self._submit_job(request)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return error_response("use GET", 405)
+            return self._get_job(path[len("/v1/jobs/"):])
+        return error_response(f"no such endpoint: {method} {path}", 404)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Response:
+        return json_response({
+            "status": "draining" if self._draining else "ok",
+            "inflight": self.admission.inflight,
+            "open_batches": self.batcher.open_windows,
+            "designs": sorted(self.session.loaded_evaluators()),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        })
+
+    def _metrics(self) -> Response:
+        from ..obs.report import render_prometheus
+
+        obs_metrics.set_gauge("serve.queue_depth", self.admission.inflight)
+        obs_metrics.set_gauge("serve.uptime_s",
+                              round(time.monotonic() - self._started, 3))
+        body = render_prometheus().encode("utf-8")
+        return Response(body=body,
+                        content_type="text/plain; version=0.0.4; charset=utf-8")
+
+    def _admit(self) -> Response | None:
+        """503 while draining, 429 past the queue-depth bound, else admit."""
+        if self._draining:
+            return error_response("server is draining", 503)
+        if not self.admission.try_acquire():
+            return error_response(
+                f"overloaded: {self.admission.inflight} requests in flight "
+                f"(limit {self.admission.limit})", 429)
+        return None
+
+    async def _idct(self, request: Request) -> Response:
+        payload = request.json()
+        name = payload.get("design")
+        if not isinstance(name, str) or not name:
+            return error_response("missing 'design'", 400)
+        engine = payload.get("engine", "model")
+        try:
+            blocks = validate_blocks(payload.get("blocks"))
+        except ValueError as exc:
+            return error_response(str(exc), 400)
+        from ..api import canonical_name
+
+        key = (canonical_name(name), engine)
+        rejected = self._admit()
+        if rejected is not None:
+            return rejected
+        try:
+            outputs = await self.batcher.submit(key, blocks)
+        except Exception as exc:  # noqa: BLE001 - mapped to HTTP below
+            return self._compute_error(exc)
+        finally:
+            self.admission.release()
+        return json_response({"design": key[0], "engine": engine,
+                              "count": len(outputs), "outputs": outputs})
+
+    async def _verify(self, request: Request) -> Response:
+        payload = request.json()
+        name = payload.get("design")
+        if not isinstance(name, str) or not name:
+            return error_response("missing 'design'", 400)
+        engine = payload.get("engine", "compiled")
+        rejected = self._admit()
+        if rejected is not None:
+            return rejected
+        try:
+            measured = await self._in_compute(
+                self.session.verify, name, engine=engine)
+        except EvaluationError as exc:
+            if isinstance(exc, BudgetExceeded) or _is_usage(exc):
+                return self._compute_error(exc)
+            return json_response({"design": name, "bit_exact": False,
+                                  "error": str(exc)}, status=422)
+        except Exception as exc:  # noqa: BLE001
+            return self._compute_error(exc)
+        finally:
+            self.admission.release()
+        return json_response({"design": measured.name,
+                              "bit_exact": measured.bit_exact,
+                              "measured": measured.to_dict()})
+
+    async def _measure(self, request: Request) -> Response:
+        payload = request.json()
+        name = payload.get("design")
+        if not isinstance(name, str) or not name:
+            return error_response("missing 'design'", 400)
+        rejected = self._admit()
+        if rejected is not None:
+            return rejected
+        try:
+            measured = await self._in_compute(self.session.measure, name)
+        except Exception as exc:  # noqa: BLE001
+            return self._compute_error(exc)
+        finally:
+            self.admission.release()
+        # Byte-identical to `python -m repro measure <design> --json`.
+        return Response(body=measured.to_json().encode("utf-8"))
+
+    def _submit_job(self, request: Request) -> Response:
+        if self._draining:
+            return error_response("server is draining", 503)
+        payload = request.json()
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            return error_response("missing 'kind'", 400)
+        try:
+            job = self.jobs.submit(kind, payload.get("params"))
+        except UnknownJobKind as exc:
+            return error_response(str(exc), 400)
+        except JobQueueFull as exc:
+            return error_response(str(exc), 429)
+        return json_response(job.to_dict(), status=202)
+
+    def _get_job(self, job_id: str) -> Response:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return error_response(f"no such job: {job_id}", 404)
+        return json_response(job.to_dict())
+
+    # ------------------------------------------------------------------
+    # compute plumbing
+    # ------------------------------------------------------------------
+    async def _run_batch(self, key, blocks):
+        """Batcher runner: one evaluation on the compute thread."""
+        design, engine = key
+        return await self._in_compute(self._evaluate_sync, design, engine,
+                                      blocks)
+
+    def _evaluate_sync(self, design: str, engine: str, blocks):
+        evaluator = self.session.evaluator(design)
+        with res_budget.limit(self._request_budget(evaluator.name)):
+            return evaluator.evaluate(blocks, engine=engine)
+
+    async def _in_compute(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        if kwargs:
+            import functools
+
+            fn = functools.partial(fn, *args, **kwargs)
+            return await loop.run_in_executor(self._compute, fn)
+        return await loop.run_in_executor(self._compute, fn, *args)
+
+    def _request_budget(self, design: str):
+        if self.config.request_budget_s is None:
+            return None
+        return res_budget.Budget(wall_s=self.config.request_budget_s,
+                                 design=design, phase="serve.request")
+
+    def _compute_error(self, exc: BaseException) -> Response:
+        if _is_usage(exc) or isinstance(exc, ValueError):
+            return error_response(str(exc), 400)
+        if isinstance(exc, BudgetExceeded):
+            return error_response(f"request budget exhausted: {exc}", 504)
+        if isinstance(exc, EvaluationError):
+            return error_response(str(exc), 422)
+        return error_response(f"internal error: {exc}", 500)
+
+
+def _is_usage(exc: BaseException) -> bool:
+    from ..api import UsageError
+
+    return isinstance(exc, UsageError)

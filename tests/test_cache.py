@@ -123,6 +123,42 @@ class TestArtifactCache:
         assert active() is None
 
 
+class TestConcurrentWriters:
+    def test_two_processes_same_key_leave_one_valid_artifact(self, tmp_path):
+        """Two processes hammering the same key concurrently must end with
+        exactly one artifact that parses as one writer's complete payload
+        (atomic temp+rename, never an interleaving) and no temp litter."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        root = tmp_path / "c"
+        key = "aa" + "0" * 62
+        barrier = ctx.Barrier(2)
+
+        def hammer(writer_id):
+            cache = ArtifactCache(root)
+            barrier.wait()
+            for i in range(200):
+                cache.put_json("measured", key,
+                               {"writer": writer_id, "iteration": i})
+
+        procs = [ctx.Process(target=hammer, args=(w,)) for w in (0, 1)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        files = sorted((root / "measured").rglob("*"))
+        artifacts = [f for f in files if f.suffix == ".json"]
+        litter = [f for f in files if f.is_file() and f.suffix != ".json"]
+        assert len(artifacts) == 1
+        assert litter == []  # every temp file was renamed or unlinked
+        payload = json.loads(artifacts[0].read_text())  # parses => not torn
+        assert payload["writer"] in (0, 1)
+        assert payload["iteration"] == 199  # a complete final write
+
+
 class TestMeasureDiskCache:
     def test_measure_design_hits_disk_across_processes_sim(self, tmp_path):
         # Two "cold-process" measurements (in-memory cache cleared between)

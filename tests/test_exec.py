@@ -33,13 +33,14 @@ def _serial_fig1() -> str:
         runner=SweepRunner(config=CONFIG), **FIG1_SIZES))
 
 
-def _parallel_fig1(jobs=2, cache=None, checkpoint=None,
-                   abort_after=None) -> tuple[str, ParallelSweepRunner]:
+def _parallel_fig1(jobs=2, cache=None, checkpoint=None, abort_after=None,
+                   **runner_kwargs) -> tuple[str, ParallelSweepRunner]:
     clear_measure_cache()
     lists = fig1_design_lists(**FIG1_SIZES)
     runner = ParallelSweepRunner(
         tasks=fig1_tasks(lists, FIG1_SIZES), jobs=jobs, cache=cache,
-        config=CONFIG, checkpoint=checkpoint, abort_after=abort_after)
+        config=CONFIG, checkpoint=checkpoint, abort_after=abort_after,
+        **runner_kwargs)
     runner.prefetch()
     out = render_fig1(generate_fig1(runner=runner, design_lists=lists,
                                     **FIG1_SIZES))
@@ -116,6 +117,27 @@ class TestParallelIdentity:
             tasks=fig1_tasks(lists, FIG1_SIZES), jobs=2, config=CONFIG)
         count = runner.prefetch()
         assert runner.prefetch() == count  # no second pool
+
+
+class TestWorkerRecycling:
+    def test_recycled_pools_bound_worker_lifetime(self):
+        """max_tasks_per_child=1 re-forks workers every stride while the
+        rendered sweep output stays byte-identical to the serial run."""
+        import math
+
+        serial = _serial_fig1()
+        n_tasks = len(fig1_tasks(fig1_design_lists(**FIG1_SIZES), FIG1_SIZES))
+        recycled, runner = _parallel_fig1(jobs=2, max_tasks_per_child=1)
+        assert recycled == serial
+        assert runner.pools_used == math.ceil(n_tasks / (2 * 1))
+
+    def test_default_recycling_uses_one_pool_for_small_sweeps(self):
+        _, runner = _parallel_fig1(jobs=2)  # default stride >> task count
+        assert runner.pools_used == 1
+
+    def test_disabled_recycling_is_one_pool(self):
+        _, runner = _parallel_fig1(jobs=2, max_tasks_per_child=None)
+        assert runner.pools_used == 1
 
 
 class TestResumedParallelIdentity:
