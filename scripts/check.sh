@@ -120,4 +120,77 @@ kill -TERM "$serve_pid"
 wait "$serve_pid"
 echo "ok"
 
+echo "== chaos smoke: seeded kills and cache rot leave output honest =="
+python -m repro chaos worker-kill --seed 3
+python -m repro chaos cache-rot --seed 3
+python -m repro fig1 --jobs 2 --chaos 'seed=3,kill=0.7' > "$tmp/chaotic.txt"
+cmp "$tmp/fresh.txt" "$tmp/chaotic.txt"
+echo "ok"
+
+echo "== serve journal smoke: SIGKILL mid-job -> interrupted -> resumed =="
+start_journal_server() {
+  : > "$tmp/journal_serve.out"
+  python -m repro serve --port 0 --journal "$tmp/jobs.jsonl" "$@" \
+      > "$tmp/journal_serve.out" &
+  journal_pid=$!
+  for _ in $(seq 1 600); do
+    grep -q '^serving on ' "$tmp/journal_serve.out" && return 0
+    if ! kill -0 "$journal_pid" 2> /dev/null; then
+      echo "journaled serve process died during startup" >&2
+      cat "$tmp/journal_serve.out" >&2
+      return 1
+    fi
+    sleep 0.5
+  done
+  return 1
+}
+journal_addr() {
+  sed -n 's/^serving on //p' "$tmp/journal_serve.out" | head -n 1
+}
+start_journal_server
+trap 'kill "$journal_pid" 2> /dev/null || true; rm -rf "$tmp"' EXIT
+python - "$(journal_addr)" <<'EOF'
+import json, urllib.request, sys
+req = urllib.request.Request(
+    "http://" + sys.argv[1] + "/v1/jobs",
+    data=json.dumps({"kind": "fig1"}).encode())
+with urllib.request.urlopen(req, timeout=60) as resp:
+    job = json.load(resp)
+assert job["id"] == "job-1" and job["status"] in ("queued", "running"), job
+EOF
+sleep 1  # let the job start running before the crash
+kill -9 "$journal_pid"
+wait "$journal_pid" 2> /dev/null || true
+test -s "$tmp/jobs.jsonl"
+start_journal_server  # restart WITHOUT --resume-jobs: honest, not re-run
+python - "$(journal_addr)" <<'EOF'
+import json, urllib.request, sys
+with urllib.request.urlopen(
+        "http://" + sys.argv[1] + "/v1/jobs", timeout=60) as resp:
+    jobs = json.load(resp)["jobs"]
+assert [j["id"] for j in jobs] == ["job-1"], jobs
+assert jobs[0]["status"] == "interrupted", jobs
+assert jobs[0]["interrupted"] is True, jobs
+EOF
+kill -TERM "$journal_pid"
+wait "$journal_pid"
+start_journal_server --resume-jobs  # now the lost job is re-run
+python - "$(journal_addr)" <<'EOF'
+import json, time, urllib.request, sys
+base = "http://" + sys.argv[1]
+deadline = time.time() + 600
+while time.time() < deadline:
+    with urllib.request.urlopen(base + "/v1/jobs/job-1", timeout=60) as resp:
+        job = json.load(resp)
+    if job["status"] in ("done", "failed"):
+        break
+    time.sleep(0.5)
+assert job["status"] == "done", job
+assert job["interrupted"] is True, job  # history survives the re-run
+assert "Design space exploration" in job["output"], job
+EOF
+kill -TERM "$journal_pid"
+wait "$journal_pid"
+echo "ok"
+
 echo "all checks passed"

@@ -32,6 +32,8 @@ from contextlib import contextmanager, nullcontext
 
 from .cache import ArtifactCache
 from .cache import activate as _activate_cache
+from .chaos import ChaosPolicy, parse_chaos_spec
+from .chaos import activate as _activate_chaos
 from .core.errors import EvaluationError
 from .eval.measure import Measured, measure_design
 from .frontends.base import Design
@@ -211,6 +213,11 @@ class Session:
     max_tasks_per_child:
         Recycle sweep pool workers after this many tasks each (bounds
         worker memory on long-running services); ``None`` disables.
+    chaos:
+        A :class:`~repro.chaos.ChaosPolicy` or a ``--chaos`` spec string
+        (``seed=3,kill=0.5,…``); active for this session's work,
+        including pool workers and the evaluation service.  A bad spec
+        raises :class:`UsageError` (CLI exit 2).
     """
 
     def __init__(
@@ -224,11 +231,18 @@ class Session:
         resume: bool = False,
         inject_faults=(),
         max_tasks_per_child: int | None = _DEFAULT_RECYCLE,
+        chaos: ChaosPolicy | str | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         self.cache = cache
+        if isinstance(chaos, str):
+            try:
+                chaos = parse_chaos_spec(chaos)
+            except ValueError as exc:
+                raise UsageError(f"bad --chaos spec: {exc}") from exc
+        self.chaos = chaos
         if isinstance(runner, SweepRunner):
             self._fixed_runner: SweepRunner | None = runner
             self.runner_config = runner.config
@@ -262,9 +276,11 @@ class Session:
 
     @contextmanager
     def _activated(self):
-        context = (_activate_cache(self.cache) if self.cache is not None
-                   else nullcontext())
-        with context:
+        cache_ctx = (_activate_cache(self.cache) if self.cache is not None
+                     else nullcontext())
+        chaos_ctx = (_activate_chaos(self.chaos) if self.chaos is not None
+                     else nullcontext())
+        with cache_ctx, chaos_ctx:
             yield
 
     def _make_checkpoint(self) -> Checkpoint | None:
@@ -304,6 +320,10 @@ class Session:
                     f"resilience: {stats['ok']} ok, {stats['failed']} failed, "
                     f"{stats['retries']} retries, {stats['degraded_runs']} "
                     f"degraded, {stats['checkpoint_hits']} from checkpoint")
+            if stats.get("worker_restarts") or stats.get("poisoned"):
+                lines.append(
+                    f"supervision: {stats['worker_restarts']} worker "
+                    f"restarts, {stats['poisoned']} tasks quarantined")
         if self.cache is not None:
             summary = self.cache.summary()
             if summary:
@@ -378,8 +398,9 @@ class Session:
         ``config`` keywords populate :class:`~repro.serve.ServeConfig`."""
         from .serve import EvalServer, ServeConfig
 
-        server = EvalServer(self, ServeConfig(**config))
-        return server.serve_forever(announce=announce)
+        with self._activated():
+            server = EvalServer(self, ServeConfig(**config))
+            return server.serve_forever(announce=announce)
 
     def faults(self, name: str, limit: int = 64, seed: int = 1, **kwargs):
         """Run the mutation campaign against the compliance verifier."""

@@ -16,12 +16,13 @@ everything automatically.
 """
 
 from .keys import artifact_key, code_digest
-from .store import ArtifactCache, activate, active, set_active
+from .store import ArtifactCache, activate, active, set_active, split_footer
 
 __all__ = [
     "ArtifactCache",
     "artifact_key",
     "code_digest",
+    "split_footer",
     "active",
     "set_active",
     "activate",

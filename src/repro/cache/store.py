@@ -11,26 +11,59 @@ Writes are atomic (temp file + ``os.replace``), so concurrent workers of
 a sharded sweep can populate the same cache directory without locking:
 the worst case is two workers computing the same artifact and one
 ``replace`` winning, which is harmless because entries are content
-addressed.  Corrupt or unreadable entries count as misses (and bump the
-``errors`` stat) instead of failing the sweep.
+addressed.
+
+**Integrity:** every artifact is sealed with a SHA-256 checksum footer
+(``<body>\\n#repro-sha256:<hexdigest>\\n``) at write time and verified at
+read time.  A mismatch, truncation, missing footer, or parse/unpickle
+failure never raises into the sweep: the entry is moved to
+``<root>/corrupt/`` for post-mortem, the ``corrupt`` (and ``errors``)
+stats bump, the guarded ``cache.corrupt`` obs counter records, and the
+read falls through to a miss so the value is honestly recomputed.
 
 Every hit/miss/put is tracked twice: in the cache's own ``stats`` dict
 (always, for CLI summaries) and in guarded ``repro.obs`` counters
-(``cache.hits`` / ``cache.misses`` / ``cache.puts``) that record only
-while instrumentation is enabled.
+(``cache.hits`` / ``cache.misses`` / ``cache.puts`` / ``cache.corrupt``)
+that record only while instrumentation is enabled.  An active
+:class:`~repro.chaos.ChaosPolicy` may rot the sealed blob on its way to
+disk (bit-rot simulation); verification is downstream of that hook by
+design, so injected corruption is always caught on read.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
 import tempfile
 from contextlib import contextmanager
 
+from .. import chaos as chaos_mod
 from ..obs import metrics as obs_metrics
 
-__all__ = ["ArtifactCache", "active", "set_active", "activate"]
+__all__ = ["ArtifactCache", "split_footer", "active", "set_active",
+           "activate"]
+
+#: Separates an artifact body from its hex SHA-256 checksum footer.
+FOOTER_MARK = b"\n#repro-sha256:"
+
+
+def _digest(body: bytes) -> bytes:
+    return hashlib.sha256(body).hexdigest().encode("ascii")
+
+
+def seal(body: bytes) -> bytes:
+    """Append the checksum footer to an artifact body."""
+    return body + FOOTER_MARK + _digest(body) + b"\n"
+
+
+def split_footer(blob: bytes) -> bytes | None:
+    """The verified body of a sealed artifact, or ``None`` if corrupt."""
+    body, sep, tail = blob.rpartition(FOOTER_MARK)
+    if sep and tail.strip() == _digest(body):
+        return body
+    return None
 
 
 class ArtifactCache:
@@ -39,7 +72,8 @@ class ArtifactCache:
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
-        self.stats = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
+        self.stats = {"hits": 0, "misses": 0, "puts": 0, "errors": 0,
+                      "corrupt": 0}
 
     # -- bookkeeping ---------------------------------------------------
     def _hit(self) -> None:
@@ -64,8 +98,11 @@ class ArtifactCache:
         stats = self.stats
         if not any(stats.values()):
             return None
-        return (f"cache: {stats['hits']} hits, {stats['misses']} misses, "
-                f"{stats['puts']} puts ({self.root})")
+        line = (f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+                f"{stats['puts']} puts")
+        if stats.get("corrupt"):
+            line += f", {stats['corrupt']} corrupt (quarantined)"
+        return f"{line} ({self.root})"
 
     # -- paths ---------------------------------------------------------
     def _path(self, phase: str, key: str, ext: str) -> str:
@@ -83,17 +120,62 @@ class ArtifactCache:
                 os.unlink(tmp)
             raise
 
+    # -- integrity -----------------------------------------------------
+    def _write_sealed(self, path: str, body: bytes, key: str) -> None:
+        blob = seal(body)
+        policy = chaos_mod.active()
+        if policy is not None:
+            blob = policy.corrupt_bytes(f"cache:{key}", blob)
+        self._write_atomic(path, blob)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside (post-mortem) and count it."""
+        self.stats["corrupt"] += 1
+        self.stats["errors"] += 1
+        obs_metrics.inc("cache.corrupt")
+        dest_dir = os.path.join(self.root, "corrupt")
+        try:
+            os.makedirs(dest_dir, exist_ok=True)
+            os.replace(path, os.path.join(dest_dir, os.path.basename(path)))
+        except OSError:
+            # Racing reader already moved it, or the FS is failing: the
+            # miss below still recomputes honestly either way.
+            pass
+
+    def _read_verified(self, path: str) -> bytes | None:
+        """Checksum-verified artifact body; ``None`` after quarantining.
+
+        Raises ``FileNotFoundError``/``OSError`` like ``open`` does —
+        callers map those to plain misses.
+        """
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        body = split_footer(blob)
+        if body is None:
+            self._quarantine(path)
+        return body
+
     # -- JSON payloads -------------------------------------------------
     def get_json(self, phase: str, key: str) -> dict | None:
         path = self._path(phase, key, "json")
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+            body = self._read_verified(path)
         except FileNotFoundError:
             self._miss()
             return None
-        except (OSError, ValueError):
+        except OSError:
             self.stats["errors"] += 1
+            self._miss()
+            return None
+        if body is None:
+            self._miss()
+            return None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            # Checksum matched but the body never was JSON (writer bug,
+            # or a foreign file dropped into the tree): same quarantine.
+            self._quarantine(path)
             self._miss()
             return None
         self._hit()
@@ -101,20 +183,29 @@ class ArtifactCache:
 
     def put_json(self, phase: str, key: str, payload: dict) -> None:
         data = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._write_atomic(self._path(phase, key, "json"), data)
+        self._write_sealed(self._path(phase, key, "json"), data,
+                           f"{phase}/{key}.json")
         self._put()
 
     # -- pickle payloads -----------------------------------------------
     def get_pickle(self, phase: str, key: str):
         path = self._path(phase, key, "pkl")
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
+            body = self._read_verified(path)
         except FileNotFoundError:
             self._miss()
             return None
-        except Exception:
+        except OSError:
             self.stats["errors"] += 1
+            self._miss()
+            return None
+        if body is None:
+            self._miss()
+            return None
+        try:
+            payload = pickle.loads(body)
+        except Exception:
+            self._quarantine(path)
             self._miss()
             return None
         self._hit()
@@ -127,7 +218,8 @@ class ArtifactCache:
         except Exception:
             self.stats["errors"] += 1
             return False
-        self._write_atomic(self._path(phase, key, "pkl"), data)
+        self._write_sealed(self._path(phase, key, "pkl"), data,
+                           f"{phase}/{key}.pkl")
         self._put()
         return True
 

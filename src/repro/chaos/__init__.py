@@ -1,0 +1,19 @@
+"""``repro.chaos`` — seeded fault injection and recovery drills.
+
+* :mod:`repro.chaos.policy`    — :class:`ChaosPolicy` (deterministic
+  worker kills, artifact bit-rot, evaluator faults) plus the
+  process-wide *active policy* hook and the ``--chaos`` spec parser;
+* :mod:`repro.chaos.scenarios` — named end-to-end drills behind
+  ``python -m repro chaos <scenario>`` that assert the honest-failure
+  invariant (chaos output is byte-identical to clean, or carries
+  explicit ``FAILED(…)`` cells — never silently wrong numbers).
+
+``scenarios`` is imported lazily (it pulls in :mod:`repro.api`); this
+package root stays light enough for the cache/exec/serve hook sites to
+import eagerly.
+"""
+
+from .policy import ChaosPolicy, activate, active, parse_chaos_spec, set_active
+
+__all__ = ["ChaosPolicy", "parse_chaos_spec", "active", "set_active",
+           "activate"]

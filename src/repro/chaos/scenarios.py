@@ -1,0 +1,205 @@
+"""Named end-to-end chaos drills: ``python -m repro chaos <scenario>``.
+
+Each scenario stages a seeded disaster against the crash-safe machinery
+and checks the **honest-failure invariant**: a chaos run's rendered
+output is either byte-identical to the clean run's, or differs only by
+explicit ``FAILED(…)`` cells — it never silently reports wrong numbers.
+A violated invariant is data corruption; scenarios return exit code 1
+for it (never 0), matching the compliance-failure contract of
+``verify``.
+
+Scenarios
+---------
+``worker-kill``
+    Parallel fig1 sweep under ``kill≈0.7`` (kill-once): most tasks
+    SIGKILL their pool worker on first attempt; supervision re-dispatches
+    them and the output must come back byte-identical to a serial clean
+    run, with ``worker_restarts > 0`` proving the crashes happened.
+``cache-rot``
+    A fig1 sweep writes every cache artifact through ``corrupt=1.0``
+    bit-rot; a second (chaos-free) run over the same cache must detect
+    every rotted artifact via its checksum footer, quarantine it, and
+    recompute — both runs byte-identical to clean.
+``serve-flaky``
+    A real :class:`~repro.serve.DesignEvaluator` behind a
+    :class:`~repro.serve.breaker.CircuitBreaker` with an injected clock,
+    driven through the full closed → open → half-open → re-open →
+    half-open → closed cycle by ``flaky=1.0`` evaluator faults.
+``all``
+    Every scenario above, worst exit code wins.
+"""
+
+from __future__ import annotations
+
+from .policy import ChaosPolicy
+from .policy import activate as _activate_chaos
+
+__all__ = ["SCENARIOS", "check_invariant", "run_scenario"]
+
+
+def check_invariant(clean: str, chaotic: str) -> list[str]:
+    """Violations of the honest-failure invariant (empty list = honest).
+
+    Line-set based, not positional: renderers may append ``FAILED(…)``
+    lines after the surviving points within a series, so a quarantined
+    cell legitimately reorders the chaotic output relative to clean.
+    """
+    if clean == chaotic:
+        return []
+    clean_lines = set(clean.splitlines())
+    chaotic_lines = chaotic.splitlines()
+    failed = [line for line in chaotic_lines if "FAILED(" in line]
+    violations = [
+        f"silently altered line: {line!r}"
+        for line in chaotic_lines
+        if line not in clean_lines and "FAILED(" not in line
+    ]
+    if not failed:
+        violations.append(
+            "output differs from the clean run without any FAILED(...) "
+            "cells — silent data corruption")
+    return violations
+
+
+def _fig1_text(session) -> str:
+    """Render a small fig1 sweep through ``session``, memo-cold."""
+    from ..eval.experiments import render_fig1
+    from ..eval.measure import clear_measure_cache
+
+    clear_measure_cache()
+    return render_fig1(session.fig1())
+
+
+def _report(name: str, violations: list[str]) -> int:
+    if violations:
+        print(f"chaos {name}: INVARIANT VIOLATED")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"chaos {name}: ok")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+
+def _worker_kill(seed: int, jobs: int) -> int:
+    from ..api import Session
+
+    clean = _fig1_text(Session(jobs=1))
+    session = Session(jobs=max(2, jobs),
+                      chaos=ChaosPolicy(seed=seed, kill=0.7))
+    chaotic = _fig1_text(session)
+    violations = check_invariant(clean, chaotic)
+    stats = session.last_runner.stats
+    if not stats.get("worker_restarts"):
+        violations.append(
+            "no worker restarts recorded — the kills never happened, "
+            "so the scenario proved nothing")
+    if chaotic != clean:
+        # Kill-once faults are transient by construction: supervision
+        # must recover every task, not just fail it honestly.
+        violations.append(
+            "kill-once chaos should recover to a byte-identical run, "
+            f"but {stats.get('poisoned', 0)} tasks were quarantined")
+    print(f"  worker restarts: {stats.get('worker_restarts', 0)}, "
+          f"quarantined: {stats.get('poisoned', 0)}")
+    return _report("worker-kill", violations)
+
+
+def _cache_rot(seed: int, jobs: int) -> int:
+    import tempfile
+
+    from ..api import Session
+    from ..cache import ArtifactCache
+
+    del jobs  # serial on purpose: corruption happens in-process
+    clean = _fig1_text(Session(jobs=1))
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        cold_session = Session(
+            jobs=1, cache=ArtifactCache(root),
+            chaos=ChaosPolicy(seed=seed, corrupt=1.0))
+        cold = _fig1_text(cold_session)
+        warm_session = Session(jobs=1, cache=ArtifactCache(root))
+        warm = _fig1_text(warm_session)
+    violations = check_invariant(clean, cold)
+    violations += check_invariant(clean, warm)
+    corrupt = warm_session.cache.stats["corrupt"]
+    if not corrupt:
+        violations.append(
+            "warm run detected no corrupt artifacts — either the rot "
+            "never landed or a rotted artifact was trusted")
+    print(f"  artifacts quarantined on re-read: {corrupt}")
+    return _report("cache-rot", violations)
+
+
+def _serve_flaky(seed: int, jobs: int) -> int:
+    from ..api import Session
+    from ..serve.breaker import CircuitBreaker
+
+    del jobs
+    session = Session()
+    evaluator = session.evaluator("verilog-initial")
+    blocks = [[[0] * 8 for _ in range(8)]]
+    clock = [0.0]
+    breaker = CircuitBreaker(threshold=2, cooldown_s=10.0,
+                             clock=lambda: clock[0])
+    transitions: list[str] = []
+
+    def request(policy: ChaosPolicy | None) -> str:
+        if breaker.admit() is not None:
+            return "rejected"
+        try:
+            with _activate_chaos(policy):
+                evaluator.evaluate(blocks, engine="model")
+        except Exception as exc:  # noqa: BLE001 - chaos-injected fault
+            breaker.record_failure(exc)
+            return "failed"
+        breaker.record_success()
+        return "ok"
+
+    flaky = ChaosPolicy(seed=seed, flaky=1.0)
+    script = [
+        # (advance clock by, chaos policy, expected result, expected state)
+        (0.0, flaky, "failed", "closed"),
+        (0.0, flaky, "failed", "open"),       # threshold=2 trips here
+        (0.0, flaky, "rejected", "open"),     # cooldown not elapsed
+        (11.0, flaky, "failed", "open"),      # half-open probe fails
+        (0.0, None, "rejected", "open"),
+        (11.0, None, "ok", "closed"),         # half-open probe succeeds
+        (0.0, None, "ok", "closed"),
+    ]
+    violations = []
+    for step, (advance, policy, want, want_state) in enumerate(script):
+        clock[0] += advance
+        got = request(policy)
+        transitions.append(f"{got}/{breaker.state}")
+        if got != want or breaker.state != want_state:
+            violations.append(
+                f"step {step}: expected {want}/{want_state}, "
+                f"got {got}/{breaker.state}")
+    print(f"  breaker path: {' -> '.join(transitions)} "
+          f"(opened {breaker.stats['opened']}x, "
+          f"rejected {breaker.stats['rejected']})")
+    return _report("serve-flaky", violations)
+
+
+SCENARIOS = {
+    "worker-kill": _worker_kill,
+    "cache-rot": _cache_rot,
+    "serve-flaky": _serve_flaky,
+}
+
+
+def run_scenario(name: str, seed: int = 3, jobs: int = 2) -> int:
+    """Run one scenario (or ``all``); 0 = honest, 1 = invariant violated."""
+    if name == "all":
+        return max(run_scenario(key, seed=seed, jobs=jobs)
+                   for key in SCENARIOS)
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ValueError(
+            f"unknown chaos scenario {name!r} "
+            f"(choices: {', '.join([*SCENARIOS, 'all'])})")
+    return scenario(seed, jobs)

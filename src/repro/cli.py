@@ -29,6 +29,9 @@ Commands:
 * ``faults <design> [--limit N] [--seed S] [--smoke]`` — run the
   fault-injection campaign against the compliance verifier; exits 1 when
   the detection rate drops below ``--min-detect``;
+* ``chaos <scenario> [--seed S] [--jobs N]`` — run a seeded chaos drill
+  (``worker-kill``, ``cache-rot``, ``serve-flaky``, or ``all``) and
+  assert the honest-failure invariant; exits 1 on any violation;
 * ``list``              — list all registered design names.
 
 ``table2`` and ``fig1`` share the execution flags: ``--jobs N`` (measure
@@ -37,7 +40,18 @@ a serial run), ``--cache DIR`` (content-addressed artifact cache reused
 across runs and commands), ``--checkpoint PATH`` (JSONL progress log),
 ``--resume`` (skip designs already in the checkpoint), ``--inject-fault
 NAME`` (force a design to fail, repeatable), ``--budget-s`` /
-``--budget-cycles`` (per-design budgets) and ``--retries``.
+``--budget-cycles`` (per-design budgets), ``--retries``, and ``--chaos
+SPEC`` (seeded fault injection).
+
+The ``--chaos`` grammar is ``key=value[,key=value...]`` with keys
+``seed`` (int), ``kill`` / ``poison`` / ``corrupt`` / ``flaky``
+(probabilities in [0, 1]; ``kill``/``poison`` also accept ``@substr``
+to doom task ids containing the substring) and ``latency`` (seconds of
+injected evaluator delay).  ``kill`` SIGKILLs a task's pool worker on
+the first attempt only (supervision recovers it), ``poison`` on every
+attempt (the task is quarantined as an explicit ``FAILED(…)`` cell),
+``corrupt`` rots written cache artifacts on disk (the checksum footer
+catches them on re-read), ``flaky`` makes evaluator calls raise.
 
 Exit-code contract (stable — scripts and CI may rely on it):
 
@@ -45,8 +59,9 @@ Exit-code contract (stable — scripts and CI may rely on it):
 code  meaning
 ====  ==========================================================
 0     success (including a ``BrokenPipeError`` from a closed pager)
-1     compliance/verification failure, or fault-detection rate
-      below ``--min-detect``
+1     compliance/verification failure, fault-detection rate below
+      ``--min-detect``, or a chaos drill detecting data corruption
+      (a violated honest-failure invariant is **never** exit 0)
 2     usage error: unknown design/tool name, bad arguments
       (argparse also exits 2)
 3     interrupted sweep (``SweepInterrupted`` or ^C); the
@@ -148,7 +163,8 @@ def _make_session(args, *, trace: bool = False):
                    trace=trace, checkpoint=args.checkpoint,
                    resume=args.resume,
                    inject_faults=args.inject_fault or [],
-                   max_tasks_per_child=args.max_tasks_per_child or None)
+                   max_tasks_per_child=args.max_tasks_per_child or None,
+                   chaos=args.chaos)
 
 
 def _print_summaries(session) -> None:
@@ -274,7 +290,7 @@ def _cmd_measure(args) -> int:
 def _cmd_serve(args) -> int:
     from .api import Session
 
-    session = Session(jobs=args.jobs, cache=args.cache)
+    session = Session(jobs=args.jobs, cache=args.cache, chaos=args.chaos)
 
     def announce(host: str, port: int) -> None:
         print(f"serving on {host}:{port}", flush=True)
@@ -291,6 +307,10 @@ def _cmd_serve(args) -> int:
             request_budget_s=args.budget_s,
             warm=tuple(args.warm or ()),
             drain_grace_s=args.drain_grace_s,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown_s,
+            job_journal=args.journal,
+            resume_jobs=args.resume_jobs,
         )
     except OSError as exc:
         print(f"cannot listen on {args.host}:{args.port}: {exc}",
@@ -371,6 +391,12 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos.scenarios import run_scenario
+
+    return run_scenario(args.scenario, seed=args.seed, jobs=args.jobs)
+
+
 def _cmd_list(_args) -> int:
     from .api import design_names
 
@@ -411,6 +437,12 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="T",
                        help="recycle pool workers after T tasks each "
                             "(bounds worker memory; 0 disables)")
+        p.add_argument("--chaos", metavar="SPEC",
+                       help="seeded fault injection, e.g. "
+                            "'seed=3,kill=0.5,corrupt=0.1' "
+                            "(keys: seed, kill, poison, corrupt, flaky, "
+                            "latency; kill/poison also take @substr "
+                            "task-id targets)")
 
     p_table2 = sub.add_parser("table2", help="regenerate Table II")
     p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
@@ -476,7 +508,36 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--drain-grace-s", type=float, default=30.0,
                          help="max seconds to finish in-flight work on "
                               "SIGTERM (default 30)")
+    p_serve.add_argument("--journal", metavar="PATH",
+                         help="JSONL write-ahead journal for sweep jobs; a "
+                              "restarted server lists jobs it lost as "
+                              "'interrupted'")
+    p_serve.add_argument("--resume-jobs", action="store_true",
+                         help="re-run journaled interrupted jobs at startup")
+    p_serve.add_argument("--breaker-threshold", type=int, default=5,
+                         metavar="N",
+                         help="consecutive evaluator failures that open "
+                              "the circuit breaker (default 5)")
+    p_serve.add_argument("--breaker-cooldown-s", type=float, default=30.0,
+                         help="seconds the breaker stays open before its "
+                              "half-open probe (default 30)")
+    p_serve.add_argument("--chaos", metavar="SPEC",
+                         help="seeded fault injection for drills, e.g. "
+                              "'seed=3,flaky=0.5,latency=0.1'")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a chaos drill asserting the honest-failure "
+                      "invariant")
+    p_chaos.add_argument("scenario",
+                         choices=("worker-kill", "cache-rot", "serve-flaky",
+                                  "all"))
+    p_chaos.add_argument("--seed", type=int, default=3,
+                         help="chaos policy seed (default 3)")
+    p_chaos.add_argument("--jobs", type=int, default=2,
+                         help="worker processes for the chaotic sweep "
+                              "(default 2)")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_profile = sub.add_parser(
         "profile", help="trace one design through the pipeline")

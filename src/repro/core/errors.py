@@ -30,6 +30,7 @@ __all__ = [
     "EvaluationError",
     "BudgetExceeded",
     "SweepInterrupted",
+    "WorkerCrashError",
 ]
 
 
@@ -153,3 +154,13 @@ class BudgetExceeded(ReproError):
 
 class SweepInterrupted(ReproError):
     """A sweep was deliberately stopped mid-run (checkpoint left on disk)."""
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died (SIGKILL/segfault) running one task.
+
+    Raised by the supervised parallel executor when a task keeps killing
+    its workers (the quarantine record renders as
+    ``FAILED(WorkerCrashError)``), or when the crash budget for a whole
+    sweep is exhausted.
+    """

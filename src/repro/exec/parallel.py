@@ -23,22 +23,42 @@ inherited :meth:`SweepRunner.commit` bookkeeping, so an interrupted
 parallel sweep leaves the same checkpoint prefix a serial one would,
 and a resumed parallel sweep skips re-measuring checkpointed designs
 (workers still *build* them, in parallel, to learn their names).
+
+**Worker supervision.**  A worker process dying (SIGKILL, segfault, OOM
+kill — or a :class:`~repro.chaos.ChaosPolicy` drill) breaks the whole
+pool: every unfinished future raises ``BrokenProcessPool`` and the
+executor cannot attribute the crash to a task.  The prefetch loop
+therefore supervises in rounds: tasks lost to a broken pool are
+re-dispatched (fresh pool, exponential backoff, ``exec.worker_restarts``
+counted), and a task whose attempts reach :data:`POISON_ATTEMPTS` is
+probed once more in a **solo** single-worker pool — if that pool dies
+too, the task alone is the culprit and it is quarantined as a
+``FAILED(WorkerCrashError)`` cell instead of aborting the sweep.
+Quarantined records use the normal checkpoint schema and the merge stays
+in task order, so stdout remains byte-identical to a serial run for
+every surviving point and resume semantics are unchanged.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
+from .. import chaos as chaos_mod
 from ..cache import ArtifactCache
+from ..core.errors import WorkerCrashError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience.checkpoint import SCHEMA_VERSION
+from ..resilience.errors import failure_record
 from ..resilience.runner import DesignResult, SweepRunner, result_from_record
 from .tasks import SweepTask
 from . import worker as worker_mod
 
-__all__ = ["ParallelSweepRunner", "PrebuiltPoint", "DEFAULT_MAX_TASKS_PER_CHILD"]
+__all__ = ["ParallelSweepRunner", "PrebuiltPoint", "DEFAULT_MAX_TASKS_PER_CHILD",
+           "POISON_ATTEMPTS"]
 
 #: Tasks a pool worker may serve before the whole pool is recycled.
 #: Design builds memoize netlists and compiled simulators per process, so
@@ -46,6 +66,10 @@ __all__ = ["ParallelSweepRunner", "PrebuiltPoint", "DEFAULT_MAX_TASKS_PER_CHILD"
 #: the way ``multiprocessing.Pool(maxtasksperchild=…)`` would, but without
 #: requiring a non-fork start method.
 DEFAULT_MAX_TASKS_PER_CHILD = 64
+
+#: A task that has killed this many pool workers is given one solo-pool
+#: probe; a crash there quarantines it as a poison task.
+POISON_ATTEMPTS = 2
 
 
 @dataclass
@@ -72,6 +96,8 @@ class ParallelSweepRunner(SweepRunner):
     def __init__(self, tasks: list[SweepTask] | tuple = (), jobs: int = 2,
                  cache: ArtifactCache | None = None,
                  max_tasks_per_child: int | None = DEFAULT_MAX_TASKS_PER_CHILD,
+                 crash_backoff_s: float = 0.05,
+                 max_worker_crashes: int | None = None,
                  **kwargs) -> None:
         super().__init__(**kwargs)
         self.tasks = list(tasks)
@@ -79,7 +105,10 @@ class ParallelSweepRunner(SweepRunner):
         self.cache = cache
         self.max_tasks_per_child = (None if not max_tasks_per_child
                                     else max(1, int(max_tasks_per_child)))
+        self.crash_backoff_s = max(0.0, crash_backoff_s)
+        self.max_worker_crashes = max_worker_crashes
         self.pools_used = 0
+        self.stats.update({"worker_restarts": 0, "poisoned": 0})
         self._prefetched: dict[str, dict] = {}
         self._deferred: dict[tuple[str, str], dict] = {}
         self._prefetch_done = False
@@ -94,6 +123,14 @@ class ParallelSweepRunner(SweepRunner):
         evaluation service's background jobs) keep worker memory bounded
         instead of accumulating per-process design memos forever.  Merge
         order stays the task order, so recycling never perturbs output.
+
+        A broken pool (a worker died) does not abort the sweep: its
+        unfinished tasks are re-dispatched in the next supervision round
+        after an exponential backoff, and a task that keeps killing
+        workers is quarantined (see the module docstring).  Crashes are
+        bounded by ``max_worker_crashes`` (default ``2 * tasks + 8``);
+        past that the sweep fails honestly with
+        :class:`~repro.core.errors.WorkerCrashError`.
         """
         if self._prefetch_done:
             return len(self._prefetched)
@@ -105,37 +142,143 @@ class ParallelSweepRunner(SweepRunner):
         base = {"config": self.config, "inject": self.inject_failures,
                 "trace": trace_on, "skip": skip}
         cache_dir = self.cache.root if self.cache is not None else None
+        initargs = (cache_dir, trace_on, chaos_mod.active())
         results: list[dict | None] = [None] * len(self.tasks)
-        if self.max_tasks_per_child is None:
-            stride = len(self.tasks)
-        else:
-            stride = self.jobs * self.max_tasks_per_child
-        for start in range(0, len(self.tasks), stride):
-            chunk = self.tasks[start:start + stride]
-            pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=_pool_context(),
-                initializer=worker_mod.init_worker,
-                initargs=(cache_dir, trace_on),
-            )
-            self.pools_used += 1
-            try:
-                futures = {
-                    pool.submit(worker_mod.run_task, dict(base, task=task)):
-                        start + i
-                    for i, task in enumerate(chunk)
-                }
-                for future in as_completed(futures):
-                    results[futures[future]] = future.result()
-            except BaseException:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
-            finally:
-                pool.shutdown(wait=True)
+        attempts = [0] * len(self.tasks)
+        pending = list(range(len(self.tasks)))
+        crashes = 0
+        budget = (self.max_worker_crashes if self.max_worker_crashes is not None
+                  else 2 * len(self.tasks) + 8)
+        while pending:
+            retry: list[int] = []
+            fresh = [i for i in pending if attempts[i] < POISON_ATTEMPTS]
+            suspect = [i for i in pending if attempts[i] >= POISON_ATTEMPTS]
+            if self.max_tasks_per_child is None:
+                stride = max(1, len(fresh))
+            else:
+                stride = self.jobs * self.max_tasks_per_child
+            for start in range(0, len(fresh), stride):
+                chunk = fresh[start:start + stride]
+                lost, broke = self._run_pool(chunk, self.jobs, base,
+                                             initargs, results, attempts)
+                if broke:
+                    crashes += 1
+                    self._note_crash(crashes, lost)
+                    for i in lost:
+                        attempts[i] += 1
+                    retry.extend(lost)
+            for i in suspect:
+                # Solo probe: one task, one worker.  A crash here is
+                # attributable beyond doubt — quarantine the task.
+                lost, broke = self._run_pool([i], 1, base, initargs,
+                                             results, attempts)
+                if broke:
+                    crashes += 1
+                    self._note_crash(crashes, lost)
+                    self._quarantine(i, attempts[i] + 1)
+            pending = retry
+            if crashes > budget:
+                raise WorkerCrashError(
+                    f"worker pool crashed {crashes} times "
+                    f"(budget {budget}); aborting sweep",
+                    phase="exec.supervise")
         self._merge(results)
         obs_trace.event("exec.prefetch_done", tasks=len(self.tasks),
-                        jobs=self.jobs, pools=self.pools_used)
+                        jobs=self.jobs, pools=self.pools_used,
+                        worker_restarts=self.stats["worker_restarts"],
+                        poisoned=self.stats["poisoned"])
         return len(self._prefetched)
+
+    def _run_pool(self, indices: list[int], workers: int, base: dict,
+                  initargs: tuple, results: list,
+                  attempts: list[int]) -> tuple[list[int], bool]:
+        """Run one pool over ``indices``; ``(lost_indices, pool_broke)``.
+
+        Successful task outputs land in ``results``; tasks the pool lost
+        (their worker died before the future resolved, so the executor
+        can only report ``BrokenProcessPool`` for every unfinished
+        future) come back for the supervision loop to re-dispatch.
+        """
+        pool = ProcessPoolExecutor(
+            max_workers=max(1, min(workers, len(indices))),
+            mp_context=_pool_context(),
+            initializer=worker_mod.init_worker,
+            initargs=initargs,
+        )
+        self.pools_used += 1
+        broke = False
+        remaining = set(indices)
+        futures: dict = {}
+        try:
+            try:
+                for i in indices:
+                    payload = dict(base, task=self.tasks[i],
+                                   attempt=attempts[i])
+                    futures[pool.submit(worker_mod.run_task, payload)] = i
+            except BrokenExecutor:
+                broke = True
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    results[i] = future.result()
+                except BrokenExecutor:
+                    broke = True
+                    continue
+                remaining.discard(i)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            pool.shutdown(wait=True)
+        return sorted(remaining), broke
+
+    def _note_crash(self, crashes: int, lost: list[int]) -> None:
+        self.stats["worker_restarts"] += 1
+        obs_metrics.inc("exec.worker_restarts")
+        obs_trace.event("exec.worker_crash", crashes=crashes,
+                        lost=len(lost))
+        if self.crash_backoff_s:
+            time.sleep(min(self.crash_backoff_s * 2 ** (crashes - 1), 1.0))
+
+    def _identify(self, task: SweepTask):
+        """``(label, design-or-None)`` — ``None`` for deferred points.
+
+        Resolves through the worker module's per-process memos, which the
+        parent also owns under the fork start method; deferred Fig. 1
+        factories are *not* invoked (a crashing build must not take the
+        parent down), their enumeration label suffices.
+        """
+        if task.kind == "fig1":
+            item = worker_mod._fig1_item(task)
+            if isinstance(item, tuple):
+                return item[0], None
+            return item.name, item
+        design = worker_mod._table2_design(task)
+        return design.name, design
+
+    def _quarantine(self, index: int, crashes: int) -> None:
+        """Record a poison task as an honest ``FAILED(…)`` design point."""
+        task = self.tasks[index]
+        self.stats["poisoned"] += 1
+        obs_metrics.inc("exec.poisoned_tasks")
+        obs_trace.event("exec.task_quarantined", kind=task.kind,
+                        key=task.key, index=task.index, crashes=crashes)
+        label, design = self._identify(task)
+        error = failure_record(WorkerCrashError(
+            f"worker process died {crashes} times running this design "
+            f"point; quarantined", design=label, phase="exec.worker",
+            task=worker_mod.task_id(task)))
+        if design is None:
+            # Deferred Fig. 1 point: surface through the same channel a
+            # worker-side build failure uses.
+            self._deferred[(task.key, label)] = {
+                "build_error": error, "name": None, "config": label,
+                "record": None}
+        else:
+            self._prefetched[design.name] = {
+                "schema": SCHEMA_VERSION, "design": design.name,
+                "status": "failed", "measured": None, "error": error,
+                "attempts": crashes, "degraded": False}
 
     def _merge(self, results: list[dict | None]) -> None:
         """Fold worker outputs in task order (deterministic by design)."""

@@ -23,8 +23,10 @@ variable from the worker's environment.
 from __future__ import annotations
 
 import os
+import signal
 
 from .. import cache as cache_mod
+from .. import chaos as chaos_mod
 from .. import obs
 from ..core.errors import ReproError
 from ..obs import metrics as obs_metrics
@@ -33,24 +35,33 @@ from ..resilience.errors import failure_record
 from ..resilience.runner import ABORT_ENV, SweepRunner, result_to_record
 from .tasks import SweepTask
 
-__all__ = ["init_worker", "run_task"]
+__all__ = ["init_worker", "run_task", "task_id"]
 
 # Per-worker-process memos: fig1 enumerations by sizes, table2 pairs by key.
 _FIG1_LISTS: dict[tuple, dict] = {}
 _TABLE2_PAIRS: dict[str, tuple] = {}
 
 
-def init_worker(cache_dir: str | None = None, trace: bool = False) -> None:
+def init_worker(cache_dir: str | None = None, trace: bool = False,
+                chaos=None) -> None:
     """Pool initializer: cache handle, tracing mode, no inherited abort."""
     os.environ.pop(ABORT_ENV, None)
     if cache_dir:
         cache_mod.set_active(cache_mod.ArtifactCache(cache_dir))
+    # Explicitly (re)set the chaos policy: a forked worker inherits the
+    # parent's active policy, which must not leak into a clean pool.
+    chaos_mod.set_active(chaos)
     if trace:
         obs.enable()
     else:
         # A forked worker inherits the parent's enabled flag and buffers.
         obs.disable()
     obs.clear()
+
+
+def task_id(task: SweepTask) -> str:
+    """The stable ``kind:key:index`` id chaos selectors match against."""
+    return f"{task.kind}:{task.key}:{task.index}"
 
 
 def _fig1_item(task: SweepTask):
@@ -81,6 +92,13 @@ def run_task(payload: dict) -> dict:
     built for identification but not re-measured), and ``trace``.
     """
     task: SweepTask = payload["task"]
+    policy = chaos_mod.active()
+    if (policy is not None
+            and policy.should_kill(task_id(task), payload.get("attempt", 0))):
+        # Chaos drill: die the way a segfault/OOM-kill would — no Python
+        # unwinding, no result — so the parent's supervision is exercised
+        # against the real BrokenProcessPool path.
+        os.kill(os.getpid(), signal.SIGKILL)
     trace_on = bool(payload.get("trace"))
     if trace_on:
         obs.clear()

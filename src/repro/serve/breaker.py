@@ -1,0 +1,120 @@
+"""Circuit breaker guarding the service's evaluator path.
+
+The classic three-state machine, tuned for the single event loop that
+drives ``/v1/idct`` (no locking: :meth:`CircuitBreaker.admit` and the
+``record_*`` callbacks all run on the loop, while the evaluation itself
+happens on the compute thread):
+
+* **closed** — requests flow; consecutive
+  :class:`~repro.core.errors.ReproError` failures are counted and reset
+  on any success.  Reaching ``threshold`` opens the circuit.
+* **open** — requests are rejected immediately (the server answers
+  **503** with a ``Retry-After`` header) until ``cooldown_s`` has
+  elapsed.
+* **half-open** — after the cooldown, exactly one probe request is
+  admitted; its success closes the circuit, its failure re-opens it
+  (restarting the cooldown).  Concurrent requests while the probe is in
+  flight are rejected as if open.
+
+Only :class:`~repro.core.errors.ReproError` counts as a failure —
+client mistakes (``ValueError`` from a bad engine name, usage errors)
+say nothing about evaluator health.  State transitions record the
+``serve.breaker_state`` gauge (0=closed, 1=half-open, 2=open) and the
+``serve.breaker_opened`` counter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.errors import ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+__all__ = ["CircuitBreaker"]
+
+_STATE_GAUGE = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe."""
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 30.0,
+                 clock=time.monotonic) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown_s = max(0.0, float(cooldown_s))
+        self._clock = clock
+        self.state = "closed"
+        self.stats = {"opened": 0, "rejected": 0, "probes": 0}
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    def admit(self) -> float | None:
+        """``None`` to admit; otherwise the Retry-After seconds."""
+        if self.state == "closed":
+            return None
+        if self.state == "open":
+            remaining = self._opened_at + self.cooldown_s - self._clock()
+            if remaining > 0:
+                return self._reject(remaining)
+            self._set_state("half-open")
+        # half-open: admit a single probe, reject everyone else until
+        # its outcome is recorded.
+        if self._probing:
+            return self._reject(self.cooldown_s)
+        self._probing = True
+        self.stats["probes"] += 1
+        return None
+
+    def cancel(self) -> None:
+        """An admitted request never ran (e.g. admission control said
+        429 after :meth:`admit`): release the probe slot without
+        recording an outcome."""
+        self._probing = False
+
+    def record_success(self) -> None:
+        """An admitted request succeeded."""
+        self._probing = False
+        self._consecutive = 0
+        if self.state != "closed":
+            self._set_state("closed")
+
+    def record_failure(self, exc: BaseException) -> None:
+        """An admitted request failed; only ``ReproError`` trips the
+        breaker (anything else is the client's problem, not the
+        evaluator's)."""
+        if not isinstance(exc, ReproError):
+            return
+        was_probe = self._probing
+        self._probing = False
+        self._consecutive += 1
+        if was_probe or self.state == "half-open" \
+                or self._consecutive >= self.threshold:
+            self._open()
+
+    def retry_after(self) -> float:
+        """Seconds a rejected client should wait before retrying."""
+        if self.state != "open":
+            return self.cooldown_s
+        return max(0.0, self._opened_at + self.cooldown_s - self._clock())
+
+    # ------------------------------------------------------------------
+    def _reject(self, retry_after: float) -> float:
+        self.stats["rejected"] += 1
+        obs_metrics.inc("serve.breaker_rejected")
+        return max(retry_after, 0.001)
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        if self.state != "open":
+            self.stats["opened"] += 1
+            obs_metrics.inc("serve.breaker_opened")
+            self._set_state("open")
+
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        obs_metrics.set_gauge("serve.breaker_state", _STATE_GAUGE[state])
+        obs_trace.event("serve.breaker", state=state,
+                        failures=self._consecutive)

@@ -28,6 +28,7 @@ metrics rather than ad-hoc timing.
 
 from __future__ import annotations
 
+from .. import chaos as chaos_mod
 from ..core.errors import EvaluationError
 from ..idct.constants import INPUT_MAX, INPUT_MIN, SIZE
 from ..obs import metrics as obs_metrics
@@ -105,6 +106,11 @@ class DesignEvaluator:
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r} (choices: {', '.join(self.ENGINES)})")
+        policy = chaos_mod.active()
+        if policy is not None:
+            # Chaos drill: injected latency and/or an EvaluationError the
+            # server maps to 422 (and counts toward the circuit breaker).
+            policy.evaluator_fault(f"{self.name}:{engine}")
         with obs_trace.span("serve.evaluate", design=self.name,
                             engine=engine, blocks=len(blocks)):
             obs_metrics.inc("serve.sim_invocations")

@@ -1,4 +1,4 @@
-"""Asynchronous sweep jobs: ``POST /v1/jobs`` + ``GET /v1/jobs/<id>``.
+"""Asynchronous sweep jobs: ``POST /v1/jobs`` + ``GET /v1/jobs[/<id>]``.
 
 A job runs one of the paper's sweep artifacts (``table2`` or ``fig1``)
 through the server's :class:`~repro.api.Session` — inheriting its
@@ -11,12 +11,32 @@ Jobs execute on a dedicated single-thread executor: one sweep at a time,
 never blocking the event loop or the ``/v1/idct`` compute thread.  The
 queue is bounded (:attr:`JobManager.max_queued`); past that, submission
 reports overload and the server answers 429.
+
+**Durability.**  With a journal path configured, every lifecycle event is
+appended to a JSONL write-ahead journal (``submitted`` → ``running`` →
+``done``/``failed``, plus ``resumed``) and fsynced before the in-memory
+state advances, so a SIGKILL'd server loses nothing it acknowledged.  On
+restart the journal is replayed: terminal jobs come back verbatim,
+non-terminal ones are listed with the honest status ``interrupted`` (and
+an ``"interrupted": true`` marker that survives a later re-run), and —
+with ``resume=True`` (``--resume-jobs``) — interrupted jobs are
+re-submitted in id order.  A torn final line (the crash happened
+mid-append) is skipped, never fatal.
+
+**Eviction.**  Terminal (``done``/``failed``) jobs are pruned once more
+than ``max_retained`` of them accumulate (oldest first), or once older
+than ``ttl_s``; retained jobs keep a stable ``to_dict`` shape.  This
+bounds the memory of a long-running service that previously kept every
+completed sweep output forever.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -29,6 +49,9 @@ ALLOWED_PARAMS = {
     "table2": {"tools"},
     "fig1": {"full", "bsc_configs", "bambu_configs", "xls_stages"},
 }
+
+#: Job states that will never change again (and are eligible to evict).
+TERMINAL_STATUSES = ("done", "failed")
 
 
 class JobQueueFull(Exception):
@@ -46,10 +69,12 @@ class Job:
     id: str
     kind: str
     params: dict
-    status: str = "queued"       # queued | running | done | failed
+    status: str = "queued"   # queued | running | done | failed | interrupted
     output: str | None = None
     error: str | None = None
     summary: list[str] = field(default_factory=list)
+    interrupted: bool = False      # survived a server crash at some point
+    finished_at: float | None = None
 
     def to_dict(self) -> dict:
         payload = {"id": self.id, "kind": self.kind, "params": self.params,
@@ -60,20 +85,50 @@ class Job:
             payload["error"] = self.error
         if self.summary:
             payload["summary"] = self.summary
+        if self.interrupted:
+            payload["interrupted"] = True
         return payload
+
+
+def _job_seq(job: Job) -> int:
+    """Numeric submission order from a ``job-N`` id (journal replays)."""
+    try:
+        return int(job.id.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return 0
 
 
 class JobManager:
     """Bounded FIFO of sweep jobs over one worker thread."""
 
-    def __init__(self, session, max_queued: int = 8) -> None:
+    def __init__(self, session, max_queued: int = 8,
+                 journal: str | os.PathLike | None = None,
+                 resume: bool = False, max_retained: int = 64,
+                 ttl_s: float | None = None) -> None:
         self.session = session
         self.max_queued = max_queued
+        self.max_retained = max_retained
+        self.ttl_s = ttl_s
         self._jobs: dict[str, Job] = {}
-        self._ids = itertools.count(1)
-        self._lock = threading.Lock()
+        # RLock: journal appends nest under the submit/prune lock.
+        self._lock = threading.RLock()
+        self._journal_path = os.fspath(journal) if journal else None
+        self._journal_file = None
+        last_id = 0
+        interrupted: list[Job] = []
+        if self._journal_path and os.path.exists(self._journal_path):
+            last_id, interrupted = self._replay()
+        self._ids = itertools.count(last_id + 1)
+        if self._journal_path:
+            parent = os.path.dirname(os.path.abspath(self._journal_path))
+            os.makedirs(parent, exist_ok=True)
+            self._journal_file = open(self._journal_path, "a",
+                                      encoding="utf-8")
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-job")
+        if resume:
+            for job in interrupted:
+                self._resume(job)
 
     # ------------------------------------------------------------------
     def submit(self, kind: str, params: dict | None = None) -> Job:
@@ -96,6 +151,8 @@ class JobManager:
                     f"{waiting} jobs already queued (limit {self.max_queued})")
             job = Job(id=f"job-{next(self._ids)}", kind=kind, params=params)
             self._jobs[job.id] = job
+            self._journal("submitted", id=job.id, kind=kind, params=params)
+            self._prune()
         obs_metrics.inc("serve.jobs_submitted")
         self._executor.submit(self._run, job)
         return job
@@ -104,31 +161,151 @@ class JobManager:
         with self._lock:
             return self._jobs.get(job_id)
 
-    def drain(self, timeout: float | None = None) -> None:
-        """Finish queued work and stop accepting more."""
-        self._executor.shutdown(wait=timeout is None or timeout > 0)
+    def list(self) -> list[Job]:
+        """All retained jobs in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=_job_seq)
+
+    def drain(self, timeout: float | None = None,
+              cancel: bool = False) -> None:
+        """Finish queued work and stop accepting more.
+
+        ``cancel=True`` drops still-queued jobs (the running one
+        finishes): their journal entries stay non-terminal, so a
+        journaled restart lists them as ``interrupted`` — honest, and
+        recoverable with ``resume``.
+        """
+        self._executor.shutdown(wait=timeout is None or timeout > 0,
+                                cancel_futures=cancel)
+        with self._lock:
+            if self._journal_file is not None:
+                self._journal_file.close()
+                self._journal_file = None
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _journal(self, event: str, **fields) -> None:
+        """Append one event, flushed and fsynced before returning."""
+        if self._journal_file is None:
+            return
+        record = {"event": event, **fields}
+        with self._lock:
+            if self._journal_file is None:  # drained concurrently
+                return
+            self._journal_file.write(
+                json.dumps(record, sort_keys=True) + "\n")
+            self._journal_file.flush()
+            os.fsync(self._journal_file.fileno())
+
+    def _replay(self) -> tuple[int, list[Job]]:
+        """Rebuild job state from the journal; returns
+        ``(highest_id, interrupted_jobs_in_order)``."""
+        jobs: dict[str, Job] = {}
+        with open(self._journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn final line from a crashed server
+                job_id = event.get("id")
+                kind = event.get("event")
+                if not isinstance(job_id, str) or not isinstance(kind, str):
+                    continue
+                if kind == "submitted":
+                    jobs[job_id] = Job(
+                        id=job_id, kind=event.get("kind", "?"),
+                        params=event.get("params") or {})
+                    continue
+                job = jobs.get(job_id)
+                if job is None:
+                    continue
+                if kind == "running":
+                    job.status = "running"
+                elif kind == "resumed":
+                    job.status = "queued"
+                elif kind == "done":
+                    job.status = "done"
+                    job.output = event.get("output")
+                    job.summary = event.get("summary") or []
+                    job.error = None
+                elif kind == "failed":
+                    job.status = "failed"
+                    job.error = event.get("error")
+        last_id = max((_job_seq(job) for job in jobs.values()), default=0)
+        interrupted = []
+        for job in jobs.values():
+            if job.status not in TERMINAL_STATUSES:
+                job.status = "interrupted"
+                job.interrupted = True
+                interrupted.append(job)
+        interrupted.sort(key=_job_seq)
+        self._jobs = jobs
+        if jobs:
+            obs_metrics.inc("serve.jobs_recovered", len(jobs))
+        return last_id, interrupted
+
+    def _resume(self, job: Job) -> None:
+        """Re-queue one interrupted job (keeps its id and marker)."""
+        job.status = "queued"
+        job.error = None
+        self._journal("resumed", id=job.id)
+        obs_metrics.inc("serve.jobs_resumed")
+        self._executor.submit(self._run, job)
+
+    def _prune(self) -> None:
+        """Evict old terminal jobs (caller holds the lock)."""
+        terminal = sorted(
+            (job for job in self._jobs.values()
+             if job.status in TERMINAL_STATUSES), key=_job_seq)
+        drop = []
+        if self.ttl_s is not None:
+            cutoff = time.time() - self.ttl_s
+            drop = [job for job in terminal
+                    if job.finished_at is not None
+                    and job.finished_at < cutoff]
+        kept = [job for job in terminal if job not in drop]
+        if self.max_retained is not None:
+            overflow = len(kept) - self.max_retained
+            if overflow > 0:
+                drop.extend(kept[:overflow])
+        for job in drop:
+            del self._jobs[job.id]
+            obs_metrics.inc("serve.jobs_evicted")
 
     # ------------------------------------------------------------------
     def _run(self, job: Job) -> None:
         job.status = "running"
+        self._journal("running", id=job.id)
         obs_metrics.set_gauge("serve.jobs_running", 1)
         try:
-            if job.kind == "table2":
-                from ..eval import render_table2
-
-                table = self.session.table2(tools=job.params.get("tools"))
-                job.output = render_table2(table)
-            else:
-                from ..eval.experiments import render_fig1
-
-                series = self.session.fig1(**job.params)
-                job.output = render_fig1(series)
+            job.output = self._execute(job)
             job.summary = self.session.summary_lines()
             job.status = "done"
+            self._journal("done", id=job.id, output=job.output,
+                          summary=job.summary)
             obs_metrics.inc("serve.jobs_done")
         except Exception as exc:  # noqa: BLE001 - reported via the job record
             job.error = str(exc)
             job.status = "failed"
+            self._journal("failed", id=job.id, error=job.error)
             obs_metrics.inc("serve.jobs_failed")
         finally:
+            job.finished_at = time.time()
             obs_metrics.set_gauge("serve.jobs_running", 0)
+            with self._lock:
+                self._prune()
+
+    def _execute(self, job: Job) -> str:
+        """Produce the rendered sweep text (overridable in tests)."""
+        if job.kind == "table2":
+            from ..eval import render_table2
+
+            return render_table2(self.session.table2(
+                tools=job.params.get("tools")))
+        from ..eval.experiments import render_fig1
+
+        return render_fig1(self.session.fig1(**job.params))

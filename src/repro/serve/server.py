@@ -12,6 +12,7 @@ POST   ``/v1/verify``       fresh compliance verification of one design
 POST   ``/v1/measure``      full characterization; body is byte-identical
                             to ``python -m repro measure <d> --json``
 POST   ``/v1/jobs``         start an async ``table2``/``fig1`` sweep
+GET    ``/v1/jobs``         list retained jobs (journal-recovered too)
 GET    ``/v1/jobs/<id>``    poll a sweep job
 GET    ``/healthz``         liveness + drain state
 GET    ``/metrics``         live obs snapshot, Prometheus text format
@@ -43,6 +44,7 @@ the event loop only parses, batches, and answers, so ``/healthz`` and
 from __future__ import annotations
 
 import asyncio
+import math
 import signal
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -53,6 +55,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..resilience import budget as res_budget
 from .batcher import MicroBatcher
+from .breaker import CircuitBreaker
 from .evaluator import validate_blocks
 from .jobs import JobManager, JobQueueFull, UnknownJobKind
 from .protocol import (
@@ -82,6 +85,12 @@ class ServeConfig:
     warm: tuple = ()             # design names measured at startup
     drain_grace_s: float = 30.0  # max seconds to wait for in-flight work
     obs: bool = True             # enable live metrics/span recording
+    breaker_threshold: int = 5   # consecutive evaluator failures to open
+    breaker_cooldown_s: float = 30.0  # open time before the half-open probe
+    job_journal: str | None = None    # JSONL write-ahead journal for jobs
+    resume_jobs: bool = False    # re-run journaled interrupted jobs
+    job_retained: int = 64       # terminal jobs kept in memory
+    job_ttl_s: float | None = None    # terminal-job time-to-live
 
 
 class _Admission:
@@ -123,7 +132,14 @@ class EvalServer:
         self.batcher = MicroBatcher(self._run_batch,
                                     max_batch=self.config.max_batch,
                                     max_wait_s=self.config.batch_wait_s)
-        self.jobs = JobManager(session, max_queued=self.config.max_jobs)
+        self.jobs = JobManager(session, max_queued=self.config.max_jobs,
+                               journal=self.config.job_journal,
+                               resume=self.config.resume_jobs,
+                               max_retained=self.config.job_retained,
+                               ttl_s=self.config.job_ttl_s)
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s)
         self.admission = _Admission(self.config.max_inflight)
         self._compute = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-eval")
@@ -211,10 +227,10 @@ class EvalServer:
                             inflight=self.admission.inflight)
         await self.batcher.drain()
         loop = asyncio.get_running_loop()
-        # Finish the running sweep job, cancel queued ones.
+        # Finish the running sweep job, cancel queued ones (their journal
+        # entries stay non-terminal: a restart reports them interrupted).
         await loop.run_in_executor(
-            None, lambda: self.jobs._executor.shutdown(
-                wait=True, cancel_futures=True))
+            None, lambda: self.jobs.drain(cancel=True))
         if self._exit is not None and not self._exit.done():
             self._exit.set_result(code)
 
@@ -317,8 +333,10 @@ class EvalServer:
                 return error_response("use POST", 405)
             return await self._measure(request)
         if path == "/v1/jobs":
+            if method == "GET":
+                return self._list_jobs()
             if method != "POST":
-                return error_response("use POST", 405)
+                return error_response("use POST or GET", 405)
             return self._submit_job(request)
         if path.startswith("/v1/jobs/"):
             if method != "GET":
@@ -335,6 +353,7 @@ class EvalServer:
             "inflight": self.admission.inflight,
             "open_batches": self.batcher.open_windows,
             "designs": sorted(self.session.loaded_evaluators()),
+            "breaker": self.breaker.state,
             "uptime_s": round(time.monotonic() - self._started, 3),
         })
 
@@ -371,17 +390,37 @@ class EvalServer:
         from ..api import canonical_name
 
         key = (canonical_name(name), engine)
-        rejected = self._admit()
+        rejected = self._breaker_reject()
+        if rejected is None:
+            rejected = self._admit()
+            if rejected is not None:
+                # The breaker admitted (possibly its half-open probe) but
+                # admission control said 429: the request never ran, so
+                # release the probe slot without recording an outcome.
+                self.breaker.cancel()
         if rejected is not None:
             return rejected
         try:
             outputs = await self.batcher.submit(key, blocks)
         except Exception as exc:  # noqa: BLE001 - mapped to HTTP below
+            self.breaker.record_failure(exc)
             return self._compute_error(exc)
         finally:
             self.admission.release()
+        self.breaker.record_success()
         return json_response({"design": key[0], "engine": engine,
                               "count": len(outputs), "outputs": outputs})
+
+    def _breaker_reject(self) -> Response | None:
+        """503 + ``Retry-After`` while the evaluator circuit is open."""
+        retry_after = self.breaker.admit()
+        if retry_after is None:
+            return None
+        response = error_response(
+            f"evaluator circuit open after repeated failures; retry in "
+            f"{retry_after:.0f}s", 503)
+        response.headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+        return response
 
     async def _verify(self, request: Request) -> Response:
         payload = request.json()
@@ -445,6 +484,11 @@ class EvalServer:
         if job is None:
             return error_response(f"no such job: {job_id}", 404)
         return json_response(job.to_dict())
+
+    def _list_jobs(self) -> Response:
+        """Every retained job (journal-recovered ones included)."""
+        return json_response(
+            {"jobs": [job.to_dict() for job in self.jobs.list()]})
 
     # ------------------------------------------------------------------
     # compute plumbing

@@ -10,6 +10,7 @@ from repro.cache import (
     active,
     artifact_key,
     code_digest,
+    split_footer,
 )
 from repro.cache.keys import _DIGEST_MEMO
 
@@ -83,7 +84,8 @@ class TestArtifactCache:
         assert cache.get_json("measured", key) is None
         cache.put_json("measured", key, {"x": 1.5, "y": "z"})
         assert cache.get_json("measured", key) == {"x": 1.5, "y": "z"}
-        assert cache.stats == {"hits": 1, "misses": 1, "puts": 1, "errors": 0}
+        assert cache.stats == {"hits": 1, "misses": 1, "puts": 1,
+                               "errors": 0, "corrupt": 0}
 
     def test_pickle_round_trip(self, tmp_path):
         cache = ArtifactCache(tmp_path / "c")
@@ -107,6 +109,13 @@ class TestArtifactCache:
             handle.write("{truncated")
         assert cache.get_json("measured", key) is None
         assert cache.stats["errors"] == 1
+        # The rotted artifact was quarantined, not left in place: the next
+        # lookup is a clean miss and the original bytes are preserved for
+        # forensics under corrupt/.
+        assert not os.path.exists(path)
+        quarantined = list((tmp_path / "c" / "corrupt").iterdir())
+        assert len(quarantined) == 1
+        assert cache.stats["corrupt"] == 1
 
     def test_merge_stats_and_summary(self, tmp_path):
         cache = ArtifactCache(tmp_path / "c")
@@ -154,7 +163,9 @@ class TestConcurrentWriters:
         litter = [f for f in files if f.is_file() and f.suffix != ".json"]
         assert len(artifacts) == 1
         assert litter == []  # every temp file was renamed or unlinked
-        payload = json.loads(artifacts[0].read_text())  # parses => not torn
+        body = split_footer(artifacts[0].read_bytes())
+        assert body is not None  # checksum footer intact => not torn
+        payload = json.loads(body)
         assert payload["writer"] in (0, 1)
         assert payload["iteration"] == 199  # a complete final write
 
@@ -224,6 +235,8 @@ class TestMeasureDiskCache:
             measured = measure_design(design, n_matrices=2)
         files = list((tmp_path / "c" / "measured").rglob("*.json"))
         assert len(files) == 1
-        payload = json.loads(files[0].read_text())
+        body = split_footer(files[0].read_bytes())
+        assert body is not None  # sealed with a valid checksum footer
+        payload = json.loads(body)
         assert payload["name"] == "verilog-initial"
         assert payload["fmax_mhz"] == measured.fmax_mhz  # exact round-trip

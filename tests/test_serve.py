@@ -491,6 +491,43 @@ class TestLiveServer:
         assert server.stop() == 0
 
 
+class TestCircuitBreakerHTTP:
+    def test_flaky_evaluator_opens_circuit_503_with_retry_after(
+            self, live, session):
+        """Repeated chaos-injected evaluator faults must open the
+        breaker: 422s for the failures themselves, then an immediate 503
+        with a Retry-After header while the circuit is open."""
+        from repro.chaos import ChaosPolicy
+        from repro.chaos import activate as activate_chaos
+
+        server = live(batch_wait_s=0.0, breaker_threshold=2,
+                      breaker_cooldown_s=60.0)
+        payload = {"design": DESIGN, "blocks": _blocks(1)}
+        with activate_chaos(ChaosPolicy(seed=1, flaky=1.0)):
+            for _ in range(2):
+                status, body = server.request("POST", "/v1/idct", payload)
+                assert status == 422
+                assert b"injected evaluator fault" in body
+        # Chaos is gone, but the circuit stays open through the cooldown.
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=120)
+        try:
+            conn.request("POST", "/v1/idct",
+                         body=json.dumps(payload).encode())
+            response = conn.getresponse()
+            body = response.read()
+        finally:
+            conn.close()
+        assert response.status == 503
+        assert b"circuit open" in body
+        retry_after = response.getheader("Retry-After")
+        assert retry_after is not None and 1 <= int(retry_after) <= 60
+        status, body = server.request("GET", "/healthz")
+        assert status == 200
+        assert json.loads(body)["breaker"] == "open"
+        assert server.stop() == 0
+
+
 class TestSignalDrain:
     def test_sigterm_mid_burst_drains_and_exits_zero(self, tmp_path):
         """A real `python -m repro serve` process: SIGTERM during a burst
