@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over the ``.benchmarks/`` perf trajectory.
+
+Every benchmark run persists its statistics as
+``.benchmarks/BENCH_<test>.json`` (see ``benchmarks/conftest.py``); this
+gate compares the fresh files against a stored baseline copy in
+``.benchmarks/baseline/`` and fails — non-zero exit, suitable for
+``scripts/check.sh`` — when throughput (the ``bench.ops`` gauge,
+operations per second) regresses by more than the threshold (default
+15%).  Benchmarks present on only one side are reported but never fail
+the gate: coverage changes are a review question, not a perf regression.
+
+Without a baseline directory the gate *skips with a notice* and exits 0,
+so fresh clones aren't red.  Record a baseline from the current fresh
+results with ``--update`` (after a deliberate perf change, commit the
+refreshed baseline alongside it).
+
+Usage::
+
+    python scripts/bench_gate.py                # gate fresh vs baseline
+    python scripts/bench_gate.py --update       # (re)record the baseline
+    python scripts/bench_gate.py --threshold 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+#: Gauge used as the throughput figure of merit (higher is better).
+THROUGHPUT_GAUGE = "bench.ops"
+
+
+def load_ops(path: str) -> float | None:
+    """The ``bench.ops`` gauge from one ``BENCH_*.json``, or ``None``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    gauges = (payload.get("metrics") or {}).get("gauges") or {}
+    ops = gauges.get(THROUGHPUT_GAUGE)
+    return float(ops) if isinstance(ops, (int, float)) else None
+
+
+def bench_files(directory: str) -> dict[str, str]:
+    """Map benchmark name -> path for every ``BENCH_*.json`` in a dir."""
+    out: dict[str, str] = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return out
+    for name in names:
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            out[name] = os.path.join(directory, name)
+    return out
+
+
+def update_baseline(fresh: dict[str, str], baseline_dir: str) -> int:
+    os.makedirs(baseline_dir, exist_ok=True)
+    for name, path in fresh.items():
+        shutil.copyfile(path, os.path.join(baseline_dir, name))
+    print(f"bench gate: recorded {len(fresh)} baseline file(s) "
+          f"in {baseline_dir}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold benchmark throughput regression")
+    parser.add_argument("--benchmarks", default=".benchmarks",
+                        help="directory of fresh BENCH_*.json files")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline directory "
+                             "(default: <benchmarks>/baseline)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated fractional ops drop "
+                             "(default: 0.15)")
+    parser.add_argument("--update", action="store_true",
+                        help="record the fresh results as the new baseline")
+    args = parser.parse_args(argv)
+    baseline_dir = args.baseline or os.path.join(args.benchmarks, "baseline")
+
+    fresh = bench_files(args.benchmarks)
+    if args.update:
+        if not fresh:
+            print(f"bench gate: no BENCH_*.json in {args.benchmarks} "
+                  f"to record", file=sys.stderr)
+            return 2
+        return update_baseline(fresh, baseline_dir)
+
+    if not os.path.isdir(baseline_dir):
+        print(f"bench gate: no baseline at {baseline_dir} — skipping "
+              f"(record one with --update)")
+        return 0
+    base = bench_files(baseline_dir)
+    if not fresh:
+        print(f"bench gate: no fresh BENCH_*.json in {args.benchmarks} — "
+              f"skipping (run `python -m pytest benchmarks/` first)")
+        return 0
+
+    regressions = []
+    compared = 0
+    for name in sorted(set(base) & set(fresh)):
+        old = load_ops(base[name])
+        new = load_ops(fresh[name])
+        if old is None or new is None or old <= 0:
+            continue
+        compared += 1
+        delta = (new - old) / old
+        marker = "  "
+        if delta < -args.threshold:
+            marker = "!!"
+            regressions.append((name, old, new, delta))
+        print(f"{marker} {name[len('BENCH_'):-len('.json')]:<44s} "
+              f"{old:>12.2f} -> {new:<12.2f} ops/s ({delta:+.1%})")
+    for name in sorted(set(base) ^ set(fresh)):
+        side = "baseline" if name in base else "fresh run"
+        print(f"   {name[len('BENCH_'):-len('.json')]:<44s} "
+              f"only in {side} (not gated)")
+
+    if regressions:
+        print(f"bench gate: FAILED — {len(regressions)} benchmark(s) "
+              f"regressed more than {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"bench gate: ok ({compared} benchmark(s) within "
+          f"{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

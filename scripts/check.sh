@@ -15,6 +15,9 @@ echo "ok"
 echo "== disabled-overhead guard =="
 python -m pytest -q tests/test_obs.py -k disabled
 
+echo "== bench gate: fresh BENCH_*.json vs stored baseline =="
+python scripts/bench_gate.py
+
 echo "== resilience smoke: injected fault must fail the verifier =="
 python -m repro faults verilog-initial --smoke
 
@@ -115,6 +118,57 @@ assert invocations < len(blocks), \
     f"{len(blocks)} requests should coalesce below {len(blocks)} invocations"
 print(f"serve: cache.hits={lines['repro_cache_hits']}, "
       f"{len(blocks)} requests -> {invocations} invocations")
+EOF
+echo "ok"
+
+echo "== obs smoke: live /v1/jobs/<id>/events stream covers every design =="
+python - "$addr" <<'EOF'
+import json, sys, urllib.request
+
+base = "http://" + sys.argv[1]
+
+req = urllib.request.Request(
+    base + "/v1/jobs", data=json.dumps({"kind": "fig1"}).encode())
+with urllib.request.urlopen(req, timeout=60) as resp:
+    job = json.load(resp)
+
+# Stream the chunked NDJSON event feed while the sweep runs; the server
+# ends the stream once the job is terminal and every event is delivered.
+events = []
+with urllib.request.urlopen(
+        base + f"/v1/jobs/{job['id']}/events", timeout=600) as resp:
+    assert resp.headers.get("Transfer-Encoding") == "chunked", \
+        dict(resp.headers)
+    for line in resp:
+        events.append(json.loads(line))
+assert events, "event stream was empty"
+
+with urllib.request.urlopen(base + f"/v1/jobs/{job['id']}", timeout=60) as resp:
+    done = json.load(resp)
+assert done["status"] == "done", done
+
+# Every design the job's trace measured must have a cell.done event.
+with urllib.request.urlopen(
+        base + f"/v1/traces/{done['trace']}", timeout=60) as resp:
+    tree = json.load(resp)
+
+def walk(spans):
+    for span in spans:
+        yield span
+        yield from walk(span["children"])
+
+measured = {span["attrs"].get("design") for span in walk(tree["spans"])
+            if span["name"] == "measure"}
+finished = {e.get("design") for e in events if e.get("type") == "cell.done"}
+assert measured and measured <= finished, (sorted(measured - finished))
+
+# A second GET replays the identical history after completion.
+with urllib.request.urlopen(
+        base + f"/v1/jobs/{job['id']}/events", timeout=60) as resp:
+    replay = [json.loads(line) for line in resp]
+assert replay == events, (len(replay), len(events))
+print(f"obs: {len(events)} events streamed, "
+      f"{len(finished)} designs finished, replay identical")
 EOF
 kill -TERM "$serve_pid"
 wait "$serve_pid"

@@ -260,11 +260,16 @@ class Session:
         self.last_runner: SweepRunner | None = None
         self.max_tasks_per_child = max_tasks_per_child
         self._evaluators: dict[str, object] = {}
+        self.trace_id: str | None = None
         if self.trace:
             from . import obs
 
             obs.clear()
             obs.enable()
+            # One trace per session: every span/event this session's
+            # work records — in this process or in pool workers — is
+            # stamped with this id and assembles into one tree.
+            self.trace_id = obs.trace.new_trace()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -427,7 +432,10 @@ class Session:
                     f"unknown tool key {unknown[0]!r}{hint} "
                     f"(choices: {', '.join(PAIRS)})",
                     name=unknown[0], suggestions=close)
-        with self._activated():
+        from .obs import trace as obs_trace
+
+        with self._activated(), obs_trace.span("sweep.table2",
+                                               jobs=self.jobs):
             from .exec import table2_tasks
 
             tasks = table2_tasks(tools) if self.jobs > 1 else None
@@ -446,7 +454,10 @@ class Session:
                               else bambu_configs),
             "xls_stages": defaults[2] if xls_stages is None else xls_stages,
         }
-        with self._activated():
+        from .obs import trace as obs_trace
+
+        with self._activated(), obs_trace.span("sweep.fig1", jobs=self.jobs,
+                                               full=full):
             if self.jobs > 1 and self._fixed_runner is None:
                 from .exec import fig1_tasks
 

@@ -40,6 +40,7 @@ import tempfile
 from contextlib import contextmanager
 
 from .. import chaos as chaos_mod
+from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 
 __all__ = ["ArtifactCache", "split_footer", "active", "set_active",
@@ -133,6 +134,7 @@ class ArtifactCache:
         self.stats["corrupt"] += 1
         self.stats["errors"] += 1
         obs_metrics.inc("cache.corrupt")
+        obs_events.emit("cache.corrupt", path=os.path.basename(path))
         dest_dir = os.path.join(self.root, "corrupt")
         try:
             os.makedirs(dest_dir, exist_ok=True)

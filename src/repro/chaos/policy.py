@@ -36,6 +36,7 @@ import time
 from contextlib import contextmanager
 
 from ..core.errors import EvaluationError
+from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 
 __all__ = ["ChaosPolicy", "parse_chaos_spec", "active", "set_active",
@@ -118,6 +119,7 @@ class ChaosPolicy:
                 or self._fraction("corrupt", key) >= self.corrupt):
             return blob
         obs_metrics.inc("chaos.corruptions")
+        obs_events.emit("chaos.inject", fault="corrupt", key=key)
         if self._fraction("corrupt-mode", key) < 0.5:
             cut = 1 + int(self._fraction("corrupt-cut", key) * (len(blob) - 1))
             return blob[:cut]
@@ -134,6 +136,7 @@ class ChaosPolicy:
             time.sleep(self._fraction("latency", draw) * self.latency_s)
         if self.flaky and self._fraction("flaky", draw) < self.flaky:
             obs_metrics.inc("chaos.faults")
+            obs_events.emit("chaos.inject", fault="flaky", key=key)
             raise EvaluationError("chaos: injected evaluator fault",
                                   design=key, phase="chaos.evaluator")
 

@@ -23,9 +23,20 @@ Commands:
   — run the asyncio evaluation service (``/v1/idct`` micro-batching,
   admission control, ``/healthz`` + ``/metrics``); SIGTERM drains
   in-flight work and exits 0, ^C drains and exits 3;
-* ``profile <design> [--trace PATH] [--metrics PATH]`` — run one design
-  through the full pipeline with tracing on and print the per-phase
-  breakdown;
+* ``profile <design> [--json] [--trace PATH] [--metrics PATH]`` — run
+  one design through the full pipeline with tracing on and print the
+  per-phase breakdown; ``--json`` emits the machine-readable profile
+  (span tree + phases + metrics) whose totals match the text report;
+* ``obs tail <events.jsonl> [--type T] [--limit N]`` — pretty-print a
+  structured event log (what ``--events PATH`` on sweeps writes, and
+  what ``GET /v1/jobs/<id>/events`` streams as NDJSON over a chunked
+  response — replay first, then live events until the job finishes);
+* ``obs tree [<trace-id>] [--trace PATH]`` — render the assembled span
+  tree of one trace from a ``trace.jsonl`` export (the service's
+  ``GET /v1/traces/<id>`` returns the same tree as JSON);
+* ``obs diff <metrics_a.json> <metrics_b.json>`` — compare two metrics
+  exports counter-by-counter (the offline view behind
+  ``scripts/bench_gate.py``);
 * ``faults <design> [--limit N] [--seed S] [--smoke]`` — run the
   fault-injection campaign against the compliance verifier; exits 1 when
   the detection rate drops below ``--min-detect``;
@@ -40,8 +51,12 @@ a serial run), ``--cache DIR`` (content-addressed artifact cache reused
 across runs and commands), ``--checkpoint PATH`` (JSONL progress log),
 ``--resume`` (skip designs already in the checkpoint), ``--inject-fault
 NAME`` (force a design to fail, repeatable), ``--budget-s`` /
-``--budget-cycles`` (per-design budgets), ``--retries``, and ``--chaos
-SPEC`` (seeded fault injection).
+``--budget-cycles`` (per-design budgets), ``--retries``, ``--chaos
+SPEC`` (seeded fault injection), and the observability exports:
+``--trace PATH`` (span JSONL), ``--metrics PATH`` (metrics + phase
+timings JSON), ``--events PATH`` (structured event JSONL for ``obs
+tail``).  Any of the three turns instrumentation on; each sweep run
+mints one trace id that spans and events carry across pool workers.
 
 The ``--chaos`` grammar is ``key=value[,key=value...]`` with keys
 ``seed`` (int), ``kill`` / ``poison`` / ``corrupt`` / ``flaky``
@@ -136,6 +151,14 @@ def _cmd_table1(_args) -> int:
     return 0
 
 
+def _obs_start(args) -> None:
+    """Attach the ``--events`` file sink (after the Session cleared obs)."""
+    if getattr(args, "events", None):
+        from .obs import events as obs_events
+
+        obs_events.EVENTS.attach(args.events)
+
+
 def _obs_finish(args, active: bool) -> None:
     """Export the requested artifacts and disable instrumentation."""
     if not active:
@@ -149,6 +172,11 @@ def _obs_finish(args, active: bool) -> None:
     if args.metrics:
         write_metrics_json(args.metrics)
         print(f"wrote metrics to {args.metrics}")
+    if getattr(args, "events", None):
+        from .obs import events as obs_events
+
+        obs_events.EVENTS.detach()
+        print(f"wrote events to {args.events}")
     obs.disable()
 
 
@@ -175,8 +203,9 @@ def _print_summaries(session) -> None:
 def _cmd_table2(args) -> int:
     from .eval import render_table2
 
-    tracing = bool(args.trace or args.metrics)
+    tracing = bool(args.trace or args.metrics or args.events)
     session = _make_session(args, trace=tracing)
+    _obs_start(args)
     table = session.table2(tools=args.tools or None)
     print(render_table2(table))
     _print_summaries(session)
@@ -217,8 +246,9 @@ def _cmd_table2(args) -> int:
 def _cmd_fig1(args) -> int:
     from .eval.experiments import render_fig1
 
-    tracing = bool(args.trace or args.metrics)
+    tracing = bool(args.trace or args.metrics or args.events)
     session = _make_session(args, trace=tracing)
+    _obs_start(args)
     series = session.fig1(full=args.full)
     print(render_fig1(series))
     _print_summaries(session)
@@ -320,18 +350,34 @@ def _cmd_serve(args) -> int:
 
 def _cmd_profile(args) -> int:
     from .api import Session
-    from .obs.report import render_profile, write_metrics_json, write_trace_jsonl
+    from .obs.report import (
+        render_profile,
+        render_profile_json,
+        write_metrics_json,
+        write_trace_jsonl,
+    )
 
     session = Session(trace=True)
     try:
         design, measured = session.profile(args.design)
-        print(f"profile of {design.name} "
-              f"({design.language}/{design.tool}, {design.config})")
-        print(f"  bit-exact: {measured.bit_exact}  "
-              f"latency {measured.latency}  periodicity {measured.periodicity}  "
-              f"fmax {measured.fmax_mhz:.2f} MHz")
-        print()
-        print(render_profile())
+        if args.json:
+            # One serialization path: the same span records and registry
+            # the text report renders, serialized once, canonically.
+            sys.stdout.write(render_profile_json(extra={
+                "design": design.name,
+                "config": design.config,
+                "tool": design.tool,
+                "bit_exact": measured.bit_exact,
+            }))
+        else:
+            print(f"profile of {design.name} "
+                  f"({design.language}/{design.tool}, {design.config})")
+            print(f"  bit-exact: {measured.bit_exact}  "
+                  f"latency {measured.latency}  "
+                  f"periodicity {measured.periodicity}  "
+                  f"fmax {measured.fmax_mhz:.2f} MHz")
+            print()
+            print(render_profile())
         if args.trace:
             count = write_trace_jsonl(args.trace)
             print(f"\nwrote {count} trace records to {args.trace}")
@@ -340,6 +386,102 @@ def _cmd_profile(args) -> int:
             print(f"wrote metrics to {args.metrics}")
     finally:
         session.close()
+    return 0
+
+
+def _format_event(event: dict) -> str:
+    """One ``obs tail`` line: seq, type, trace tag, then sorted fields."""
+    head = f"{event.get('seq', 0):>6}  {event.get('type', '?'):<16}"
+    trace = event.get("trace")
+    if trace:
+        head += f"  [{trace}]"
+    skip = {"seq", "type", "ts", "trace", "span"}
+    fields = "  ".join(f"{key}={event[key]}" for key in sorted(event)
+                       if key not in skip)
+    return f"{head}  {fields}".rstrip()
+
+
+def _cmd_obs_tail(args) -> int:
+    import json
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    events = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue  # torn final line from a crashed writer
+        if isinstance(event, dict):
+            events.append(event)
+    if args.type:
+        events = [e for e in events if e.get("type") == args.type]
+    if args.limit:
+        events = events[-args.limit:]
+    for event in events:
+        print(_format_event(event))
+    return 0
+
+
+def _cmd_obs_tree(args) -> int:
+    import json
+
+    from .obs.report import render_tree
+    from .obs.trace import SpanRecord
+
+    records = []
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(SpanRecord.from_dict(json.loads(line)))
+                except (ValueError, KeyError):
+                    continue
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(render_tree(records, args.trace_id))
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    import json
+
+    def load(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return None
+
+    before, after = load(args.a), load(args.b)
+    if before is None or after is None:
+        return 2
+    changed = 0
+    for kind in ("counters", "gauges"):
+        old = (before.get("metrics") or {}).get(kind, {})
+        new = (after.get("metrics") or {}).get(kind, {})
+        for name in sorted(set(old) | set(new)):
+            a, b = old.get(name, 0), new.get(name, 0)
+            if a == b:
+                continue
+            changed += 1
+            delta = b - a
+            pct = f" ({delta / a:+.1%})" if a else ""
+            print(f"{name:<40s} {a:>14g} -> {b:<14g} {delta:+g}{pct}")
+    if not changed:
+        print("no counter/gauge differences")
     return 0
 
 
@@ -450,6 +592,8 @@ def main(argv: list[str] | None = None) -> int:
     p_table2.add_argument("--trace", help="write span trace (JSON lines)")
     p_table2.add_argument("--metrics",
                           help="write metrics + per-design phase timings (JSON)")
+    p_table2.add_argument("--events",
+                          help="write structured event log (JSON lines)")
     add_runner_args(p_table2)
     p_table2.set_defaults(fn=_cmd_table2)
 
@@ -460,6 +604,8 @@ def main(argv: list[str] | None = None) -> int:
     p_fig1.add_argument("--trace", help="write span trace (JSON lines)")
     p_fig1.add_argument("--metrics",
                         help="write metrics + per-design phase timings (JSON)")
+    p_fig1.add_argument("--events",
+                        help="write structured event log (JSON lines)")
     add_runner_args(p_fig1)
     p_fig1.set_defaults(fn=_cmd_fig1)
 
@@ -542,9 +688,39 @@ def main(argv: list[str] | None = None) -> int:
     p_profile = sub.add_parser(
         "profile", help="trace one design through the pipeline")
     p_profile.add_argument("design")
+    p_profile.add_argument("--json", action="store_true",
+                           help="machine-readable profile (span tree, phase "
+                                "breakdown, metrics) on stdout")
     p_profile.add_argument("--trace", help="write span trace (JSON lines)")
     p_profile.add_argument("--metrics", help="write metrics JSON")
     p_profile.set_defaults(fn=_cmd_profile)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect exported observability artifacts")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_tail = obs_sub.add_parser(
+        "tail", help="print events from a --events JSONL export")
+    p_tail.add_argument("file", help="event log path (JSON lines)")
+    p_tail.add_argument("--type", help="only events of this type "
+                                       "(e.g. cell.done, worker.restart)")
+    p_tail.add_argument("--limit", type=int, default=0, metavar="N",
+                        help="only the last N matching events")
+    p_tail.set_defaults(fn=_cmd_obs_tail)
+
+    p_tree = obs_sub.add_parser(
+        "tree", help="render the span tree from a --trace JSONL export")
+    p_tree.add_argument("trace_id", nargs="?", default=None,
+                        help="trace id to assemble (default: the only one)")
+    p_tree.add_argument("--trace", default="trace.jsonl",
+                        help="span trace path (default: trace.jsonl)")
+    p_tree.set_defaults(fn=_cmd_obs_tree)
+
+    p_diff = obs_sub.add_parser(
+        "diff", help="diff two --metrics JSON exports")
+    p_diff.add_argument("a", help="baseline metrics JSON")
+    p_diff.add_argument("b", help="candidate metrics JSON")
+    p_diff.set_defaults(fn=_cmd_obs_diff)
 
     p_faults = sub.add_parser(
         "faults", help="fault-injection campaign against the verifier")

@@ -44,11 +44,12 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from .. import chaos as chaos_mod
 from ..cache import ArtifactCache
 from ..core.errors import WorkerCrashError
+from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..resilience.checkpoint import SCHEMA_VERSION
@@ -138,55 +139,70 @@ class ParallelSweepRunner(SweepRunner):
         if not self.tasks or self.jobs <= 1:
             return 0
         trace_on = obs_trace.enabled()
-        skip = frozenset(self.checkpoint.names()) if self.checkpoint else ()
-        base = {"config": self.config, "inject": self.inject_failures,
-                "trace": trace_on, "skip": skip}
-        cache_dir = self.cache.root if self.cache is not None else None
-        initargs = (cache_dir, trace_on, chaos_mod.active())
-        results: list[dict | None] = [None] * len(self.tasks)
-        attempts = [0] * len(self.tasks)
-        pending = list(range(len(self.tasks)))
-        crashes = 0
-        budget = (self.max_worker_crashes if self.max_worker_crashes is not None
-                  else 2 * len(self.tasks) + 8)
-        while pending:
-            retry: list[int] = []
-            fresh = [i for i in pending if attempts[i] < POISON_ATTEMPTS]
-            suspect = [i for i in pending if attempts[i] >= POISON_ATTEMPTS]
-            if self.max_tasks_per_child is None:
-                stride = max(1, len(fresh))
-            else:
-                stride = self.jobs * self.max_tasks_per_child
-            for start in range(0, len(fresh), stride):
-                chunk = fresh[start:start + stride]
-                lost, broke = self._run_pool(chunk, self.jobs, base,
-                                             initargs, results, attempts)
-                if broke:
-                    crashes += 1
-                    self._note_crash(crashes, lost)
-                    for i in lost:
-                        attempts[i] += 1
-                    retry.extend(lost)
-            for i in suspect:
-                # Solo probe: one task, one worker.  A crash here is
-                # attributable beyond doubt — quarantine the task.
-                lost, broke = self._run_pool([i], 1, base, initargs,
-                                             results, attempts)
-                if broke:
-                    crashes += 1
-                    self._note_crash(crashes, lost)
-                    self._quarantine(i, attempts[i] + 1)
-            pending = retry
-            if crashes > budget:
-                raise WorkerCrashError(
-                    f"worker pool crashed {crashes} times "
-                    f"(budget {budget}); aborting sweep",
-                    phase="exec.supervise")
-        self._merge(results)
-        obs_trace.event("exec.prefetch_done", tasks=len(self.tasks),
-                        jobs=self.jobs, pools=self.pools_used,
-                        worker_restarts=self.stats["worker_restarts"],
-                        poisoned=self.stats["poisoned"])
+        if trace_on and not obs_trace.TRACER.trace_id:
+            obs_trace.new_trace()
+        with obs_trace.span("exec.prefetch", tasks=len(self.tasks),
+                            jobs=self.jobs) as prefetch_span:
+            graft = getattr(prefetch_span, "span_id", None)
+            if trace_on:
+                # Stamp every task with this sweep's trace context so
+                # worker spans adopt the trace id; their subtrees graft
+                # under this span at merge time.
+                ctx = obs_trace.current_context()
+                self.tasks = [replace(task, ctx=(ctx.trace_id, ctx.span_id))
+                              for task in self.tasks]
+            skip = (frozenset(self.checkpoint.names())
+                    if self.checkpoint else ())
+            base = {"config": self.config, "inject": self.inject_failures,
+                    "trace": trace_on, "skip": skip}
+            cache_dir = self.cache.root if self.cache is not None else None
+            initargs = (cache_dir, trace_on, chaos_mod.active())
+            results: list[dict | None] = [None] * len(self.tasks)
+            attempts = [0] * len(self.tasks)
+            pending = list(range(len(self.tasks)))
+            crashes = 0
+            budget = (self.max_worker_crashes
+                      if self.max_worker_crashes is not None
+                      else 2 * len(self.tasks) + 8)
+            while pending:
+                retry: list[int] = []
+                fresh = [i for i in pending if attempts[i] < POISON_ATTEMPTS]
+                suspect = [i for i in pending
+                           if attempts[i] >= POISON_ATTEMPTS]
+                if self.max_tasks_per_child is None:
+                    stride = max(1, len(fresh))
+                else:
+                    stride = self.jobs * self.max_tasks_per_child
+                for start in range(0, len(fresh), stride):
+                    chunk = fresh[start:start + stride]
+                    lost, broke = self._run_pool(chunk, self.jobs, base,
+                                                 initargs, results, attempts)
+                    if broke:
+                        crashes += 1
+                        self._note_crash(crashes, lost)
+                        for i in lost:
+                            attempts[i] += 1
+                        retry.extend(lost)
+                for i in suspect:
+                    # Solo probe: one task, one worker.  A crash here is
+                    # attributable beyond doubt — quarantine the task.
+                    lost, broke = self._run_pool([i], 1, base, initargs,
+                                                 results, attempts)
+                    if broke:
+                        crashes += 1
+                        self._note_crash(crashes, lost)
+                        self._quarantine(i, attempts[i] + 1)
+                pending = retry
+                if crashes > budget:
+                    raise WorkerCrashError(
+                        f"worker pool crashed {crashes} times "
+                        f"(budget {budget}); aborting sweep",
+                        phase="exec.supervise")
+            self._merge(results, under=graft)
+            obs_trace.event("exec.prefetch_done", tasks=len(self.tasks),
+                            jobs=self.jobs, pools=self.pools_used,
+                            worker_restarts=self.stats["worker_restarts"],
+                            poisoned=self.stats["poisoned"])
         return len(self._prefetched)
 
     def _run_pool(self, indices: list[int], workers: int, base: dict,
@@ -237,6 +253,9 @@ class ParallelSweepRunner(SweepRunner):
         obs_metrics.inc("exec.worker_restarts")
         obs_trace.event("exec.worker_crash", crashes=crashes,
                         lost=len(lost))
+        obs_events.emit("worker.restart", crashes=crashes, lost=len(lost),
+                        tasks=[worker_mod.task_id(self.tasks[i])
+                               for i in lost])
         if self.crash_backoff_s:
             time.sleep(min(self.crash_backoff_s * 2 ** (crashes - 1), 1.0))
 
@@ -263,6 +282,8 @@ class ParallelSweepRunner(SweepRunner):
         obs_metrics.inc("exec.poisoned_tasks")
         obs_trace.event("exec.task_quarantined", kind=task.kind,
                         key=task.key, index=task.index, crashes=crashes)
+        obs_events.emit("worker.poison", task=worker_mod.task_id(task),
+                        crashes=crashes)
         label, design = self._identify(task)
         error = failure_record(WorkerCrashError(
             f"worker process died {crashes} times running this design "
@@ -280,13 +301,16 @@ class ParallelSweepRunner(SweepRunner):
                 "status": "failed", "measured": None, "error": error,
                 "attempts": crashes, "degraded": False}
 
-    def _merge(self, results: list[dict | None]) -> None:
+    def _merge(self, results: list[dict | None],
+               under: int | None = None) -> None:
         """Fold worker outputs in task order (deterministic by design)."""
         for res in results:
             if res is None:
                 continue
             if res["spans"]:
-                obs_trace.TRACER.ingest(res["spans"])
+                obs_trace.TRACER.ingest(res["spans"], under=under)
+            if res.get("events"):
+                obs_events.EVENTS.ingest(res["events"])
             if res["metrics"]:
                 obs_metrics.REGISTRY.merge_snapshot(res["metrics"])
             if self.cache is not None and res["cache"]:

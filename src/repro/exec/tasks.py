@@ -24,6 +24,7 @@ class SweepTask:
     key: str             # PAIRS key, or the Fig. 1 tool name
     index: int           # 0=initial / 1=optimized, or the point index
     sizes: tuple = ()    # sorted (name, value) pairs for fig1_design_lists
+    ctx: tuple = ()      # (trace_id, parent_span_id) when tracing, else ()
 
 
 def table2_tasks(tools: list[str] | None = None) -> list[SweepTask]:

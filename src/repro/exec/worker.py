@@ -29,6 +29,7 @@ from .. import cache as cache_mod
 from .. import chaos as chaos_mod
 from .. import obs
 from ..core.errors import ReproError
+from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..resilience.errors import failure_record
@@ -103,6 +104,11 @@ def run_task(payload: dict) -> dict:
     if trace_on:
         obs.clear()
         obs.enable()
+        if task.ctx:
+            # Adopt the parent's trace: every span/event this worker
+            # records carries the sweep's trace id, and the shipped
+            # buffer grafts under the parent's dispatch span on ingest.
+            obs_trace.new_trace(task.ctx[0])
     cache = cache_mod.active()
     cache_before = dict(cache.stats) if cache is not None else None
     out = {
@@ -110,44 +116,48 @@ def run_task(payload: dict) -> dict:
         "deferred": False, "label": None, "name": None, "config": None,
         "record": None, "build_error": None, "skipped": False,
         "stats": None, "spans": [], "metrics": None, "cache": None,
+        "events": [],
     }
     try:
-        design = None
-        if task.kind == "fig1":
-            item = _fig1_item(task)
-            if isinstance(item, tuple):
-                out["deferred"] = True
-                label, factory = item
-                out["label"] = out["config"] = label
-                try:
-                    design = factory()
-                except ReproError as exc:
-                    out["build_error"] = failure_record(
-                        exc, design=label, phase="frontend.build")
+        with obs_trace.span("exec.task", task=task_id(task),
+                            attempt=payload.get("attempt", 0)):
+            design = None
+            if task.kind == "fig1":
+                item = _fig1_item(task)
+                if isinstance(item, tuple):
+                    out["deferred"] = True
+                    label, factory = item
+                    out["label"] = out["config"] = label
+                    try:
+                        design = factory()
+                    except ReproError as exc:
+                        out["build_error"] = failure_record(
+                            exc, design=label, phase="frontend.build")
+                else:
+                    design = item
             else:
-                design = item
-        else:
-            design = _table2_design(task)
-        if design is not None:
-            out["name"] = design.name
-            out["config"] = design.config
-            if design.name in payload.get("skip", ()):
-                out["skipped"] = True
-            else:
-                runner = SweepRunner(
-                    config=payload["config"],
-                    inject_failures=payload.get("inject", ()),
-                    abort_after=None,
-                )
-                result = runner._measure_with_retries(design)
-                out["record"] = result_to_record(result)
-                out["stats"] = {
-                    "retries": runner.stats["retries"],
-                    "degraded_runs": runner.stats["degraded_runs"],
-                }
+                design = _table2_design(task)
+            if design is not None:
+                out["name"] = design.name
+                out["config"] = design.config
+                if design.name in payload.get("skip", ()):
+                    out["skipped"] = True
+                else:
+                    runner = SweepRunner(
+                        config=payload["config"],
+                        inject_failures=payload.get("inject", ()),
+                        abort_after=None,
+                    )
+                    result = runner._measure_with_retries(design)
+                    out["record"] = result_to_record(result)
+                    out["stats"] = {
+                        "retries": runner.stats["retries"],
+                        "degraded_runs": runner.stats["degraded_runs"],
+                    }
     finally:
         if trace_on:
             out["spans"] = [rec.to_dict() for rec in obs_trace.events()]
+            out["events"] = obs_events.EVENTS.events()
             out["metrics"] = obs_metrics.snapshot()
             obs.clear()
         if cache is not None:

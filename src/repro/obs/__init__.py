@@ -4,10 +4,14 @@ The pipeline (frontend build → elaborate → synth → simulate → evaluate)
 is instrumented with nested spans and named counters so that any Table II
 cell or Fig. 1 point can be explained with a per-phase breakdown:
 
-* :mod:`repro.obs.trace`   — span/event tracer with a ring buffer and
-  JSON-lines export;
+* :mod:`repro.obs.trace`   — span/event tracer with a ring buffer,
+  JSON-lines export, and cross-process :class:`~repro.obs.trace.\
+TraceContext` propagation (trace id + parent span id);
 * :mod:`repro.obs.metrics` — counters, gauges, and log2-bucketed
   histograms in a named registry;
+* :mod:`repro.obs.events`  — the structured event log: typed,
+  trace-stamped JSONL events (``cell.done``, ``worker.restart``,
+  ``cache.corrupt``, ``breaker.state``, …);
 * :mod:`repro.obs.report`  — flame-style text profile and file exporters.
 
 Everything is **off by default**: while disabled, ``trace.span`` returns a
@@ -17,13 +21,15 @@ flag check per *run*, not per cycle.  Enable with :func:`enable` (the CLI
 does this for ``profile`` and the ``--trace``/``--metrics`` flags).
 """
 
-from . import metrics, report, trace
+from . import events, metrics, report, trace
 from .trace import disable, enable, enabled
 
-__all__ = ["trace", "metrics", "report", "enable", "disable", "enabled", "clear"]
+__all__ = ["trace", "metrics", "events", "report", "enable", "disable",
+           "enabled", "clear"]
 
 
 def clear() -> None:
     """Drop all recorded events and metric values (flag is untouched)."""
     trace.clear()
     metrics.clear()
+    events.clear()

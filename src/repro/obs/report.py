@@ -30,6 +30,11 @@ __all__ = [
     "write_trace_jsonl",
     "write_metrics_json",
     "render_prometheus",
+    "ensure_default_instruments",
+    "span_tree_payload",
+    "profile_payload",
+    "render_profile_json",
+    "render_tree",
 ]
 
 
@@ -143,39 +148,217 @@ def phase_breakdown(
     return out
 
 
+def span_tree_payload(
+    events: list[SpanRecord] | None = None,
+    trace_id: str | None = None,
+) -> dict:
+    """JSON-ready nested span tree (what ``GET /v1/traces/<id>`` returns).
+
+    With ``trace_id`` given, only records stamped with that trace are
+    assembled; otherwise the whole buffer.  Each node carries its own
+    timing/attrs plus recursively nested ``children``.
+    """
+    if events is None:
+        events = _trace.events()
+    if trace_id:
+        events = [rec for rec in events if rec.trace_id == trace_id]
+    spans = [rec for rec in events if rec.kind == "span"]
+    roots, children = _span_tree(spans)
+
+    def node(rec: SpanRecord) -> dict:
+        return {
+            "span_id": rec.span_id,
+            "name": rec.name,
+            "t_wall": round(rec.t_wall, 6),
+            "dur_us": round(rec.duration * 1e6, 3),
+            "status": rec.status,
+            "attrs": rec.attrs,
+            "children": [node(child)
+                         for child in children.get(rec.span_id, ())],
+        }
+
+    return {"trace": trace_id or "", "count": len(spans),
+            "spans": [node(root) for root in roots]}
+
+
+def render_tree(
+    events: list[SpanRecord] | None = None,
+    trace_id: str | None = None,
+) -> str:
+    """Text rendering of one trace's span tree (the ``obs tree`` CLI)."""
+    payload = span_tree_payload(events, trace_id)
+    lines = [f"== trace {payload['trace'] or '(all)'} — "
+             f"{payload['count']} spans =="]
+    if not payload["spans"]:
+        lines.append("(no spans recorded for this trace)")
+
+    def emit(node: dict, depth: int) -> None:
+        name = "  " * depth + node["name"]
+        flag = "" if node["status"] == "ok" else "  [ERROR]"
+        lines.append(f"{name:<36s} {node['dur_us'] / 1000:10.2f} ms"
+                     f"  {_attr_summary(node['attrs'])}{flag}")
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    for root in payload["spans"]:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def profile_payload(
+    events: list[SpanRecord] | None = None,
+    registry: _metrics.MetricsRegistry | None = None,
+) -> dict:
+    """The machine-readable profile report (``profile <design> --json``).
+
+    One serialization path: the span tree nests through
+    :func:`span_tree_payload`, per-phase totals come from
+    :func:`phase_breakdown`, and ``total_ms`` sums the same root spans
+    the text report's percent column divides by — the two reports are
+    views of identical numbers.
+    """
+    if events is None:
+        events = _trace.events()
+    registry = registry or _metrics.REGISTRY
+    spans = [rec for rec in events if rec.kind == "span"]
+    roots, _children = _span_tree(spans)
+    total = sum(rec.duration for rec in roots)
+    return {
+        "total_ms": round(total * 1000, 3),
+        "profile": span_tree_payload(events)["spans"],
+        "phases": phase_breakdown(events),
+        "metrics": registry.snapshot(),
+    }
+
+
+def render_profile_json(
+    events: list[SpanRecord] | None = None,
+    registry: _metrics.MetricsRegistry | None = None,
+    extra: dict | None = None,
+) -> str:
+    """Canonical JSON text of :func:`profile_payload` (sorted keys)."""
+    payload = dict(extra or {})
+    payload.update(profile_payload(events, registry))
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def _prom_name(name: str, prefix: str = "repro_") -> str:
     """Map a dotted instrument name onto the Prometheus grammar."""
     return prefix + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _prom_series(name: str) -> tuple[str, str, str]:
+    """``(family, labels, series)`` for a possibly-labelled instrument.
+
+    Labelled instruments encode their labels after a ``|`` in the
+    registry name (``serve.blocks_total|design=verilog-initial,
+    engine=model``); the family is the base name, the labels render in
+    the conventional ``{k="v",…}`` form.
+    """
+    base, _, label_spec = name.partition("|")
+    family = _prom_name(base)
+    if not label_spec:
+        return family, "", family
+    pairs = []
+    for item in label_spec.split(","):
+        key, _, value = item.partition("=")
+        pairs.append(f'{re.sub(r"[^a-zA-Z0-9_]", "_", key.strip())}'
+                     f'="{value.strip()}"')
+    labels = "{" + ",".join(pairs) + "}"
+    return family, labels, family + labels
+
+
+#: Explanations emitted as ``# HELP`` lines (one per metric family).
+PROM_HELP = {
+    "cache.hits": "Artifact-cache reads satisfied from disk.",
+    "cache.misses": "Artifact-cache reads that fell through to recompute.",
+    "cache.puts": "Artifacts written to the content-addressed cache.",
+    "cache.corrupt": "Cache artifacts failing checksum verification, "
+                     "quarantined to <cache>/corrupt/.",
+    "exec.worker_restarts": "Pool workers lost to crashes whose tasks "
+                            "were re-dispatched.",
+    "exec.poisoned_tasks": "Tasks quarantined as FAILED cells after "
+                           "repeatedly killing workers.",
+    "resilience.failures": "Design points that exhausted every attempt.",
+    "resilience.retries": "Per-design measurement retries.",
+    "resilience.degraded_runs": "Final attempts under a degraded config.",
+    "serve.requests_total": "HTTP requests handled by the evaluation "
+                            "service.",
+    "serve.rejected_total": "Requests turned away by admission control.",
+    "serve.sim_invocations": "Evaluator invocations (batches, not blocks).",
+    "serve.blocks_total": "8x8 blocks evaluated across all batches.",
+    "serve.breaker_opened": "Circuit-breaker open transitions.",
+    "serve.queue_depth": "Admitted compute requests currently in flight.",
+    "serve.batch_size": "Blocks coalesced per evaluator invocation.",
+    "sweep.cells_done": "Sweep design points committed (per design).",
+}
+
+#: Counters pre-registered before serving ``/metrics`` so supervision
+#: and integrity counts are visible (as honest zeros) from the first
+#: scrape, not only after the first crash/corruption.
+DEFAULT_COUNTERS = (
+    "exec.worker_restarts",
+    "exec.poisoned_tasks",
+    "cache.corrupt",
+    "cache.hits",
+    "cache.misses",
+    "resilience.failures",
+)
+
+
+def ensure_default_instruments(
+        registry: _metrics.MetricsRegistry | None = None) -> None:
+    """Pre-register :data:`DEFAULT_COUNTERS` (the serve ``/metrics``
+    endpoint calls this so zero-valued supervision counters render)."""
+    registry = registry or _metrics.REGISTRY
+    for name in DEFAULT_COUNTERS:
+        registry.counter(name)
 
 
 def render_prometheus(registry: _metrics.MetricsRegistry | None = None) -> str:
     """The registry snapshot in Prometheus text exposition format.
 
     Dotted instrument names become underscored with a ``repro_`` prefix
-    (``cache.hits`` → ``repro_cache_hits``).  Histograms keep their
+    (``cache.hits`` → ``repro_cache_hits``); a ``|k=v,…`` suffix becomes
+    labels (``serve.blocks_total|design=d,engine=model`` →
+    ``repro_serve_blocks_total{design="d",engine="model"}``), with one
+    ``# HELP``/``# TYPE`` header per family.  Histograms keep their
     power-of-two buckets, emitted cumulatively with the conventional
     ``_bucket{le=…}`` / ``_sum`` / ``_count`` series.
     """
     snap = (registry or _metrics.REGISTRY).snapshot()
     lines: list[str] = []
+    seen_families: set[str] = set()
+
+    def header(name: str, family: str, kind: str) -> None:
+        if family in seen_families:
+            return
+        seen_families.add(family)
+        help_text = PROM_HELP.get(name.partition("|")[0])
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+
     for name, value in snap["counters"].items():
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {value}")
+        family, _labels, series = _prom_series(name)
+        header(name, family, "counter")
+        lines.append(f"{series} {value}")
     for name, value in snap["gauges"].items():
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {value:g}")
+        family, _labels, series = _prom_series(name)
+        header(name, family, "gauge")
+        lines.append(f"{series} {value:g}")
     for name, hist in snap["histograms"].items():
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} histogram")
+        family, labels, _series = _prom_series(name)
+        header(name, family, "histogram")
+        label_prefix = labels[:-1] + "," if labels else "{"
         running = 0
         for le, count in sorted((int(k), v) for k, v in hist["buckets"].items()):
             running += count
-            lines.append(f'{prom}_bucket{{le="{le}"}} {running}')
-        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
-        lines.append(f"{prom}_sum {hist['sum']:g}")
-        lines.append(f"{prom}_count {hist['count']}")
+            lines.append(f'{family}_bucket{label_prefix}le="{le}"}} {running}')
+        lines.append(f'{family}_bucket{label_prefix}le="+Inf"}} '
+                     f'{hist["count"]}')
+        lines.append(f"{family}_sum{labels} {hist['sum']:g}")
+        lines.append(f"{family}_count{labels} {hist['count']}")
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -20,12 +20,14 @@ disabled-mode overhead is a single global read per call site.
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
 __all__ = [
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "TRACER",
     "enable",
@@ -36,6 +38,8 @@ __all__ = [
     "events",
     "clear",
     "ingest",
+    "new_trace",
+    "current_context",
     "to_jsonl",
     "export_jsonl",
 ]
@@ -60,6 +64,47 @@ def enabled() -> bool:
     return _ENABLED
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """W3C-traceparent-style causal context crossing process boundaries.
+
+    ``trace_id`` names one logical operation (a CLI invocation, an HTTP
+    request, a sweep job); ``span_id`` is the id — in the *minting*
+    process's id space — of the span that parented the remote work.  The
+    pair is what a :class:`~repro.exec.tasks.SweepTask` carries into pool
+    workers and what the serve tier reads from/writes to ``traceparent``
+    headers, so merged spans assemble into one causally-linked tree
+    instead of disjoint per-process fragments.
+    """
+
+    trace_id: str
+    span_id: int | None = None
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header form (version 00, sampled)."""
+        parent = (self.span_id or 0) & 0xFFFFFFFFFFFFFFFF
+        return f"00-{self.trace_id:0>32s}-{parent:016x}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> "TraceContext | None":
+        """Parse a ``traceparent`` header; ``None`` if malformed."""
+        parts = header.strip().split("-")
+        if len(parts) != 4 or len(parts[1]) != 32 or len(parts[2]) != 16:
+            return None
+        try:
+            span_id = int(parts[2], 16)
+            int(parts[1], 16)
+        except ValueError:
+            return None
+        return cls(trace_id=parts[1].lstrip("0") or "0",
+                   span_id=span_id or None)
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (random, never reused)."""
+    return os.urandom(8).hex()
+
+
 @dataclass
 class SpanRecord:
     """One completed span (or point event, ``duration == 0``)."""
@@ -74,6 +119,7 @@ class SpanRecord:
     kind: str = "span"     # "span" | "event"
     status: str = "ok"     # "error" when an exception escaped the span
     attrs: dict = field(default_factory=dict)
+    trace_id: str = ""     # the TraceContext trace this span belongs to
 
     def to_dict(self) -> dict:
         return {
@@ -87,6 +133,7 @@ class SpanRecord:
             "kind": self.kind,
             "status": self.status,
             "attrs": self.attrs,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -102,6 +149,7 @@ class SpanRecord:
             kind=data.get("kind", "span"),
             status=data.get("status", "ok"),
             attrs=data.get("attrs", {}),
+            trace_id=data.get("trace_id", ""),
         )
 
 
@@ -169,6 +217,7 @@ class _Span:
             duration=duration,
             status="error" if exc_type is not None else "ok",
             attrs=self.attrs,
+            trace_id=tracer.trace_id,
         ))
         return False
 
@@ -180,6 +229,20 @@ class Tracer:
         self._events: deque[SpanRecord] = deque(maxlen=capacity)
         self._stack: list[_Span] = []
         self._next_id = 1
+        self.trace_id = ""
+
+    # -- trace context -------------------------------------------------
+    def new_trace(self, trace_id: str | None = None) -> str:
+        """Start (or adopt) a trace: subsequent records carry this id."""
+        self.trace_id = trace_id or mint_trace_id()
+        return self.trace_id
+
+    def current_context(self) -> TraceContext:
+        """The context a child process/request should inherit: the
+        current trace id plus the innermost open span's id (``None`` at
+        the top level)."""
+        span_id = self._stack[-1].span_id if self._stack else None
+        return TraceContext(trace_id=self.trace_id, span_id=span_id)
 
     # -- recording -----------------------------------------------------
     def span(self, name: str, **attrs) -> _Span | _NullSpan:
@@ -203,6 +266,7 @@ class Tracer:
             duration=0.0,
             kind="event",
             attrs=attrs,
+            trace_id=self.trace_id,
         ))
         self._next_id += 1
 
@@ -215,27 +279,38 @@ class Tracer:
         self._events.clear()
         self._stack.clear()
         self._next_id = 1
+        self.trace_id = ""
 
-    def ingest(self, records: list[dict]) -> int:
+    def ingest(self, records: list[dict],
+               under: int | None = None) -> int:
         """Merge foreign span records (a worker's shipped buffer).
 
-        Records must be in the :meth:`SpanRecord.to_dict` shape and in
-        buffer order (parents before children).  Span ids are renumbered
-        into this tracer's id space, preserving parent/child structure;
-        a record whose parent is outside the batch becomes a root.  The
-        merge is deterministic given the input order, which is how the
-        sharded sweep executor keeps trace artifacts reproducible: it
-        ingests worker buffers in task order, not completion order.
+        Records must be in the :meth:`SpanRecord.to_dict` shape; buffer
+        order (innermost spans complete first) is fine — ids are mapped
+        in a first pass, so a child may precede its parent.  Span ids
+        are renumbered into this tracer's id space, preserving
+        parent/child structure.  A record whose parent is outside the
+        batch is attached to the local span ``under`` (the cross-process
+        graft point — how a worker's ``exec.task`` subtree hangs off the
+        parent's dispatch span) or becomes a root when ``under`` is
+        ``None``.  The merge is deterministic given the input order,
+        which is how the sharded sweep executor keeps trace artifacts
+        reproducible: it ingests worker buffers in task order, not
+        completion order.
         """
+        parsed = [SpanRecord.from_dict(data) for data in records]
         id_map: dict[int, int] = {}
-        for data in records:
-            rec = SpanRecord.from_dict(data)
-            old_id = rec.span_id
-            rec.span_id = self._next_id
+        for rec in parsed:
+            id_map[rec.span_id] = self._next_id
             self._next_id += 1
+        for rec in parsed:
+            rec.span_id = id_map[rec.span_id]
             if rec.parent_id is not None:
-                rec.parent_id = id_map.get(rec.parent_id)
-            id_map[old_id] = rec.span_id
+                rec.parent_id = id_map.get(rec.parent_id, under)
+            elif under is not None:
+                rec.parent_id = under
+            if not rec.trace_id:
+                rec.trace_id = self.trace_id
             self._events.append(rec)
         return len(records)
 
@@ -260,5 +335,7 @@ event = TRACER.event
 events = TRACER.events
 clear = TRACER.clear
 ingest = TRACER.ingest
+new_trace = TRACER.new_trace
+current_context = TRACER.current_context
 to_jsonl = TRACER.to_jsonl
 export_jsonl = TRACER.export_jsonl

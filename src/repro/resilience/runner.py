@@ -33,6 +33,7 @@ from ..core.errors import (
 )
 from ..eval.measure import Measured, measure_design
 from ..frontends.base import Design
+from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from . import budget as res_budget
@@ -170,6 +171,9 @@ class SweepRunner:
                 degraded=result.degraded,
             )
         self.stats["ok" if result.ok else "failed"] += 1
+        obs_events.emit("cell.done", design=result.name,
+                        status=result.status, attempts=result.attempts,
+                        degraded=result.degraded)
         if not result.ok:
             obs_metrics.inc("resilience.failures")
             obs_trace.event("resilience.failed", design=result.name,
@@ -210,9 +214,13 @@ class SweepRunner:
             if attempt > 1:
                 self.stats["retries"] += 1
                 obs_metrics.inc("resilience.retries")
+                obs_events.emit("cell.retry", design=design.name,
+                                attempt=attempt)
             if degraded:
                 self.stats["degraded_runs"] += 1
                 obs_metrics.inc("resilience.degraded_runs")
+                obs_events.emit("cell.degrade", design=design.name,
+                                attempt=attempt)
             try:
                 measured = self._attempt(design, degraded)
             except (SweepInterrupted, KeyboardInterrupt):
@@ -246,9 +254,17 @@ class SweepRunner:
             wall_s=config.wall_s, max_cycles=config.max_cycles,
             design=design.name, phase="measure",
         )
-        with obs_trace.span("resilience.run", design=design.name,
-                            degraded=degraded):
-            with res_budget.limit(budget):
-                measured = self._measure(design, **kwargs)
-            budget.check_wall()
+        obs_events.emit("phase.start", phase="measure", design=design.name,
+                        degraded=degraded)
+        status = "error"
+        try:
+            with obs_trace.span("resilience.run", design=design.name,
+                                degraded=degraded):
+                with res_budget.limit(budget):
+                    measured = self._measure(design, **kwargs)
+                budget.check_wall()
+            status = "ok"
+        finally:
+            obs_events.emit("phase.end", phase="measure",
+                            design=design.name, status=status)
         return measured

@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 
 from ..core.errors import ReproError
+from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 
@@ -117,4 +118,6 @@ class CircuitBreaker:
         self.state = state
         obs_metrics.set_gauge("serve.breaker_state", _STATE_GAUGE[state])
         obs_trace.event("serve.breaker", state=state,
+                        failures=self._consecutive)
+        obs_events.emit("breaker.state", state=state,
                         failures=self._consecutive)

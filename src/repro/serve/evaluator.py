@@ -115,6 +115,13 @@ class DesignEvaluator:
                             engine=engine, blocks=len(blocks)):
             obs_metrics.inc("serve.sim_invocations")
             obs_metrics.inc("serve.blocks_total", len(blocks))
+            # Labelled twins: rendered by /metrics as
+            # repro_serve_blocks_total{design="…",engine="…"} series.
+            obs_metrics.inc(
+                f"serve.blocks_total|design={self.name},engine={engine}",
+                len(blocks))
+            obs_metrics.inc(
+                f"serve.sim_invocations|design={self.name},engine={engine}")
             obs_metrics.observe("serve.batch_size", len(blocks))
             if engine == "model":
                 return self._evaluate_model(blocks)

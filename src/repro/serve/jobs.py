@@ -38,9 +38,12 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 __all__ = ["Job", "JobManager", "JobQueueFull", "UnknownJobKind"]
 
@@ -75,6 +78,8 @@ class Job:
     summary: list[str] = field(default_factory=list)
     interrupted: bool = False      # survived a server crash at some point
     finished_at: float | None = None
+    trace: str | None = None       # trace id minted for this job's sweep
+    events: list = field(default_factory=list)   # captured obs events
 
     def to_dict(self) -> dict:
         payload = {"id": self.id, "kind": self.kind, "params": self.params,
@@ -87,6 +92,8 @@ class Job:
             payload["summary"] = self.summary
         if self.interrupted:
             payload["interrupted"] = True
+        if self.trace:
+            payload["trace"] = self.trace
         return payload
 
 
@@ -225,8 +232,14 @@ class JobManager:
                     continue
                 if kind == "running":
                     job.status = "running"
+                    job.trace = event.get("trace") or job.trace
+                elif kind == "event":
+                    data = event.get("data")
+                    if isinstance(data, dict):
+                        job.events.append(data)
                 elif kind == "resumed":
                     job.status = "queued"
+                    job.events = []
                 elif kind == "done":
                     job.status = "done"
                     job.output = event.get("output")
@@ -279,10 +292,30 @@ class JobManager:
     # ------------------------------------------------------------------
     def _run(self, job: Job) -> None:
         job.status = "running"
-        self._journal("running", id=job.id)
+        obs_on = obs_trace.enabled()
+        previous_trace = obs_trace.TRACER.trace_id
+        if obs_on:
+            # One trace per job: spans/events the sweep records (pool
+            # workers included) carry this id, so /v1/traces/<id> can
+            # assemble the job's tree.  Re-runs of a resumed job mint a
+            # fresh id — its event capture starts over too.
+            job.trace = obs_trace.new_trace()
+            job.events = []
+        self._journal("running", id=job.id, trace=job.trace)
         obs_metrics.set_gauge("serve.jobs_running", 1)
+
+        def capture(event: dict) -> None:
+            if event.get("job") == job.id:
+                job.events.append(event)
+                self._journal("event", id=job.id, data=event)
+
+        scope = (obs_events.EVENTS.scope(job=job.id) if obs_on
+                 else nullcontext())
+        subscription = (obs_events.EVENTS.subscribe(capture) if obs_on
+                        else nullcontext())
         try:
-            job.output = self._execute(job)
+            with scope, subscription:
+                job.output = self._execute(job)
             job.summary = self.session.summary_lines()
             job.status = "done"
             self._journal("done", id=job.id, output=job.output,
@@ -294,6 +327,8 @@ class JobManager:
             self._journal("failed", id=job.id, error=job.error)
             obs_metrics.inc("serve.jobs_failed")
         finally:
+            if obs_on:
+                obs_trace.TRACER.trace_id = previous_trace
             job.finished_at = time.time()
             obs_metrics.set_gauge("serve.jobs_running", 0)
             with self._lock:

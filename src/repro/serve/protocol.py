@@ -3,8 +3,17 @@
 The evaluation service speaks just enough HTTP for its JSON endpoints:
 request line + headers + ``Content-Length`` body in, status line +
 headers + body out, with keep-alive connections.  There is deliberately
-no routing framework, chunked encoding, or TLS — the protocol layer is
-~150 lines the test suite can drive through a pair of in-memory streams.
+no routing framework or TLS — the protocol layer stays small enough that
+the test suite can drive it through a pair of in-memory streams.
+
+Responses come in two framings:
+
+* **Content-Length** (the default) — the body is fully known up front;
+* **chunked transfer encoding** — a :class:`Response` whose ``stream``
+  is an async byte-chunk iterator (what ``GET /v1/jobs/<id>/events``
+  uses to push live events as they happen).  Each yielded chunk is
+  framed and flushed immediately; the connection closes after the
+  terminal chunk.
 
 Errors while *parsing* raise :class:`ProtocolError` carrying the HTTP
 status the connection handler should answer with (400 malformed, 413 too
@@ -85,12 +94,18 @@ class Request:
 
 @dataclass
 class Response:
-    """One response ready to serialize."""
+    """One response ready to serialize.
+
+    With ``stream`` set (an async iterator of ``bytes``), the response
+    is sent with ``Transfer-Encoding: chunked`` — ``body`` is ignored
+    and the connection always closes after the terminal chunk.
+    """
 
     status: int = 200
     body: bytes = b""
     content_type: str = "application/json"
     headers: dict[str, str] = field(default_factory=dict)
+    stream: object | None = None   # async iterator of bytes chunks
 
 
 async def read_request(reader: asyncio.StreamReader,
@@ -145,7 +160,10 @@ async def read_request(reader: asyncio.StreamReader,
 
 async def write_response(writer: asyncio.StreamWriter, response: Response,
                          keep_alive: bool = True) -> None:
-    """Serialize ``response`` with Content-Length framing and flush."""
+    """Serialize ``response`` (Content-Length or chunked) and flush."""
+    if response.stream is not None:
+        await _write_streaming(writer, response)
+        return
     reason = REASONS.get(response.status, "Unknown")
     head = [f"HTTP/1.1 {response.status} {reason}",
             f"Content-Type: {response.content_type}",
@@ -155,6 +173,35 @@ async def write_response(writer: asyncio.StreamWriter, response: Response,
         head.append(f"{name}: {value}")
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
     writer.write(response.body)
+    await writer.drain()
+
+
+async def _write_streaming(writer: asyncio.StreamWriter,
+                           response: Response) -> None:
+    """Chunked transfer encoding: frame and flush each yielded chunk.
+
+    The stream iterator drives pacing — a live event stream yields as
+    events arrive and returns when the source completes.  The connection
+    never keeps alive after a stream (the client saw the terminal
+    ``0\\r\\n\\r\\n`` chunk and everything before it flushed eagerly).
+    """
+    reason = REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            "Transfer-Encoding: chunked",
+            "Connection: close"]
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    async for chunk in response.stream:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}\r\n".encode("latin-1"))
+        writer.write(chunk)
+        writer.write(b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
     await writer.drain()
 
 

@@ -14,9 +14,19 @@ POST   ``/v1/measure``      full characterization; body is byte-identical
 POST   ``/v1/jobs``         start an async ``table2``/``fig1`` sweep
 GET    ``/v1/jobs``         list retained jobs (journal-recovered too)
 GET    ``/v1/jobs/<id>``    poll a sweep job
+GET    ``/v1/jobs/<id>/events``  chunked NDJSON stream of the job's
+                            structured events: replay first, then live
+                            per-cell events until the job is terminal
+GET    ``/v1/traces/<id>``  the assembled span tree for one trace id
 GET    ``/healthz``         liveness + drain state
 GET    ``/metrics``         live obs snapshot, Prometheus text format
+                            (with per-design/per-engine label series)
 ====== ==================== ===========================================
+
+Requests may carry a W3C ``traceparent`` header; the server parses it
+into a :class:`~repro.obs.trace.TraceContext`, stamps the request's
+span record with the caller's trace id (so ``/v1/traces/<id>`` can
+assemble cross-process trees), and echoes the header back.
 
 Three policies wrap the endpoints:
 
@@ -44,6 +54,7 @@ the event loop only parses, batches, and answers, so ``/healthz`` and
 from __future__ import annotations
 
 import asyncio
+import json
 import math
 import signal
 import time
@@ -53,6 +64,7 @@ from dataclasses import dataclass, field
 from ..core.errors import BudgetExceeded, EvaluationError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..obs.trace import TraceContext
 from ..resilience import budget as res_budget
 from .batcher import MicroBatcher
 from .breaker import CircuitBreaker
@@ -260,7 +272,8 @@ class EvalServer:
                 if request is None:
                     break
                 response = await self._dispatch(request)
-                keep = request.keep_alive and not self._draining
+                keep = (request.keep_alive and not self._draining
+                        and response.stream is None)
                 await write_response(writer, response, keep_alive=keep)
                 if not keep:
                     break
@@ -277,17 +290,25 @@ class EvalServer:
     async def _dispatch(self, request: Request) -> Response:
         t_wall = time.time()
         t0 = time.perf_counter()
+        ctx = None
+        header = request.headers.get("traceparent")
+        if header:
+            ctx = TraceContext.from_traceparent(header)
         try:
             response = await self._route(request)
         except ProtocolError as exc:
             response = error_response(str(exc), exc.status)
         except Exception as exc:  # noqa: BLE001 - never kill the connection
             response = error_response(f"internal error: {exc}", 500)
-        self._record_request(request, response, t_wall, t0)
+        self._record_request(request, response, t_wall, t0, ctx)
+        if ctx is not None:
+            # Echo the caller's context so intermediaries see one trace.
+            response.headers.setdefault("traceparent", ctx.to_traceparent())
         return response
 
     def _record_request(self, request: Request, response: Response,
-                        t_wall: float, t0: float) -> None:
+                        t_wall: float, t0: float,
+                        ctx: TraceContext | None = None) -> None:
         if not obs_trace.enabled():
             return
         duration = time.perf_counter() - t0
@@ -296,7 +317,9 @@ class EvalServer:
         obs_metrics.observe("serve.request_us", round(duration * 1e6, 3))
         # A true span record per request, ingested rather than opened on
         # the tracer stack: the stack belongs to the compute thread's
-        # evaluation spans, which requests overlap arbitrarily.
+        # evaluation spans, which requests overlap arbitrarily.  A caller
+        # `traceparent` stamps its trace id; otherwise the ingest
+        # backfills the server's own trace.
         obs_trace.TRACER.ingest([{
             "span_id": 1, "parent_id": None, "depth": 0,
             "name": "serve.request",
@@ -305,6 +328,7 @@ class EvalServer:
             "status": "ok" if response.status < 500 else "error",
             "attrs": {"method": request.method, "path": request.path,
                       "http_status": response.status},
+            "trace_id": ctx.trace_id if ctx is not None else "",
         }])
 
     # ------------------------------------------------------------------
@@ -341,7 +365,14 @@ class EvalServer:
         if path.startswith("/v1/jobs/"):
             if method != "GET":
                 return error_response("use GET", 405)
-            return self._get_job(path[len("/v1/jobs/"):])
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                return self._job_events(rest[:-len("/events")])
+            return self._get_job(rest)
+        if path.startswith("/v1/traces/"):
+            if method != "GET":
+                return error_response("use GET", 405)
+            return self._get_trace(path[len("/v1/traces/"):])
         return error_response(f"no such endpoint: {method} {path}", 404)
 
     # ------------------------------------------------------------------
@@ -358,8 +389,9 @@ class EvalServer:
         })
 
     def _metrics(self) -> Response:
-        from ..obs.report import render_prometheus
+        from ..obs.report import ensure_default_instruments, render_prometheus
 
+        ensure_default_instruments()
         obs_metrics.set_gauge("serve.queue_depth", self.admission.inflight)
         obs_metrics.set_gauge("serve.uptime_s",
                               round(time.monotonic() - self._started, 3))
@@ -489,6 +521,45 @@ class EvalServer:
         """Every retained job (journal-recovered ones included)."""
         return json_response(
             {"jobs": [job.to_dict() for job in self.jobs.list()]})
+
+    def _job_events(self, job_id: str) -> Response:
+        """Chunked NDJSON stream of one job's structured events.
+
+        Replays everything captured so far (journal-recovered events
+        included), then keeps the connection open pushing live events as
+        the sweep emits them, closing once the job reaches a terminal
+        state with nothing left to send.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return error_response(f"no such job: {job_id}", 404)
+
+        async def stream():
+            sent = 0
+            while True:
+                events = job.events
+                while sent < len(events):
+                    yield (json.dumps(events[sent], sort_keys=True)
+                           + "\n").encode("utf-8")
+                    sent += 1
+                if (job.status not in ("queued", "running")
+                        and sent >= len(job.events)):
+                    return
+                await asyncio.sleep(0.05)
+
+        return Response(content_type="application/x-ndjson",
+                        stream=stream())
+
+    def _get_trace(self, trace_id: str) -> Response:
+        """The assembled span tree for one trace id."""
+        from ..obs.report import span_tree_payload
+
+        if not trace_id:
+            return error_response("missing trace id", 404)
+        payload = span_tree_payload(trace_id=trace_id)
+        if not payload["spans"]:
+            return error_response(f"no spans for trace: {trace_id}", 404)
+        return json_response(payload)
 
     # ------------------------------------------------------------------
     # compute plumbing
