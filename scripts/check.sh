@@ -5,49 +5,55 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+# Every foreground step runs under a hard wall-clock cap: a wedged step
+# (a hung server, a deadlocked pool) fails the gate instead of hanging
+# it forever.  Override per-run with STEP_TIMEOUT=<seconds>.
+STEP_TIMEOUT="${STEP_TIMEOUT:-1200}"
+step() { timeout --kill-after=15 "$STEP_TIMEOUT" "$@"; }
+
 echo "== tests =="
-python -m pytest -x -q
+step python -m pytest -x -q
 
 echo "== cli smoke (table1) =="
-python -m repro table1 > /dev/null
+step python -m repro table1 > /dev/null
 echo "ok"
 
 echo "== disabled-overhead guard =="
-python -m pytest -q tests/test_obs.py -k disabled
+step python -m pytest -q tests/test_obs.py -k disabled
 
 echo "== bench gate: fresh BENCH_*.json vs stored baseline =="
-python scripts/bench_gate.py
+step python scripts/bench_gate.py
 
 echo "== resilience smoke: injected fault must fail the verifier =="
-python -m repro faults verilog-initial --smoke
+step python -m repro faults verilog-initial --smoke
 
 echo "== resilience smoke: checkpointed fig1 kill -> resume -> identical =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-python -m repro fig1 > "$tmp/fresh.txt"
-if REPRO_ABORT_AFTER=4 python -m repro fig1 \
+step python -m repro fig1 > "$tmp/fresh.txt"
+if step env REPRO_ABORT_AFTER=4 python -m repro fig1 \
     --checkpoint "$tmp/ck.jsonl" > /dev/null 2> "$tmp/interrupt.log"; then
   echo "expected the interrupted sweep to exit non-zero" >&2
   exit 1
 fi
 test -s "$tmp/ck.jsonl"
-python -m repro fig1 \
+step python -m repro fig1 \
     --checkpoint "$tmp/ck.jsonl" --resume > "$tmp/resumed.txt"
 cmp "$tmp/fresh.txt" "$tmp/resumed.txt"
 echo "ok"
 
 echo "== exec smoke: fig1 --jobs 2 byte-identical to serial =="
-python -m repro fig1 --jobs 2 > "$tmp/parallel.txt"
+step python -m repro fig1 --jobs 2 > "$tmp/parallel.txt"
 cmp "$tmp/fresh.txt" "$tmp/parallel.txt"
 echo "ok"
 
 echo "== cache smoke: warm table2 run identical, with cache hits =="
-python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_cold.txt"
-python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_warm.txt"
+step python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_cold.txt"
+step python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_warm.txt"
 cmp "$tmp/t2_cold.txt" "$tmp/t2_warm.txt"
-python -m repro table2 --cache "$tmp/cache" \
+step python -m repro table2 --cache "$tmp/cache" \
     --metrics "$tmp/t2_metrics.json" > /dev/null
-python - "$tmp/t2_metrics.json" <<'EOF'
+step python - "$tmp/t2_metrics.json" <<'EOF'
 import json, sys
 payload = json.load(open(sys.argv[1]))
 hits = payload["metrics"]["counters"].get("cache.hits", 0)
@@ -72,9 +78,9 @@ for _ in $(seq 1 600); do
 done
 addr="$(sed -n 's/^serving on //p' "$tmp/serve.out" | head -n 1)"
 test -n "$addr"
-python -m repro measure verilog-initial --cache "$tmp/cache" --json \
+step python -m repro measure verilog-initial --cache "$tmp/cache" --json \
     > "$tmp/measure_cli.json" 2> /dev/null
-python - "$addr" "$tmp" <<'EOF'
+step python - "$addr" "$tmp" <<'EOF'
 import json, sys, urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
@@ -122,7 +128,7 @@ EOF
 echo "ok"
 
 echo "== obs smoke: live /v1/jobs/<id>/events stream covers every design =="
-python - "$addr" <<'EOF'
+step python - "$addr" <<'EOF'
 import json, sys, urllib.request
 
 base = "http://" + sys.argv[1]
@@ -175,9 +181,10 @@ wait "$serve_pid"
 echo "ok"
 
 echo "== chaos smoke: seeded kills and cache rot leave output honest =="
-python -m repro chaos worker-kill --seed 3
-python -m repro chaos cache-rot --seed 3
-python -m repro fig1 --jobs 2 --chaos 'seed=3,kill=0.7' > "$tmp/chaotic.txt"
+step python -m repro chaos worker-kill --seed 3
+step python -m repro chaos cache-rot --seed 3
+step python -m repro chaos serve-kill --seed 3
+step python -m repro fig1 --jobs 2 --chaos 'seed=3,kill=0.7' > "$tmp/chaotic.txt"
 cmp "$tmp/fresh.txt" "$tmp/chaotic.txt"
 echo "ok"
 
@@ -203,7 +210,7 @@ journal_addr() {
 }
 start_journal_server
 trap 'kill "$journal_pid" 2> /dev/null || true; rm -rf "$tmp"' EXIT
-python - "$(journal_addr)" <<'EOF'
+step python - "$(journal_addr)" <<'EOF'
 import json, urllib.request, sys
 req = urllib.request.Request(
     "http://" + sys.argv[1] + "/v1/jobs",
@@ -217,7 +224,7 @@ kill -9 "$journal_pid"
 wait "$journal_pid" 2> /dev/null || true
 test -s "$tmp/jobs.jsonl"
 start_journal_server  # restart WITHOUT --resume-jobs: honest, not re-run
-python - "$(journal_addr)" <<'EOF'
+step python - "$(journal_addr)" <<'EOF'
 import json, urllib.request, sys
 with urllib.request.urlopen(
         "http://" + sys.argv[1] + "/v1/jobs", timeout=60) as resp:
@@ -229,7 +236,7 @@ EOF
 kill -TERM "$journal_pid"
 wait "$journal_pid"
 start_journal_server --resume-jobs  # now the lost job is re-run
-python - "$(journal_addr)" <<'EOF'
+step python - "$(journal_addr)" <<'EOF'
 import json, time, urllib.request, sys
 base = "http://" + sys.argv[1]
 deadline = time.time() + 600
@@ -245,6 +252,101 @@ assert "Design space exploration" in job["output"], job
 EOF
 kill -TERM "$journal_pid"
 wait "$journal_pid"
+echo "ok"
+
+echo "== serve pool smoke: --workers 2 identical, survives worker SIGKILL =="
+python -m repro serve --port 0 --warm verilog-initial \
+    --batch-wait-ms 50 > "$tmp/pool1.out" &
+pool1_pid=$!
+python -m repro serve --port 0 --workers 2 --warm verilog-initial \
+    --batch-wait-ms 50 --journal "$tmp/pool_jobs.jsonl" > "$tmp/pool2.out" &
+pool2_pid=$!
+trap 'kill "$pool1_pid" "$pool2_pid" 2> /dev/null || true; rm -rf "$tmp"' EXIT
+for out in pool1.out pool2.out; do
+  for _ in $(seq 1 600); do
+    grep -q '^serving on ' "$tmp/$out" && break
+    sleep 0.5
+  done
+  grep -q '^serving on ' "$tmp/$out" || {
+    echo "pool smoke server ($out) never came up" >&2
+    cat "$tmp/$out" >&2
+    exit 1
+  }
+done
+addr1="$(sed -n 's/^serving on //p' "$tmp/pool1.out" | head -n 1)"
+addr2="$(sed -n 's/^serving on //p' "$tmp/pool2.out" | head -n 1)"
+step python - "$addr1" "$addr2" <<'EOF'
+import json, os, signal, sys, time, urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+single = "http://" + sys.argv[1]   # --workers 1
+pooled = "http://" + sys.argv[2]   # --workers 2
+
+def post(base, path, payload):
+    req = urllib.request.Request(base + path,
+                                 data=json.dumps(payload).encode())
+    with urllib.request.urlopen(req, timeout=300) as resp:
+        return resp.status, resp.read()
+
+def get_json(base, path):
+    with urllib.request.urlopen(base + path, timeout=60) as resp:
+        return json.load(resp)
+
+# 1. the same coalesced burst must be byte-identical across both tiers
+from repro.eval.verify import random_matrices
+blocks = [[list(r) for r in m] for m in random_matrices(8)]
+
+def burst(base):
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        return list(pool.map(
+            lambda b: post(base, "/v1/idct",
+                           {"design": "verilog-initial", "blocks": [b]}),
+            blocks))
+
+for (s1, b1), (s2, b2) in zip(burst(single), burst(pooled)):
+    assert s1 == s2 == 200, (s1, s2)
+    assert b1 == b2, "pooled response body differs from single-process"
+
+# 2. /healthz exposes both forked workers
+workers = get_json(pooled, "/healthz")["workers"]
+assert len(workers) == 2, workers
+assert all(w["state"] in ("idle", "busy") for w in workers), workers
+
+# 3. SIGKILL one evaluator worker while a journaled sweep job runs: the
+# job (parent compute thread) must finish, and the pool must respawn.
+status, body = post(pooled, "/v1/jobs", {"kind": "fig1"})
+assert status == 202, (status, body)
+job = json.loads(body)
+os.kill(workers[0]["pid"], signal.SIGKILL)
+deadline = time.time() + 600
+while time.time() < deadline:
+    job = get_json(pooled, f"/v1/jobs/{job['id']}")
+    if job["status"] in ("done", "failed"):
+        break
+    time.sleep(0.5)
+assert job["status"] == "done", job
+
+# 4. the burst still answers correctly and the restart is on the books
+for (s1, b1), (s2, b2) in zip(burst(single), burst(pooled)):
+    assert s1 == s2 == 200 and b1 == b2
+deadline = time.time() + 120
+restarts = 0.0
+while time.time() < deadline:
+    with urllib.request.urlopen(pooled + "/metrics", timeout=60) as resp:
+        lines = dict(
+            line.split(" ", 1) for line in resp.read().decode().splitlines()
+            if line and not line.startswith("#") and "{" not in line)
+    restarts = float(lines.get("repro_serve_worker_restarts", 0))
+    if restarts > 0:
+        break
+    time.sleep(0.5)
+assert restarts > 0, "worker SIGKILL was never noticed/respawned"
+print(f"pool: burst identical across tiers, job {job['id']} done, "
+      f"worker restarts = {restarts:g}")
+EOF
+kill -TERM "$pool1_pid" "$pool2_pid"
+wait "$pool1_pid"
+wait "$pool2_pid"
 echo "ok"
 
 echo "all checks passed"

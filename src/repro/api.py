@@ -397,6 +397,21 @@ class Session:
         with self._activated():
             return evaluator.evaluate(validate_blocks(blocks), engine=engine)
 
+    def pool_init(self, *, obs: bool | None = None,
+                  budget_s: float | None = None):
+        """The picklable :class:`~repro.serve.pool.WorkerInit` a forked
+        evaluator worker needs to mirror this session's substrate
+        (cache directory, chaos policy, obs recording, wall budget)."""
+        from .obs import trace as obs_trace
+        from .serve.pool import WorkerInit
+
+        return WorkerInit(
+            cache_dir=(str(self.cache.root)
+                       if self.cache is not None else None),
+            chaos=self.chaos,
+            obs=obs_trace.enabled() if obs is None else bool(obs),
+            budget_s=budget_s)
+
     def serve(self, *, announce=None, **config) -> int:
         """Run the evaluation service over this session; returns the
         process exit code (0 after a clean SIGTERM drain, 3 after ^C).

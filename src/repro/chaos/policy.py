@@ -22,11 +22,17 @@ policy pays one global-load per site):
   truncates or bit-flips the sealed artifact blob;
 * ``serve.evaluator.evaluate``    — :meth:`ChaosPolicy.evaluator_fault`
   injects latency and/or raises
-  :class:`~repro.core.errors.EvaluationError`.
+  :class:`~repro.core.errors.EvaluationError`;
+* ``serve.pool.pool_worker_main`` — :meth:`ChaosPolicy.should_kill`
+  again, keyed by ``serve:<design>:<engine>:<seq>`` batch task ids:
+  ``kill`` SIGKILLs the serving tier's affine evaluator worker on the
+  batch's first attempt (the pool retries it once on a fresh worker),
+  ``poison`` on both attempts (the request is quarantined → 503).
 
 The policy is plain picklable state: the parallel executor ships it to
-pool workers through the initializer, so every process agrees on which
-tasks are doomed.
+pool workers through the initializer — and the serve worker pool through
+its :class:`~repro.serve.pool.WorkerInit` — so every process agrees on
+which tasks are doomed.
 """
 
 from __future__ import annotations

@@ -25,6 +25,12 @@ Scenarios
     :class:`~repro.serve.breaker.CircuitBreaker` with an injected clock,
     driven through the full closed → open → half-open → re-open →
     half-open → closed cycle by ``flaky=1.0`` evaluator faults.
+``serve-kill``
+    A live ``--workers 2`` service under ``kill=0.5`` chaos: evaluator
+    workers are SIGKILLed mid-request by the seeded policy; every
+    ``/v1/idct`` answer must be either byte-correct (the retried batch)
+    or an explicit error status — never a hang, never a silently wrong
+    body — and the pool must record the deaths it recovered from.
 ``all``
     Every scenario above, worst exit code wins.
 """
@@ -185,10 +191,95 @@ def _serve_flaky(seed: int, jobs: int) -> int:
     return _report("serve-flaky", violations)
 
 
+def _serve_kill(seed: int, jobs: int) -> int:
+    import http.client
+    import json
+    import random
+    import socket
+    import threading
+
+    from ..api import Session
+    from ..serve import EvalServer, ServeConfig
+
+    design = "verilog-initial"
+    rng = random.Random(seed)
+    requests = [
+        [[[rng.randint(-512, 511) for _ in range(8)] for _ in range(8)]]
+        for _ in range(12)
+    ]
+    golden = {idx: Session().idct(design, blocks)
+              for idx, blocks in enumerate(requests)}
+
+    session = Session(chaos=ChaosPolicy(seed=seed, kill=0.5))
+    server = EvalServer(session, ServeConfig(
+        port=0, workers=max(2, jobs), warm=(design,),
+        batch_wait_s=0.0, obs=True))
+    ready = threading.Event()
+    port: list[int] = []
+
+    def announce(host: str, bound: int) -> None:
+        port.append(bound)
+        ready.set()
+
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"announce": announce},
+        daemon=True)
+    thread.start()
+    violations: list[str] = []
+    if not ready.wait(timeout=120):
+        return _report("serve-kill", ["server never came up"])
+
+    ok = 0
+    explicit = 0
+    for idx, blocks in enumerate(requests):
+        conn = http.client.HTTPConnection("127.0.0.1", port[0], timeout=120)
+        try:
+            conn.request("POST", "/v1/idct",
+                         body=json.dumps({"design": design,
+                                          "blocks": blocks}),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            body = response.read()
+        except (socket.timeout, ConnectionError) as exc:
+            violations.append(f"request {idx}: hung connection ({exc})")
+            continue
+        finally:
+            conn.close()
+        if response.status == 200:
+            outputs = json.loads(body)["outputs"]
+            if outputs != golden[idx]:
+                violations.append(
+                    f"request {idx}: 200 with a silently wrong body")
+            else:
+                ok += 1
+        elif response.status in (503, 504, 429, 422):
+            explicit += 1  # honest, explicit failure
+        else:
+            violations.append(
+                f"request {idx}: unexpected status {response.status}: "
+                f"{body[:120]!r}")
+    stats = dict(server.pool.stats) if server.pool is not None else {}
+    server.request_drain(0)
+    thread.join(timeout=60)
+    if not stats.get("kills"):
+        violations.append(
+            "no worker deaths recorded — the kills never happened, "
+            "so the scenario proved nothing")
+    if not ok:
+        violations.append(
+            "no request ever succeeded — retry-on-fresh-worker is broken")
+    print(f"  responses: {ok} correct, {explicit} explicit errors; "
+          f"worker kills: {stats.get('kills', 0)}, "
+          f"restarts: {stats.get('restarts', 0)}, "
+          f"retries: {stats.get('retries', 0)}")
+    return _report("serve-kill", violations)
+
+
 SCENARIOS = {
     "worker-kill": _worker_kill,
     "cache-rot": _cache_rot,
     "serve-flaky": _serve_flaky,
+    "serve-kill": _serve_kill,
 }
 
 

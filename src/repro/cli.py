@@ -19,10 +19,14 @@ Commands:
   design; ``--json`` dumps the canonical ``Measured.to_json()`` record
   (byte-identical to the service's ``POST /v1/measure`` response);
 * ``serve [--host H] [--port P] [--jobs N] [--cache DIR] [--max-batch B]
-  [--batch-wait-ms W] [--max-inflight Q] [--budget-s S] [--warm NAME]``
+  [--batch-wait-ms W] [--max-inflight Q] [--budget-s S] [--warm NAME]
+  [--workers N] [--worker-deadline-s S] [--worker-crash-budget K]``
   — run the asyncio evaluation service (``/v1/idct`` micro-batching,
-  admission control, ``/healthz`` + ``/metrics``); SIGTERM drains
-  in-flight work and exits 0, ^C drains and exits 3;
+  admission control, ``/healthz`` + ``/metrics``); ``--workers N`` (N>1)
+  pre-forks N evaluator processes with (design, engine)-affinity routing
+  under the heartbeat → soft cancel → SIGTERM → SIGKILL → respawn
+  supervision ladder; SIGTERM drains in-flight work and exits 0, ^C
+  drains and exits 3;
 * ``profile <design> [--json] [--trace PATH] [--metrics PATH]`` — run
   one design through the full pipeline with tracing on and print the
   per-phase breakdown; ``--json`` emits the machine-readable profile
@@ -41,8 +45,9 @@ Commands:
   fault-injection campaign against the compliance verifier; exits 1 when
   the detection rate drops below ``--min-detect``;
 * ``chaos <scenario> [--seed S] [--jobs N]`` — run a seeded chaos drill
-  (``worker-kill``, ``cache-rot``, ``serve-flaky``, or ``all``) and
-  assert the honest-failure invariant; exits 1 on any violation;
+  (``worker-kill``, ``cache-rot``, ``serve-flaky``, ``serve-kill``, or
+  ``all``) and assert the honest-failure invariant; exits 1 on any
+  violation;
 * ``list``              — list all registered design names.
 
 ``table2`` and ``fig1`` share the execution flags: ``--jobs N`` (measure
@@ -67,6 +72,12 @@ the first attempt only (supervision recovers it), ``poison`` on every
 attempt (the task is quarantined as an explicit ``FAILED(…)`` cell),
 ``corrupt`` rots written cache artifacts on disk (the checksum footer
 catches them on re-read), ``flaky`` makes evaluator calls raise.
+Under ``serve --workers N`` the same ``kill``/``poison`` decisions also
+target the serving tier: batches carry ``serve:<design>:<engine>:<seq>``
+task ids, ``kill`` SIGKILLs the affine evaluator worker on the first
+attempt (the batch retries once on a fresh worker), ``poison`` on both
+attempts (the request is quarantined and answered with an honest 503 —
+the ``serve-kill`` drill asserts exactly this contract).
 
 Exit-code contract (stable — scripts and CI may rely on it):
 
@@ -341,6 +352,9 @@ def _cmd_serve(args) -> int:
             breaker_cooldown_s=args.breaker_cooldown_s,
             job_journal=args.journal,
             resume_jobs=args.resume_jobs,
+            workers=args.workers,
+            worker_deadline_s=args.worker_deadline_s,
+            worker_crash_budget=args.worker_crash_budget,
         )
     except OSError as exc:
         print(f"cannot listen on {args.host}:{args.port}: {exc}",
@@ -667,6 +681,20 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--breaker-cooldown-s", type=float, default=30.0,
                          help="seconds the breaker stays open before its "
                               "half-open probe (default 30)")
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="pre-forked evaluator worker processes; >1 "
+                              "routes /v1/idct batches by (design, engine) "
+                              "affinity under the kill/restart ladder "
+                              "(default 1: in-process compute thread)")
+    p_serve.add_argument("--worker-deadline-s", type=float, default=300.0,
+                         help="per-batch wall deadline in the worker pool "
+                              "before the soft-cancel→SIGTERM→SIGKILL "
+                              "ladder engages (default 300)")
+    p_serve.add_argument("--worker-crash-budget", type=int, default=None,
+                         metavar="K",
+                         help="total worker deaths tolerated before the "
+                              "pool stops respawning and answers 503 "
+                              "(default: scaled to the pool size)")
     p_serve.add_argument("--chaos", metavar="SPEC",
                          help="seeded fault injection for drills, e.g. "
                               "'seed=3,flaky=0.5,latency=0.1'")
@@ -677,6 +705,7 @@ def main(argv: list[str] | None = None) -> int:
                       "invariant")
     p_chaos.add_argument("scenario",
                          choices=("worker-kill", "cache-rot", "serve-flaky",
+                                  "serve-kill",
                                   "all"))
     p_chaos.add_argument("--seed", type=int, default=3,
                          help="chaos policy seed (default 3)")

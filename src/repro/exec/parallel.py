@@ -55,6 +55,7 @@ from ..obs import trace as obs_trace
 from ..resilience.checkpoint import SCHEMA_VERSION
 from ..resilience.errors import failure_record
 from ..resilience.runner import DesignResult, SweepRunner, result_from_record
+from ..resilience.supervise import backoff_delay, default_crash_budget
 from .tasks import SweepTask
 from . import worker as worker_mod
 
@@ -163,7 +164,7 @@ class ParallelSweepRunner(SweepRunner):
             crashes = 0
             budget = (self.max_worker_crashes
                       if self.max_worker_crashes is not None
-                      else 2 * len(self.tasks) + 8)
+                      else default_crash_budget(len(self.tasks)))
             while pending:
                 retry: list[int] = []
                 fresh = [i for i in pending if attempts[i] < POISON_ATTEMPTS]
@@ -256,8 +257,9 @@ class ParallelSweepRunner(SweepRunner):
         obs_events.emit("worker.restart", crashes=crashes, lost=len(lost),
                         tasks=[worker_mod.task_id(self.tasks[i])
                                for i in lost])
-        if self.crash_backoff_s:
-            time.sleep(min(self.crash_backoff_s * 2 ** (crashes - 1), 1.0))
+        delay = backoff_delay(crashes, self.crash_backoff_s)
+        if delay:
+            time.sleep(delay)
 
     def _identify(self, task: SweepTask):
         """``(label, design-or-None)`` — ``None`` for deferred points.

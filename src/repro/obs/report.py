@@ -290,6 +290,8 @@ PROM_HELP = {
     "serve.breaker_opened": "Circuit-breaker open transitions.",
     "serve.queue_depth": "Admitted compute requests currently in flight.",
     "serve.batch_size": "Blocks coalesced per evaluator invocation.",
+    "serve.worker_restarts": "Serve pool evaluator workers respawned.",
+    "serve.worker_kills": "Serve pool evaluator worker deaths observed.",
     "sweep.cells_done": "Sweep design points committed (per design).",
 }
 
@@ -303,6 +305,8 @@ DEFAULT_COUNTERS = (
     "cache.hits",
     "cache.misses",
     "resilience.failures",
+    "serve.worker_restarts",
+    "serve.worker_kills",
 )
 
 

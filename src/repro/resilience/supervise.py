@@ -1,0 +1,65 @@
+"""Shared supervision arithmetic for crash-prone process pools.
+
+Two independent subsystems keep worker processes alive against SIGKILLs:
+the sharded sweep executor (:class:`repro.exec.ParallelSweepRunner`) and
+the serve tier's pre-forked evaluator pool
+(:class:`repro.serve.pool.WorkerPool`).  Both follow the same policy —
+exponential backoff between respawns, capped per sleep, with a total
+crash budget that turns "the environment is broken" into one honest
+error instead of an infinite respawn loop — so the arithmetic lives
+here, once.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CrashBudget", "backoff_delay", "default_crash_budget"]
+
+#: Longest single backoff sleep, whatever the crash count (seconds).
+BACKOFF_CAP_S = 1.0
+
+
+def backoff_delay(crashes: int, base_s: float,
+                  cap_s: float = BACKOFF_CAP_S) -> float:
+    """Exponential backoff before the ``crashes``-th respawn.
+
+    ``base_s * 2**(crashes - 1)``, capped at ``cap_s``; zero when
+    ``base_s`` is zero (tests disable the sleeps) or nothing crashed yet.
+    """
+    if crashes <= 0 or base_s <= 0.0:
+        return 0.0
+    return min(base_s * 2 ** (crashes - 1), cap_s)
+
+
+def default_crash_budget(tasks: int) -> int:
+    """Total worker crashes a supervisor tolerates before aborting.
+
+    Linear in the workload (every task may legitimately kill-once under
+    chaos, plus its quarantine probe) with headroom for startup flakes.
+    """
+    return 2 * max(0, int(tasks)) + 8
+
+
+class CrashBudget:
+    """Crash accounting: count deaths, hand out backoffs, cap the total.
+
+    :meth:`note` is called once per observed worker death and returns the
+    backoff the supervisor should sleep before respawning.  Once more
+    than ``limit`` deaths accumulate, :attr:`exhausted` turns true and
+    the owner should stop respawning and fail honestly.
+    """
+
+    def __init__(self, limit: int | None, base_s: float = 0.05,
+                 cap_s: float = BACKOFF_CAP_S) -> None:
+        self.limit = limit
+        self.base_s = max(0.0, float(base_s))
+        self.cap_s = max(0.0, float(cap_s))
+        self.crashes = 0
+
+    def note(self) -> float:
+        """Record one crash; the backoff to sleep before respawning."""
+        self.crashes += 1
+        return backoff_delay(self.crashes, self.base_s, self.cap_s)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.crashes > self.limit

@@ -9,6 +9,8 @@ stdlib-only JSON/HTTP protocol:
   (vectorized model / compiled simulator engines);
 * :mod:`repro.serve.batcher`   — the ``/v1/idct`` micro-batch window;
 * :mod:`repro.serve.jobs`      — async ``table2``/``fig1`` sweep jobs;
+* :mod:`repro.serve.pool`      — the ``--workers N`` pre-forked
+  evaluator pool with its kill/restart supervision ladder;
 * :mod:`repro.serve.server`    — routing, admission control (429),
   per-request budgets (504), and the SIGTERM drain lifecycle.
 
@@ -19,6 +21,7 @@ exit-code contracts.
 from .batcher import MicroBatcher
 from .evaluator import DesignEvaluator, validate_blocks
 from .jobs import Job, JobManager
+from .pool import PoolConfig, WorkerInit, WorkerPool
 from .server import EvalServer, ServeConfig
 
 __all__ = [
@@ -29,4 +32,7 @@ __all__ = [
     "validate_blocks",
     "Job",
     "JobManager",
+    "WorkerPool",
+    "WorkerInit",
+    "PoolConfig",
 ]

@@ -87,6 +87,11 @@ class CircuitBreaker:
         breaker (anything else is the client's problem, not the
         evaluator's)."""
         if not isinstance(exc, ReproError):
+            # The request ran, so the probe slot must be released either
+            # way — otherwise a half-open probe failing with, say, a
+            # client-side ValueError would wedge the breaker "probing"
+            # forever, rejecting everything after it.
+            self._probing = False
             return
         was_probe = self._probing
         self._probing = False

@@ -27,7 +27,14 @@ mid-append) is skipped, never fatal.
 than ``max_retained`` of them accumulate (oldest first), or once older
 than ``ttl_s``; retained jobs keep a stable ``to_dict`` shape.  This
 bounds the memory of a long-running service that previously kept every
-completed sweep output forever.
+completed sweep output forever.  Two guards keep eviction honest under
+``--resume-jobs``: a job being re-run after a crash is exempt from the
+sweep until its re-run reaches a terminal state (resumed jobs carry the
+*lowest* ids, so the overflow rule would otherwise evict them first,
+mid-resume), and every terminal transition — status, result, journal
+record, ``finished_at`` — commits atomically under the manager lock so a
+concurrent prune can never observe a "done" job whose journal record is
+not yet durable.
 """
 
 from __future__ import annotations
@@ -117,6 +124,10 @@ class JobManager:
         self.max_retained = max_retained
         self.ttl_s = ttl_s
         self._jobs: dict[str, Job] = {}
+        # Jobs being --resume-jobs-re-run: exempt from eviction until
+        # their re-run is terminal (they carry the lowest ids, so the
+        # max_retained overflow rule would evict them first otherwise).
+        self._resuming: set[str] = set()
         # RLock: journal appends nest under the submit/prune lock.
         self._lock = threading.RLock()
         self._journal_path = os.fspath(journal) if journal else None
@@ -251,7 +262,12 @@ class JobManager:
         last_id = max((_job_seq(job) for job in jobs.values()), default=0)
         interrupted = []
         for job in jobs.values():
-            if job.status not in TERMINAL_STATUSES:
+            if job.status in TERMINAL_STATUSES:
+                # The journal does not record wall-clock times; TTL for
+                # replayed terminal jobs measures from recovery, so a
+                # long-dead server's results survive long enough to read.
+                job.finished_at = time.time()
+            else:
                 job.status = "interrupted"
                 job.interrupted = True
                 interrupted.append(job)
@@ -265,15 +281,23 @@ class JobManager:
         """Re-queue one interrupted job (keeps its id and marker)."""
         job.status = "queued"
         job.error = None
+        self._resuming.add(job.id)
         self._journal("resumed", id=job.id)
         obs_metrics.inc("serve.jobs_resumed")
         self._executor.submit(self._run, job)
 
     def _prune(self) -> None:
-        """Evict old terminal jobs (caller holds the lock)."""
+        """Evict old terminal jobs (caller holds the lock).
+
+        Jobs in ``_resuming`` are never candidates: between the resume
+        decision and the re-run's terminal transition the job may look
+        terminal to this sweep (replayed state, or a mid-transition
+        race), and evicting it would orphan the in-flight re-run.
+        """
         terminal = sorted(
             (job for job in self._jobs.values()
-             if job.status in TERMINAL_STATUSES), key=_job_seq)
+             if job.status in TERMINAL_STATUSES
+             and job.id not in self._resuming), key=_job_seq)
         drop = []
         if self.ttl_s is not None:
             cutoff = time.time() - self.ttl_s
@@ -315,21 +339,33 @@ class JobManager:
                         else nullcontext())
         try:
             with scope, subscription:
-                job.output = self._execute(job)
-            job.summary = self.session.summary_lines()
-            job.status = "done"
-            self._journal("done", id=job.id, output=job.output,
-                          summary=job.summary)
+                output = self._execute(job)
+            summary = self.session.summary_lines()
+            # Atomic terminal transition: a concurrent prune must never
+            # see status "done" before the journal record is durable and
+            # finished_at is set (the old ordering could evict a resumed
+            # job mid-commit and lose its result).
+            with self._lock:
+                job.output = output
+                job.summary = summary
+                job.error = None
+                job.finished_at = time.time()
+                job.status = "done"
+                self._journal("done", id=job.id, output=job.output,
+                              summary=job.summary)
+                self._resuming.discard(job.id)
             obs_metrics.inc("serve.jobs_done")
         except Exception as exc:  # noqa: BLE001 - reported via the job record
-            job.error = str(exc)
-            job.status = "failed"
-            self._journal("failed", id=job.id, error=job.error)
+            with self._lock:
+                job.error = str(exc)
+                job.finished_at = time.time()
+                job.status = "failed"
+                self._journal("failed", id=job.id, error=job.error)
+                self._resuming.discard(job.id)
             obs_metrics.inc("serve.jobs_failed")
         finally:
             if obs_on:
                 obs_trace.TRACER.trace_id = previous_trace
-            job.finished_at = time.time()
             obs_metrics.set_gauge("serve.jobs_running", 0)
             with self._lock:
                 self._prune()

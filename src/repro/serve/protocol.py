@@ -18,12 +18,23 @@ Responses come in two framings:
 Errors while *parsing* raise :class:`ProtocolError` carrying the HTTP
 status the connection handler should answer with (400 malformed, 413 too
 large, 505 unsupported version) before closing the connection.
+
+Besides HTTP, this module owns the **worker IPC framing**: the parent ↔
+pre-forked-evaluator conversation (:mod:`repro.serve.pool`) is
+length-prefixed JSON — a 4-byte big-endian length followed by a UTF-8
+JSON object.  The async side (:func:`read_frame`/:func:`write_frame`)
+runs on the parent's event loop; the blocking side
+(:func:`recv_frame`/:func:`send_frame`) runs in the worker's plain
+``socket`` loop.  A clean EOF reads as ``None`` — that is how the parent
+detects a dead worker and how an orphaned worker notices its parent is
+gone.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import struct
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -34,12 +45,21 @@ __all__ = [
     "write_response",
     "json_response",
     "error_response",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "recv_frame",
+    "send_frame",
     "MAX_HEADER_BYTES",
     "MAX_BODY_BYTES",
+    "MAX_FRAME_BYTES",
 ]
 
 MAX_HEADER_BYTES = 16 * 1024
 MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Largest worker IPC frame; a batch of 8×8 int blocks plus shipped obs
+#: buffers stays far below this, so anything bigger is a framing bug.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 REASONS = {
     200: "OK",
@@ -203,6 +223,83 @@ async def _write_streaming(writer: asyncio.StreamWriter,
         await writer.drain()
     writer.write(b"0\r\n\r\n")
     await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# worker IPC framing (length-prefixed JSON over a socketpair)
+# ----------------------------------------------------------------------
+
+def encode_frame(payload: dict) -> bytes:
+    """One IPC frame: 4-byte big-endian length + UTF-8 JSON object."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"IPC frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return struct.pack(">I", len(body)) + body
+
+
+def _decode_frame_body(body: bytes) -> dict:
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ProtocolError("IPC frame must be a JSON object")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from a worker stream; ``None`` on a clean EOF.
+
+    EOF *inside* a frame also reads as ``None``: a worker that dies
+    mid-write delivered nothing usable, and the caller's reaction (treat
+    the worker as dead) is identical either way.
+    """
+    try:
+        head = await reader.readexactly(4)
+        (length,) = struct.unpack(">I", head)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"IPC frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        return None
+    return _decode_frame_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Serialize and flush one frame on the parent side."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def _recv_exact(sock, length: int) -> bytes | None:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> dict | None:
+    """Blocking frame read on the worker side; ``None`` on EOF."""
+    head = _recv_exact(sock, 4)
+    if head is None:
+        return None
+    (length,) = struct.unpack(">I", head)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"IPC frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    return _decode_frame_body(body)
+
+
+def send_frame(sock, payload: dict) -> None:
+    """Blocking frame write on the worker side."""
+    sock.sendall(encode_frame(payload))
 
 
 def json_response(payload: dict, status: int = 200) -> Response:

@@ -49,6 +49,14 @@ Three policies wrap the endpoints:
 All simulation/measurement runs on a single dedicated compute thread —
 the event loop only parses, batches, and answers, so ``/healthz`` and
 ``/metrics`` stay live while the simulator is busy.
+
+With ``--workers N`` (N > 1) the batched ``/v1/idct`` evaluations move
+to a pre-forked :class:`~repro.serve.pool.WorkerPool` instead: each
+coalesced batch routes to an evaluator process by (design, engine)
+affinity, supervised by the heartbeat → soft cancel → SIGTERM → SIGKILL
+→ respawn ladder.  A batch in flight on a dying worker is retried once
+on a fresh worker or answered with an honest **503**; verify/measure,
+jobs, the journal, the breaker, and the batcher all stay in the parent.
 """
 
 from __future__ import annotations
@@ -61,7 +69,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from ..core.errors import BudgetExceeded, EvaluationError
+from ..core.errors import BudgetExceeded, EvaluationError, WorkerCrashError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.trace import TraceContext
@@ -70,6 +78,7 @@ from .batcher import MicroBatcher
 from .breaker import CircuitBreaker
 from .evaluator import validate_blocks
 from .jobs import JobManager, JobQueueFull, UnknownJobKind
+from .pool import PoolConfig, WorkerPool
 from .protocol import (
     ProtocolError,
     Request,
@@ -103,6 +112,12 @@ class ServeConfig:
     resume_jobs: bool = False    # re-run journaled interrupted jobs
     job_retained: int = 64       # terminal jobs kept in memory
     job_ttl_s: float | None = None    # terminal-job time-to-live
+    workers: int = 1             # >1: pre-forked evaluator worker pool
+    worker_deadline_s: float = 300.0  # per-batch wall deadline in the pool
+    worker_soft_grace_s: float = 1.0  # SIGINT answer window (the ladder)
+    worker_term_grace_s: float = 2.0  # SIGTERM death window (the ladder)
+    worker_ping_s: float = 5.0   # idle-worker heartbeat period
+    worker_crash_budget: int | None = None  # pool-wide deaths before 503s
 
 
 class _Admission:
@@ -153,6 +168,7 @@ class EvalServer:
             threshold=self.config.breaker_threshold,
             cooldown_s=self.config.breaker_cooldown_s)
         self.admission = _Admission(self.config.max_inflight)
+        self.pool: WorkerPool | None = None   # built in run() when workers>1
         self._compute = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-eval")
         self._draining = False
@@ -181,6 +197,10 @@ class EvalServer:
             for name in self.config.warm:
                 await loop.run_in_executor(
                     self._compute, self.session.evaluator, name)
+            if self.config.workers > 1:
+                # Fork AFTER the parent's warm loop so every child
+                # inherits the warm measurement memos for free.
+                await self._start_pool()
             self._listener = await asyncio.start_server(
                 self._handle_conn, self.config.host, self.config.port)
             self.port = self._listener.sockets[0].getsockname()[1]
@@ -220,6 +240,25 @@ class EvalServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    async def _start_pool(self) -> None:
+        """Fork the ``--workers N`` evaluator pool and warm it."""
+        from ..api import canonical_name
+
+        deadline = (self.config.request_budget_s + 5.0
+                    if self.config.request_budget_s is not None
+                    else self.config.worker_deadline_s)
+        self.pool = WorkerPool(
+            self.session.pool_init(obs=self.config.obs,
+                                   budget_s=self.config.request_budget_s),
+            PoolConfig(size=self.config.workers,
+                       deadline_s=deadline,
+                       soft_grace_s=self.config.worker_soft_grace_s,
+                       term_grace_s=self.config.worker_term_grace_s,
+                       ping_interval_s=self.config.worker_ping_s,
+                       crash_budget=self.config.worker_crash_budget))
+        await self.pool.start(
+            warm=tuple(canonical_name(n) for n in self.config.warm))
+
     def _begin_drain(self, code: int) -> None:
         if self._draining:
             return
@@ -243,6 +282,12 @@ class EvalServer:
         # entries stay non-terminal: a restart reports them interrupted).
         await loop.run_in_executor(
             None, lambda: self.jobs.drain(cancel=True))
+        if self.pool is not None:
+            await self.pool.drain()
+        # A half-open probe still in flight when the drain started has
+        # been answered or failed by now; release its slot so the breaker
+        # is never left wedged "probing" across a restart.
+        self.breaker.cancel()
         if self._exit is not None and not self._exit.done():
             self._exit.set_result(code)
 
@@ -252,6 +297,8 @@ class EvalServer:
             await self._listener.wait_closed()
         for writer in list(self._conns):
             writer.close()
+        if self.pool is not None:
+            await self.pool.drain()   # idempotent
         self._compute.shutdown(wait=True, cancel_futures=True)
 
     # ------------------------------------------------------------------
@@ -385,6 +432,8 @@ class EvalServer:
             "open_batches": self.batcher.open_windows,
             "designs": sorted(self.session.loaded_evaluators()),
             "breaker": self.breaker.state,
+            "workers": (self.pool.snapshot()
+                        if self.pool is not None else []),
             "uptime_s": round(time.monotonic() - self._started, 3),
         })
 
@@ -565,8 +614,15 @@ class EvalServer:
     # compute plumbing
     # ------------------------------------------------------------------
     async def _run_batch(self, key, blocks):
-        """Batcher runner: one evaluation on the compute thread."""
+        """Batcher runner: one evaluation on the compute thread, or — with
+        ``--workers N`` — on the affine pool worker."""
         design, engine = key
+        if self.pool is not None:
+            # A half-open breaker probe must test a *fresh* worker, not
+            # the slot whose affinity just accumulated the failures.
+            return await self.pool.evaluate(
+                design, engine, blocks,
+                prefer_fresh=self.breaker.state == "half-open")
         return await self._in_compute(self._evaluate_sync, design, engine,
                                       blocks)
 
@@ -595,6 +651,10 @@ class EvalServer:
             return error_response(str(exc), 400)
         if isinstance(exc, BudgetExceeded):
             return error_response(f"request budget exhausted: {exc}", 504)
+        if isinstance(exc, WorkerCrashError):
+            # The request killed its workers (or the pool's crash budget
+            # is spent) — honest unavailability, never a hung connection.
+            return error_response(str(exc), 503)
         if isinstance(exc, EvaluationError):
             return error_response(str(exc), 422)
         return error_response(f"internal error: {exc}", 500)

@@ -328,6 +328,70 @@ class TestJobJournal:
         assert manager.get(old.id) is None
         manager.drain()
 
+    def test_resumed_job_survives_eviction_sweep_mid_commit(self, tmp_path):
+        """Regression: a --resume-jobs re-run must never be evicted by a
+        TTL/max_retained sweep firing at the worst instant — while its
+        terminal transition is being committed.  Resumed jobs carry the
+        lowest ids, so the overflow rule used to pick them first, and
+        the old commit order exposed status "done" before the journal
+        record was durable or ``finished_at`` was set."""
+        seen = []
+
+        class _SweptDuringCommit(_StubJobManager):
+            def _journal(self, event, **fields):
+                if event == "done" and fields.get("id") == "job-1":
+                    # A concurrent submission's prune, mid-commit.  With
+                    # max_retained=0 it evicts every unprotected
+                    # terminal job.
+                    self._prune()
+                    seen.append(self.get("job-1") is not None)
+                super()._journal(event, **fields)
+
+        journal = tmp_path / "jobs.jsonl"
+        journal.write_text(
+            '{"event": "submitted", "id": "job-1", "kind": "fig1", '
+            '"params": {}}\n'
+            '{"event": "running", "id": "job-1"}\n')
+        manager = _SweptDuringCommit(journal=journal, resume=True,
+                                     max_retained=0)
+        # Hold a direct reference: once the commit completes the job is
+        # legitimately evictable (max_retained=0), so manager.get() may
+        # go None — but only *after* the terminal transition is durable.
+        job = manager.get("job-1")
+        assert job is not None
+        deadline = time.monotonic() + 30.0
+        while job.status != "done" and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert job.status == "done"
+        manager.drain()
+        assert seen == [True], \
+            "resumed job was evicted mid-commit by the retention sweep"
+        events = [json.loads(line)["event"]
+                  for line in journal.read_text().splitlines()]
+        assert events == ["submitted", "running", "resumed", "running",
+                          "done"]
+
+    def test_replayed_terminal_jobs_get_a_fresh_ttl_clock(self, tmp_path):
+        """The journal records no wall-clock times, so TTL for replayed
+        terminal jobs measures from recovery — a long-dead server's
+        results must survive long enough to be read, not be swept by the
+        first prune after restart."""
+        journal = tmp_path / "jobs.jsonl"
+        journal.write_text(
+            '{"event": "submitted", "id": "job-1", "kind": "fig1", '
+            '"params": {}}\n'
+            '{"event": "running", "id": "job-1"}\n'
+            '{"event": "done", "id": "job-1", "output": "x", '
+            '"summary": []}\n')
+        reborn = _StubJobManager(journal=journal, ttl_s=3600.0)
+        job = reborn.get("job-1")
+        assert job.status == "done"
+        assert job.finished_at is not None
+        with reborn._lock:
+            reborn._prune()
+        assert reborn.get("job-1") is not None
+        reborn.drain()
+
 
 # ---------------------------------------------------------------------------
 # circuit breaker
@@ -387,3 +451,15 @@ class TestCircuitBreaker:
         assert breaker.admit() is None   # probe admitted...
         breaker.cancel()                 # ...but never ran (e.g. 429)
         assert breaker.admit() is None   # the slot is free again
+
+    def test_probe_failing_with_client_error_releases_the_slot(self):
+        # Regression: a half-open probe that failed with a *client* error
+        # (not a ReproError) used to leak the probe slot — the breaker
+        # stayed half-open but rejected every subsequent request forever.
+        clock, breaker = self._breaker(threshold=1, cooldown_s=10.0)
+        breaker.record_failure(EvaluationError("injected"))
+        clock[0] = 11.0
+        assert breaker.admit() is None           # probe admitted
+        breaker.record_failure(ValueError("bad request rode the probe"))
+        assert breaker.state == "half-open"      # client errors don't trip
+        assert breaker.admit() is None           # next probe may proceed

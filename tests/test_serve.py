@@ -528,6 +528,132 @@ class TestCircuitBreakerHTTP:
         assert server.stop() == 0
 
 
+class TestMultiProcessServing:
+    def test_single_process_mode_reports_no_workers(self, live):
+        """--workers 1 keeps the in-process compute thread: /healthz
+        shows an empty worker list and the pool counters exist but stay
+        zero (pre-registered, so dashboards see the series either way)."""
+        server = live(batch_wait_s=0.0)
+        status, body = server.request("GET", "/healthz")
+        assert status == 200
+        assert json.loads(body)["workers"] == []
+        status, body = server.request("GET", "/metrics")
+        text = body.decode()
+        assert "repro_serve_worker_restarts 0" in text
+        assert "repro_serve_worker_kills 0" in text
+        assert server.stop() == 0
+
+    def test_pool_burst_is_byte_identical_to_single_process(self, live):
+        """The same coalesced burst, answered by the pre-forked pool,
+        must be bit-identical to the in-process path (= golden model)."""
+        n = 6
+        blocks = _blocks(n)
+        expected = [chen_wang_idct(block) for block in blocks]
+        server = live(workers=2, warm=(DESIGN,), max_batch=64,
+                      batch_wait_s=0.25)
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            futures = [
+                pool.submit(server.request, "POST", "/v1/idct",
+                            {"design": DESIGN, "blocks": [block]})
+                for block in blocks
+            ]
+            results = [future.result() for future in futures]
+        for (status, body), exp in zip(results, expected):
+            assert status == 200
+            assert json.loads(body)["outputs"] == [exp]
+        status, body = server.request("GET", "/healthz")
+        workers = json.loads(body)["workers"]
+        assert len(workers) == 2
+        for worker in workers:
+            assert worker["state"] in ("idle", "busy")
+            assert worker["restarts"] == 0
+            assert worker["inflight"] == 0
+            assert isinstance(worker["pid"], int)
+        assert server.stop() == 0
+
+    def test_worker_crashes_trip_the_breaker(self):
+        """Poison chaos kills both workers a request touches: each
+        request is an honest 503 (quarantine), consecutive crashes trip
+        the breaker, and the open circuit rejects without touching the
+        pool.  /healthz carries both the breaker state and the per-worker
+        restart counts; /metrics carries the pool counters."""
+        from repro.chaos import ChaosPolicy
+
+        session = Session(
+            chaos=ChaosPolicy(seed=1, poison_targets=("serve:",)))
+        server = _LiveServer(session, workers=2, warm=(DESIGN,),
+                             batch_wait_s=0.0, breaker_threshold=2,
+                             breaker_cooldown_s=60.0)
+        try:
+            payload = {"design": DESIGN, "blocks": _blocks(1)}
+            for _ in range(2):
+                status, body = server.request("POST", "/v1/idct", payload)
+                assert status == 503
+                assert b"quarantined" in body
+            kills = server.server.pool.stats["kills"]
+            assert kills == 4  # two attempts died per poisoned request
+            conn = http.client.HTTPConnection(server.host, server.port,
+                                              timeout=120)
+            try:
+                conn.request("POST", "/v1/idct",
+                             body=json.dumps(payload).encode())
+                response = conn.getresponse()
+                body = response.read()
+            finally:
+                conn.close()
+            assert response.status == 503
+            assert b"circuit open" in body
+            assert response.getheader("Retry-After") is not None
+            # The open circuit rejected before the pool saw anything.
+            assert server.server.pool.stats["kills"] == kills
+            status, body = server.request("GET", "/healthz")
+            health = json.loads(body)
+            assert health["breaker"] == "open"
+            assert len(health["workers"]) == 2
+            assert sum(w["restarts"] for w in health["workers"]) >= 1
+            status, body = server.request("GET", "/metrics")
+            lines = body.decode().splitlines()
+            restarts = [line for line in lines
+                        if line.startswith("repro_serve_worker_restarts ")]
+            killed = [line for line in lines
+                      if line.startswith("repro_serve_worker_kills ")]
+            assert restarts and float(restarts[0].split()[1]) >= 1
+            assert killed and float(killed[0].split()[1]) >= 4
+        finally:
+            assert server.stop() == 0
+
+    def test_half_open_probe_routes_prefer_fresh(self, session):
+        """The breaker's half-open probe must test a *fresh* worker —
+        the slot whose affinity accumulated the failures proves nothing."""
+        server = EvalServer(session, ServeConfig(port=0))
+        seen = []
+
+        class FakePool:
+            async def evaluate(self, design, engine, blocks,
+                               prefer_fresh=False):
+                seen.append(prefer_fresh)
+                return [[0]]
+
+        server.pool = FakePool()
+
+        async def go():
+            server.breaker.state = "half-open"
+            await server._run_batch((DESIGN, "model"), [[[0] * 8] * 8])
+            server.breaker.state = "closed"
+            await server._run_batch((DESIGN, "model"), [[[0] * 8] * 8])
+
+        asyncio.run(go())
+        assert seen == [True, False]
+
+    def test_drain_releases_an_inflight_probe(self, session):
+        """A half-open probe still in flight when SIGTERM lands must not
+        leave the breaker wedged 'probing' across the drain."""
+        server = EvalServer(session, ServeConfig(port=0, drain_grace_s=0.1))
+        server.breaker._probing = True
+        asyncio.run(server._finish_drain(0))
+        assert server.breaker._probing is False
+
+
 class TestSignalDrain:
     def test_sigterm_mid_burst_drains_and_exits_zero(self, tmp_path):
         """A real `python -m repro serve` process: SIGTERM during a burst
