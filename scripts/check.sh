@@ -47,6 +47,15 @@ step python -m repro fig1 --jobs 2 > "$tmp/parallel.txt"
 cmp "$tmp/fresh.txt" "$tmp/parallel.txt"
 echo "ok"
 
+echo "== engine smoke: fig1/verify --engine batch byte-identical to compiled =="
+step python -m repro engines > /dev/null
+step python -m repro fig1 --engine batch > "$tmp/batch.txt"
+cmp "$tmp/fresh.txt" "$tmp/batch.txt"
+step python -m repro verify verilog-opt --engine compiled > "$tmp/verify_c.txt"
+step python -m repro verify verilog-opt --engine batch > "$tmp/verify_b.txt"
+cmp "$tmp/verify_c.txt" "$tmp/verify_b.txt"
+echo "ok"
+
 echo "== cache smoke: warm table2 run identical, with cache hits =="
 step python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_cold.txt"
 step python -m repro table2 --cache "$tmp/cache" > "$tmp/t2_warm.txt"

@@ -34,7 +34,18 @@ from .cache import ArtifactCache
 from .cache import activate as _activate_cache
 from .chaos import ChaosPolicy, parse_chaos_spec
 from .chaos import activate as _activate_chaos
-from .core.errors import EvaluationError
+from .core.errors import UsageError
+from .engines import (
+    ENGINES,
+    EngineSpec,
+    UnknownEngineError,
+    default_engine,
+    engine_names,
+    engine_specs,
+    engines_payload,
+    render_engines_json,
+    resolve_engine,
+)
 from .eval.measure import Measured, measure_design
 from .frontends.base import Design
 from .resilience.checkpoint import Checkpoint
@@ -53,6 +64,15 @@ __all__ = [
     "UsageError",
     "UnknownDesignError",
     "UnknownToolError",
+    "UnknownEngineError",
+    "EngineSpec",
+    "ENGINES",
+    "engine_specs",
+    "engine_names",
+    "resolve_engine",
+    "default_engine",
+    "engines_payload",
+    "render_engines_json",
     "PREFIX_ALIASES",
     "NAME_ALIASES",
 ]
@@ -77,9 +97,8 @@ NAME_ALIASES = {
 }
 
 
-class UsageError(EvaluationError):
-    """A user-supplied name was not recognized (CLI exit code 2)."""
-
+# UsageError itself now lives in repro.core.errors (so leaf modules like
+# the engine registry can raise it); re-exported here unchanged.
 
 class UnknownDesignError(UsageError):
     """No registered design matches the requested name (or any alias)."""
@@ -349,12 +368,23 @@ class Session:
         with self._activated():
             return measure_design(design, **kwargs)
 
-    def verify(self, name: str, engine: str = "compiled") -> Measured:
-        """Freshly measure one design (no caches); raises
+    def verify(self, name: str, engine: str | None = None,
+               use_cache: bool | None = None) -> Measured:
+        """Measure one design; raises
         :class:`~repro.core.errors.EvaluationError` on a compliance
-        failure, mirroring the ``verify`` command's exit-1 contract."""
+        failure, mirroring the ``verify`` command's exit-1 contract.
+
+        ``use_cache`` defaults to whether this session has a cache
+        configured, so a warm ``verify`` benefits from the
+        content-addressed store exactly like :meth:`measure`; pass
+        ``use_cache=False`` to force a fresh measurement.
+        """
+        engine = resolve_engine(engine or default_engine("sim"), "sim")
+        if use_cache is None:
+            use_cache = self.cache is not None
         design = self.build(name)
-        return measure_design(design, use_cache=False, engine=engine)
+        with self._activated():
+            return measure_design(design, use_cache=use_cache, engine=engine)
 
     def profile(self, name: str) -> tuple[Design, Measured]:
         """Rebuild one design pair under tracing and measure the point
@@ -384,7 +414,7 @@ class Session:
         """Design names with a live evaluator in this session."""
         return sorted(self._evaluators)
 
-    def idct(self, name: str, blocks, engine: str = "model"):
+    def idct(self, name: str, blocks, engine: str | None = None):
         """Evaluate 8×8 blocks through one verified design point.
 
         This is the *serial* path the service's batched ``/v1/idct``
@@ -393,6 +423,7 @@ class Session:
         """
         from .serve.evaluator import validate_blocks
 
+        engine = resolve_engine(engine or default_engine("serve"), "serve")
         evaluator = self.evaluator(name)
         with self._activated():
             return evaluator.evaluate(validate_blocks(blocks), engine=engine)

@@ -8,13 +8,16 @@ Commands:
 
 * ``table1``            — print the tool classification (paper Table I);
 * ``table2 [--tools ...] [--jobs N] [--cache DIR] [--csv PATH]
-  [--trace PATH] [--metrics PATH]``
+  [--trace PATH] [--metrics PATH] [--engine E]``
   — regenerate the evaluation table (optionally with per-phase traces);
 * ``fig1 [--full] [--jobs N] [--cache DIR] [--csv PATH] [--trace PATH]
-  [--metrics PATH]``
+  [--metrics PATH] [--engine E]``
   — regenerate the DSE scatter;
-* ``verify <design> [--engine interp|compiled]`` — build and verify one
-  design by name; exits 1 on a compliance failure;
+* ``verify <design> [--engine interp|compiled|batch]`` — build and
+  verify one design by name; exits 1 on a compliance failure;
+* ``engines [--json]`` — list the registered evaluation engines with
+  their contexts and capabilities (the :mod:`repro.engines` registry);
+  ``--json`` is byte-identical to the service's ``GET /v1/engines``;
 * ``measure <design> [--json] [--cache DIR]`` — fully characterize one
   design; ``--json`` dumps the canonical ``Measured.to_json()`` record
   (byte-identical to the service's ``POST /v1/measure`` response);
@@ -45,9 +48,9 @@ Commands:
   fault-injection campaign against the compliance verifier; exits 1 when
   the detection rate drops below ``--min-detect``;
 * ``chaos <scenario> [--seed S] [--jobs N]`` — run a seeded chaos drill
-  (``worker-kill``, ``cache-rot``, ``serve-flaky``, ``serve-kill``, or
-  ``all``) and assert the honest-failure invariant; exits 1 on any
-  violation;
+  (``worker-kill``, ``cache-rot``, ``serve-flaky``, ``serve-kill``,
+  ``batch-engine``, or ``all``) and assert the honest-failure invariant;
+  exits 1 on any violation;
 * ``list``              — list all registered design names.
 
 ``table2`` and ``fig1`` share the execution flags: ``--jobs N`` (measure
@@ -56,8 +59,11 @@ a serial run), ``--cache DIR`` (content-addressed artifact cache reused
 across runs and commands), ``--checkpoint PATH`` (JSONL progress log),
 ``--resume`` (skip designs already in the checkpoint), ``--inject-fault
 NAME`` (force a design to fail, repeatable), ``--budget-s`` /
-``--budget-cycles`` (per-design budgets), ``--retries``, ``--chaos
-SPEC`` (seeded fault injection), and the observability exports:
+``--budget-cycles`` (per-design budgets), ``--retries``, ``--engine E``
+(simulator engine for every measurement — ``batch`` runs each design's
+stream through the lane-packed compiler with output byte-identical to
+``compiled``), ``--chaos SPEC`` (seeded fault injection), and the
+observability exports:
 ``--trace PATH`` (span JSONL), ``--metrics PATH`` (metrics + phase
 timings JSON), ``--events PATH`` (structured event JSONL for ``obs
 tail``).  Any of the three turns instrumentation on; each sweep run
@@ -88,7 +94,7 @@ code  meaning
 1     compliance/verification failure, fault-detection rate below
       ``--min-detect``, or a chaos drill detecting data corruption
       (a violated honest-failure invariant is **never** exit 0)
-2     usage error: unknown design/tool name, bad arguments
+2     usage error: unknown design/tool/engine name, bad arguments
       (argparse also exits 2)
 3     interrupted sweep (``SweepInterrupted`` or ^C); the
       checkpoint stays consistent for ``--resume``
@@ -196,8 +202,13 @@ def _make_session(args, *, trace: bool = False):
     from .api import Session
     from .resilience.runner import RunnerConfig
 
+    from .engines import resolve_engine
+
     config = RunnerConfig(wall_s=args.budget_s, max_cycles=args.budget_cycles,
-                          retries=args.retries)
+                          retries=args.retries,
+                          engine=resolve_engine(
+                              getattr(args, "engine", None) or "compiled",
+                              "sim"))
     return Session(jobs=args.jobs, cache=args.cache, runner=config,
                    trace=trace, checkpoint=args.checkpoint,
                    resume=args.resume,
@@ -276,18 +287,49 @@ def _cmd_fig1(args) -> int:
     return 0
 
 
+def _sim_engine_names() -> tuple[str, ...]:
+    from .engines import engine_names
+
+    return engine_names("sim")
+
+
+def _cmd_engines(args) -> int:
+    from .engines import engine_specs, render_engines_json
+
+    if args.json:
+        # One-serialization-path rule: these bytes are exactly the
+        # service's GET /v1/engines response body.
+        sys.stdout.write(render_engines_json())
+        return 0
+    for spec in engine_specs():
+        caps = [label for label, on in (
+            ("batchable", spec.batchable),
+            ("bit-exact-reference", spec.bit_exact_reference),
+            ("warm-start", spec.warm_start)) if on]
+        tags = "".join(f"  default[{ctx}]" for ctx in spec.default_for)
+        caps_txt = f"  ({', '.join(caps)})" if caps else ""
+        print(f"{spec.name:<9} contexts={','.join(spec.contexts)}"
+              f"{tags}{caps_txt}")
+        print(f"          {spec.summary}")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from .api import Session, resolve_design
     from .core.errors import EvaluationError
 
     name = resolve_design(args.design)
     try:
-        measured = Session().verify(name, engine=args.engine)
+        measured = Session(cache=getattr(args, "cache", None)).verify(
+            name, engine=args.engine)
     except EvaluationError as exc:
         print(f"{name}: COMPLIANCE FAILURE — {exc}", file=sys.stderr)
         return 1
+    # No engine tag in the output: every sim engine must produce the
+    # same measurement, so `verify --engine batch` stays byte-identical
+    # to `--engine compiled` (asserted by the check.sh engine smoke).
     status = "OK (bit-exact)" if measured.bit_exact else "MISMATCH"
-    print(f"{name}: {status}  [engine={args.engine}]")
+    print(f"{name}: {status}")
     print(f"  latency {measured.latency} cycles, periodicity "
           f"{measured.periodicity} cycles")
     print(f"  fmax {measured.fmax_mhz:.2f} MHz, throughput "
@@ -599,6 +641,10 @@ def main(argv: list[str] | None = None) -> int:
                             "(keys: seed, kill, poison, corrupt, flaky, "
                             "latency; kill/poison also take @substr "
                             "task-id targets)")
+        p.add_argument("--engine", choices=_sim_engine_names(),
+                       default="compiled",
+                       help="simulator engine for every measurement "
+                            "(see `python -m repro engines`)")
 
     p_table2 = sub.add_parser("table2", help="regenerate Table II")
     p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
@@ -625,10 +671,20 @@ def main(argv: list[str] | None = None) -> int:
 
     p_verify = sub.add_parser("verify", help="verify one design by name")
     p_verify.add_argument("design")
-    p_verify.add_argument("--engine", choices=("compiled", "interp"),
+    p_verify.add_argument("--engine", choices=_sim_engine_names(),
                           default="compiled",
                           help="simulator evaluation engine")
+    p_verify.add_argument("--cache", metavar="DIR",
+                          help="content-addressed artifact cache directory "
+                               "(warm verify reuses measurements)")
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_engines = sub.add_parser(
+        "engines", help="list registered evaluation engines")
+    p_engines.add_argument("--json", action="store_true",
+                           help="dump the canonical registry JSON "
+                                "(matches GET /v1/engines byte-for-byte)")
+    p_engines.set_defaults(fn=_cmd_engines)
 
     p_measure = sub.add_parser(
         "measure", help="fully characterize one design by name")
@@ -705,7 +761,7 @@ def main(argv: list[str] | None = None) -> int:
                       "invariant")
     p_chaos.add_argument("scenario",
                          choices=("worker-kill", "cache-rot", "serve-flaky",
-                                  "serve-kill",
+                                  "serve-kill", "batch-engine",
                                   "all"))
     p_chaos.add_argument("--seed", type=int, default=3,
                          help="chaos policy seed (default 3)")

@@ -28,6 +28,7 @@ __all__ = [
     "HlsError",
     "ScheduleError",
     "EvaluationError",
+    "UsageError",
     "BudgetExceeded",
     "SweepInterrupted",
     "WorkerCrashError",
@@ -146,6 +147,15 @@ class ScheduleError(HlsError):
 
 class EvaluationError(ReproError):
     """The evaluation harness was configured inconsistently."""
+
+
+class UsageError(EvaluationError):
+    """A user-supplied name was not recognized (CLI exit code 2).
+
+    Lives here (rather than :mod:`repro.api`, which re-exports it) so
+    that leaf modules like the engine registry can raise it without
+    importing the session facade.
+    """
 
 
 class BudgetExceeded(ReproError):

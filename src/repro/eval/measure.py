@@ -82,7 +82,10 @@ class Measured:
         return cls(**{k: v for k, v in data.items() if k in names})
 
 
-_CACHE: dict[str, Measured] = {}
+# Keyed by (design name, n_matrices, engine) — two engines' measurements
+# of the same design must not shadow each other (the disk key already
+# includes both parameters).
+_CACHE: dict[tuple[str, int, str], Measured] = {}
 
 
 def clear_measure_cache() -> None:
@@ -100,10 +103,11 @@ def measure_design(design: Design, n_matrices: int = 4,
     code digest, so repeat sweeps (and other commands measuring the same
     design points) skip simulation and synthesis entirely.
     """
-    if use_cache and design.name in _CACHE:
+    memo_key = (design.name, n_matrices, engine)
+    if use_cache and memo_key in _CACHE:
         obs_trace.event("measure.cache_hit", design=design.name)
         obs_metrics.inc("measure.cache_hits")
-        return _CACHE[design.name]
+        return _CACHE[memo_key]
     disk = artifact_cache.active() if use_cache else None
     key = None
     if disk is not None:
@@ -114,7 +118,7 @@ def measure_design(design: Design, n_matrices: int = 4,
         if payload is not None:
             obs_trace.event("measure.disk_cache_hit", design=design.name)
             measured = Measured.from_dict(payload)
-            _CACHE[design.name] = measured
+            _CACHE[memo_key] = measured
             return measured
     with obs_trace.span("measure", design=design.name, tool=design.tool,
                         config=design.config):
@@ -124,7 +128,7 @@ def measure_design(design: Design, n_matrices: int = 4,
             measured = _measure_stream(design, n_matrices, engine)
         obs_metrics.inc("measure.designs")
     if use_cache:
-        _CACHE[design.name] = measured
+        _CACHE[memo_key] = measured
     if disk is not None:
         disk.put_json("measured", key, measured.to_dict())
     return measured

@@ -9,7 +9,9 @@ rejected outright unless it verified bit-exact against the golden model —
 a service must never serve blocks through a design whose hardware output
 is wrong.
 
-Two evaluation engines share one results contract (bit-identical output):
+Three evaluation engines (the ``"serve"`` context of the
+:mod:`repro.engines` registry) share one results contract (bit-identical
+output):
 
 * ``"model"`` (default) — the vectorized :func:`repro.idct.batch.\
 batch_chen_wang` twin of the golden model, valid precisely because the
@@ -19,6 +21,11 @@ batch_chen_wang` twin of the golden model, valid precisely because the
   batch are streamed through the design's AXI wrapper in a single
   :meth:`~repro.axis.harness.StreamHarness.run_matrices` run, amortizing
   pipeline fill across the batch.
+* ``"batch"`` — the lane-packed compiled simulator
+  (:class:`repro.sim.batch.BatchStreamRunner`): the batch's blocks run in
+  lockstep lanes of one settle/tick pass each cycle, so a coalesced
+  window is cycle-accurate *and* amortizes the per-cycle Python cost
+  across lanes.
 
 Every invocation records ``serve.sim_invocations`` / ``serve.blocks_total``
 counters and the ``serve.batch_size`` histogram, which is how both the
@@ -30,6 +37,7 @@ from __future__ import annotations
 
 from .. import chaos as chaos_mod
 from ..core.errors import EvaluationError
+from ..engines import engine_names, resolve_engine
 from ..idct.constants import INPUT_MAX, INPUT_MIN, SIZE
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -67,7 +75,7 @@ def validate_blocks(blocks) -> list[Block]:
 class DesignEvaluator:
     """One verified design point, kept hot for batched block evaluation."""
 
-    ENGINES = ("model", "sim")
+    ENGINES = engine_names("serve")
 
     def __init__(self, name: str, session=None) -> None:
         if session is None:
@@ -85,6 +93,7 @@ class DesignEvaluator:
                 f"refusing to serve it", design=self.name, phase="serve.warm")
         self._sim = None
         self._harness = None
+        self._batch_runner = None
 
     # ------------------------------------------------------------------
     def _sim_harness(self):
@@ -96,6 +105,14 @@ class DesignEvaluator:
             self._harness = StreamHarness(self._sim, self.design.spec)
         return self._harness
 
+    def _batch(self):
+        if self._batch_runner is None:
+            from ..sim.batch import BatchStreamRunner
+
+            self._batch_runner = BatchStreamRunner(
+                self.design.top, self.design.spec, lanes=16)
+        return self._batch_runner
+
     # ------------------------------------------------------------------
     def evaluate(self, blocks: list[Block], engine: str = "model") -> list[Block]:
         """Evaluate one (possibly coalesced) batch of 8×8 blocks.
@@ -103,9 +120,9 @@ class DesignEvaluator:
         Exactly one "simulator invocation" regardless of batch size:
         one vectorized model call, or one streamed simulator run.
         """
-        if engine not in self.ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r} (choices: {', '.join(self.ENGINES)})")
+        # UnknownEngineError subclasses ValueError, preserving this
+        # method's documented exception contract.
+        engine = resolve_engine(engine, "serve")
         policy = chaos_mod.active()
         if policy is not None:
             # Chaos drill: injected latency and/or an EvaluationError the
@@ -125,6 +142,8 @@ class DesignEvaluator:
             obs_metrics.observe("serve.batch_size", len(blocks))
             if engine == "model":
                 return self._evaluate_model(blocks)
+            if engine == "batch":
+                return self._batch().run_blocks(blocks)
             return self._evaluate_sim(blocks)
 
     def _evaluate_model(self, blocks: list[Block]) -> list[Block]:

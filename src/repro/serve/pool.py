@@ -60,6 +60,7 @@ from ..core.errors import (
     ReproError,
     WorkerCrashError,
 )
+from ..engines import UnknownEngineError
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -135,6 +136,10 @@ def _error_payload(exc: BaseException) -> dict:
 
     if isinstance(exc, BudgetExceeded):
         kind = "BudgetExceeded"
+    elif isinstance(exc, UnknownEngineError):
+        # Its own wire kind: the rebuilt exception must stay both a
+        # UsageError (HTTP 400) and a ValueError (pool.evaluate contract).
+        kind = "UnknownEngineError"
     elif isinstance(exc, UsageError):
         kind = "UsageError"
     elif isinstance(exc, ReproError):
@@ -159,6 +164,8 @@ def _rebuild_error(err: dict, design: str) -> Exception:
             design=design, phase="serve.pool")
     if kind == "BudgetExceeded":
         return BudgetExceeded(message)
+    if kind == "UnknownEngineError":
+        return UnknownEngineError(message, name="")
     if kind == "UsageError":
         from ..api import UsageError
 

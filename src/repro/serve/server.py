@@ -8,6 +8,8 @@ method path                 purpose
 ====== ==================== ===========================================
 POST   ``/v1/idct``         evaluate 8×8 blocks against a named design,
                             micro-batched across concurrent requests
+GET    ``/v1/engines``      the engine registry listing; byte-identical
+                            to ``python -m repro engines --json``
 POST   ``/v1/verify``       fresh compliance verification of one design
 POST   ``/v1/measure``      full characterization; body is byte-identical
                             to ``python -m repro measure <d> --json``
@@ -74,6 +76,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.trace import TraceContext
 from ..resilience import budget as res_budget
+from ..engines import resolve_engine
 from .batcher import MicroBatcher
 from .breaker import CircuitBreaker
 from .evaluator import validate_blocks
@@ -391,6 +394,10 @@ class EvalServer:
             if method != "GET":
                 return error_response("use GET", 405)
             return self._metrics()
+        if path == "/v1/engines":
+            if method != "GET":
+                return error_response("use GET", 405)
+            return self._engines()
         if path == "/v1/idct":
             if method != "POST":
                 return error_response("use POST", 405)
@@ -437,6 +444,13 @@ class EvalServer:
             "uptime_s": round(time.monotonic() - self._started, 3),
         })
 
+    def _engines(self) -> Response:
+        # One-serialization-path rule: exactly the bytes that
+        # `python -m repro engines --json` prints.
+        from ..engines import render_engines_json
+
+        return Response(body=render_engines_json().encode("utf-8"))
+
     def _metrics(self) -> Response:
         from ..obs.report import ensure_default_instruments, render_prometheus
 
@@ -463,8 +477,10 @@ class EvalServer:
         name = payload.get("design")
         if not isinstance(name, str) or not name:
             return error_response("missing 'design'", 400)
-        engine = payload.get("engine", "model")
         try:
+            # Resolve before the breaker/batcher are involved: a typo'd
+            # engine is a client error, not an evaluator failure.
+            engine = resolve_engine(payload.get("engine", "model"), "serve")
             blocks = validate_blocks(payload.get("blocks"))
         except ValueError as exc:
             return error_response(str(exc), 400)
@@ -508,7 +524,10 @@ class EvalServer:
         name = payload.get("design")
         if not isinstance(name, str) or not name:
             return error_response("missing 'design'", 400)
-        engine = payload.get("engine", "compiled")
+        try:
+            engine = resolve_engine(payload.get("engine", "compiled"), "sim")
+        except ValueError as exc:
+            return error_response(str(exc), 400)
         rejected = self._admit()
         if rejected is not None:
             return rejected

@@ -1,7 +1,24 @@
 """Cycle-accurate simulation of elaborated netlists."""
 
+from .batch import (
+    BatchCompiled,
+    BatchSimulator,
+    BatchStreamRunner,
+    compile_batch,
+    scalar_adapter,
+)
 from .compile import CompiledNetlist, compile_netlist
 from .simulator import Simulator
 from .vcd import VcdTracer
 
-__all__ = ["Simulator", "VcdTracer", "CompiledNetlist", "compile_netlist"]
+__all__ = [
+    "Simulator",
+    "VcdTracer",
+    "CompiledNetlist",
+    "compile_netlist",
+    "BatchCompiled",
+    "BatchSimulator",
+    "BatchStreamRunner",
+    "compile_batch",
+    "scalar_adapter",
+]

@@ -1,0 +1,982 @@
+"""Batch-vectorized netlist evaluation: B input blocks per settle/tick pass.
+
+The scalar compiled simulator (:mod:`repro.sim.compile`) walks one design
+instance per call.  This module compiles the *same* levelized netlist into a
+**lane-packed** evaluator: every signal holds ``B`` independent simulation
+lanes packed into one Python big integer at a fixed stride
+``S = max_expression_width + 1``::
+
+    packed(sig) = sum(lane_value[i] << (i * S) for i in range(B))
+
+One guard bit per lane (the ``+ 1``) is what makes carry-generating
+operations safe: an add of two W-bit lanes peaks at ``2**(W+1) - 2`` and
+the carry lands in the guard bit instead of the neighbouring lane.  The
+generated code is pure stdlib int arithmetic — no numpy — and each emitted
+operation preserves the invariant *every lane field is an exact masked
+value and every guard bit is zero*:
+
+* add/sub/neg: compute with the guard bit, then mask the lanes;
+  subtraction adds a per-lane ``2**W`` bias first so no lane ever borrows
+  from its neighbour;
+* shifts by constants pre- or post-mask so bits spilling across the lane
+  boundary are discarded (``shl`` masks the operand to ``W - c`` bits
+  *before* shifting; ``lshr`` masks to ``W - c`` bits *after*);
+* compares use the classic SWAR carry-out trick: ``a >= b`` is the guard
+  bit of ``(a | rep(2**W)) - b``; equality is the carry out of
+  ``(a ^ b) + rep(2**W - 1)``; signed orderings bias both operands by
+  ``2**(W-1)`` first;
+* muxes smear the packed 1-bit select into a per-lane mask with
+  ``(sel << W) - sel`` (no bigint multiply) and blend both arms;
+* the few genuinely scalar ops (full-width multiply of two signals,
+  variable-amount shifts, reduction xor, memory ports) fall back to a
+  per-lane loop that reuses the reference semantics from
+  :mod:`repro.rtl.ir`, so the batch engine is bit-exact by construction
+  even where it is not vectorized.
+
+Three consumers sit on top of :func:`compile_batch`:
+
+* :func:`scalar_adapter` — a ``lanes=1`` compilation shaped like a
+  :class:`~repro.sim.compile.CompiledNetlist`.  With one lane a packed
+  value *is* the plain value, so :class:`~repro.sim.Simulator` can run
+  ``engine="batch"`` through its normal settle/tick path (this is what
+  ``verify``/``fig1``/``table2 --engine batch`` use, and why their output
+  is byte-identical to ``--engine compiled``);
+* :class:`BatchSimulator` — a B-lane lockstep simulator with per-lane
+  poke/peek;
+* :class:`BatchStreamRunner` — streams N input blocks through B lockstep
+  copies of a wrapped design (one settle per clock for all lanes), used by
+  the serving tier's ``engine="batch"`` path and the throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import HarnessTimeout, ProtocolError, SimulationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..resilience import budget as res_budget
+from ..rtl.elaborate import Netlist, elaborate
+from ..rtl.ir import (
+    BinOp,
+    BinOpKind,
+    Cat,
+    Const,
+    Expr,
+    Ext,
+    MemRead,
+    Mux,
+    Ref,
+    Signal,
+    Slice,
+    UnOp,
+    UnOpKind,
+    _eval_binop,
+    _eval_unop,
+    to_signed,
+)
+from ..rtl.module import Memory, Module
+from .compile import CompiledNetlist, _children
+
+__all__ = [
+    "BatchCompiled",
+    "compile_batch",
+    "scalar_adapter",
+    "BatchSimulator",
+    "BatchStreamRunner",
+]
+
+
+# ----------------------------------------------------------------------
+# per-lane fallback helpers (installed in the compiled namespace)
+# ----------------------------------------------------------------------
+
+def _pl1(a: int, lanes: int, stride: int, la: int, fn) -> int:
+    """Apply a scalar unary op lane by lane."""
+    r = 0
+    for i in range(lanes):
+        sh = i * stride
+        r |= fn((a >> sh) & la) << sh
+    return r
+
+
+def _pl2(a: int, b: int, lanes: int, stride: int, la: int, lb: int, fn) -> int:
+    """Apply a scalar binary op lane by lane."""
+    r = 0
+    for i in range(lanes):
+        sh = i * stride
+        r |= fn((a >> sh) & la, (b >> sh) & lb) << sh
+    return r
+
+
+def _mrd(mem, addr: int, lanes: int, stride: int, la: int,
+         depth: int, msk: int) -> int:
+    """Per-lane asynchronous memory read (``mem`` is a list of lane lists)."""
+    r = 0
+    for i in range(lanes):
+        sh = i * stride
+        r |= (mem[i][((addr >> sh) & la) % depth] & msk) << sh
+    return r
+
+
+def _mwr(mem, en: int, addr: int, data: int, lanes: int, stride: int,
+         la: int, ld: int, depth: int, msk: int) -> None:
+    """Per-lane synchronous memory write commit."""
+    for i in range(lanes):
+        sh = i * stride
+        if (en >> sh) & 1:
+            mem[i][((addr >> sh) & la) % depth] = ((data >> sh) & ld) & msk
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+
+@dataclass(eq=False)
+class BatchCompiled:
+    """The executable lane-packed form of a netlist.
+
+    ``settle(values, mems)`` / ``tick(values, mems)`` mirror the scalar
+    :class:`~repro.sim.compile.CompiledNetlist` contract, except every
+    entry of ``values`` packs ``lanes`` lane fields at ``stride`` bits and
+    ``mems`` holds one backing list *per lane*:
+    ``mems[mem_index][lane][address]``.
+    """
+
+    netlist: Netlist
+    lanes: int
+    stride: int
+    ones: int  # sum(1 << (i * stride)) — the packed all-lanes value 1
+    index_of: dict[Signal, int]
+    mem_index_of: dict[Memory, int]
+    settle: object
+    tick: object
+    source: str
+
+
+class _Pool:
+    """Interned big constants and fallback closures for the ``_K`` table."""
+
+    def __init__(self) -> None:
+        self.objs: list[object] = []
+        self._by_int: dict[int, int] = {}
+
+    def lit(self, value: int) -> str:
+        if -(1 << 32) < value < (1 << 32):
+            return repr(value)
+        idx = self._by_int.get(value)
+        if idx is None:
+            idx = len(self.objs)
+            self.objs.append(value)
+            self._by_int[value] = idx
+        return f"_K[{idx}]"
+
+    def fn(self, f) -> str:
+        idx = len(self.objs)
+        self.objs.append(f)
+        return f"_K[{idx}]"
+
+
+_ATOM = re.compile(r"^(?:[A-Za-z_]\w*|v\[\d+\]|_K\[\d+\]|\d+)$")
+
+_LOGIC_OPS = {BinOpKind.AND: "&", BinOpKind.OR: "|", BinOpKind.XOR: "^"}
+_SIGNED_TO_UNSIGNED = {
+    BinOpKind.SLT: BinOpKind.ULT,
+    BinOpKind.SLE: BinOpKind.ULE,
+    BinOpKind.SGT: BinOpKind.UGT,
+    BinOpKind.SGE: BinOpKind.UGE,
+}
+
+
+class _BatchEmitter:
+    """Shared-subexpression-aware emitter for lane-packed code."""
+
+    def __init__(self, index_of: dict[Signal, int],
+                 mem_index_of: dict[Memory, int],
+                 lanes: int, stride: int, pool: _Pool) -> None:
+        self._index_of = index_of
+        self._mem_index_of = mem_index_of
+        self._lanes = lanes
+        self._stride = stride
+        self._ones = sum(1 << (i * stride) for i in range(lanes))
+        self._pool = pool
+        self._counts: dict[int, int] = {}
+        self._temp_of: dict[int, str] = {}
+        self._smear_of: dict[int, str] = {}
+        self._lines: list[str] = []
+        self._next_temp = 0
+
+    # -- analysis ------------------------------------------------------
+    def count(self, expr: Expr) -> None:
+        key = id(expr)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self._counts[key] > 1:
+            return
+        for child in _children(expr):
+            self.count(child)
+
+    # -- constants -----------------------------------------------------
+    def _lit(self, value: int) -> str:
+        return self._pool.lit(value)
+
+    def _rep(self, value: int) -> str:
+        """The packed constant with ``value`` in every lane."""
+        return self._lit(value * self._ones)
+
+    def _rmask(self, width: int) -> str:
+        """The packed all-lanes mask ``(1 << width) - 1``."""
+        return self._rep((1 << width) - 1)
+
+    # -- emission ------------------------------------------------------
+    def _bind(self, code: str) -> str:
+        name = f"t{self._next_temp}"
+        self._next_temp += 1
+        self._lines.append(f"    {name} = {code}")
+        return name
+
+    def code_for(self, expr: Expr) -> str:
+        key = id(expr)
+        if key in self._temp_of:
+            return self._temp_of[key]
+        shared = (self._counts.get(key, 0) > 1
+                  and not isinstance(expr, (Const, Ref)))
+        code = self._emit(expr)
+        if shared:
+            if not _ATOM.match(code):
+                code = self._bind(code)
+            self._temp_of[key] = code
+        return code
+
+    def atom(self, expr: Expr) -> str:
+        """Like :meth:`code_for` but guaranteed safe to reference twice."""
+        code = self.code_for(expr)
+        if _ATOM.match(code):
+            return code
+        return self._bind(code)
+
+    def smear(self, sel: Expr) -> str:
+        """A per-lane mask temp: all-ones where ``sel``'s lane is 1.
+
+        The mask fills the whole ``stride - 1``-bit lane field, so one
+        smear per distinct select expression serves every mux arm and
+        register enable of any width (masking wider than the value is
+        harmless — lane fields are exact).  ``(sel << k) - sel`` builds it
+        with two linear bigint ops instead of a multiply.
+        """
+        key = id(sel)
+        name = self._smear_of.get(key)
+        if name is None:
+            code = self.atom(sel)
+            name = self._bind(
+                f"(({code}) << {self._stride - 1}) - ({code})")
+            self._smear_of[key] = name
+        return name
+
+    def statement(self, line: str) -> None:
+        self._lines.append(f"    {line}")
+
+    @property
+    def lines(self) -> list[str]:
+        return self._lines
+
+    # -- node dispatch -------------------------------------------------
+    def _emit(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return self._rep(expr.value)
+        if isinstance(expr, Ref):
+            return f"v[{self._index_of[expr.signal]}]"
+        if isinstance(expr, BinOp):
+            return self._emit_binop(expr)
+        if isinstance(expr, UnOp):
+            return self._emit_unop(expr)
+        if isinstance(expr, Mux):
+            smear = self.smear(expr.sel)
+            if isinstance(expr.if_false, Const) and expr.if_false.value == 0:
+                return f"(({self.code_for(expr.if_true)}) & {smear})"
+            if isinstance(expr.if_true, Const) and expr.if_true.value == 0:
+                f = self.atom(expr.if_false)
+                return f"(({f}) ^ (({f}) & {smear}))"
+            t = self.code_for(expr.if_true)
+            f = self.atom(expr.if_false)
+            return f"(((({t}) ^ ({f})) & {smear}) ^ ({f}))"
+        if isinstance(expr, Cat):
+            pieces = []
+            shift = expr.width
+            for part in expr.parts:
+                shift -= part.width
+                code = self.code_for(part)
+                pieces.append(f"(({code}) << {shift})" if shift else f"({code})")
+            return "(" + " | ".join(pieces) + ")"
+        if isinstance(expr, Slice):
+            a = self.code_for(expr.a)
+            if expr.lo == 0:
+                return f"(({a}) & {self._rmask(expr.width)})"
+            return f"((({a}) >> {expr.lo}) & {self._rmask(expr.width)})"
+        if isinstance(expr, Ext):
+            wa, w = expr.a.width, expr.width
+            if not expr.signed or w == wa:
+                # Lane fields are already exact masked values, so both
+                # zero-extension and same-width reinterpretation are no-ops.
+                return self.code_for(expr.a)
+            a = self.atom(expr.a)
+            s = self._bind(f"((({a}) >> {wa - 1}) & {self._rep(1)})")
+            return f"(({a}) | (({s} << {w}) - ({s} << {wa})))"
+        if isinstance(expr, MemRead):
+            addr = self.code_for(expr.addr)
+            mem = expr.memory
+            la = self._lit((1 << expr.addr.width) - 1)
+            msk = self._lit((1 << expr.width) - 1)
+            return (f"_mrd(mems[{self._mem_index_of[mem]}], ({addr}), "
+                    f"{self._lanes}, {self._stride}, {la}, {mem.depth}, {msk})")
+        raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+    def _emit_binop(self, expr: BinOp) -> str:
+        kind, w = expr.kind, expr.width
+        K = BinOpKind
+        if kind is K.ADD:
+            a, b = self.code_for(expr.a), self.code_for(expr.b)
+            return f"(((({a}) + ({b}))) & {self._rmask(w)})"
+        if kind is K.SUB:
+            a, b = self.code_for(expr.a), self.code_for(expr.b)
+            return (f"((((({a}) + {self._rep(1 << w)}) - ({b}))) "
+                    f"& {self._rmask(w)})")
+        if kind in _LOGIC_OPS:
+            a, b = self.code_for(expr.a), self.code_for(expr.b)
+            return f"(({a}) {_LOGIC_OPS[kind]} ({b}))"
+        if kind is K.MUL:
+            # A constant factor multiplies every lane in place: the full
+            # product of a W_a-bit lane and the constant is < 2**width,
+            # which fits inside the lane, so one bigint multiply does all
+            # lanes at once.  Two non-constant operands would need a
+            # 2*width partial product — per-lane fallback.
+            if isinstance(expr.a, Const) and isinstance(expr.b, Const):
+                return self._rep((expr.a.value * expr.b.value)
+                                 & ((1 << w) - 1))
+            if isinstance(expr.b, Const):
+                return f"(({self.code_for(expr.a)}) * {expr.b.value})"
+            if isinstance(expr.a, Const):
+                return f"(({self.code_for(expr.b)}) * {expr.a.value})"
+            return self._fallback2(expr)
+        if kind is K.MULS:
+            # Signed multiply by a constant, vectorized: with s the packed
+            # sign bits of the variable operand and sc the signed constant,
+            #   sx(a)*sc = a*|sc| - s*(|sc| << wa)   (sc >= 0)
+            #            = s*(|sc| << wa) - a*|sc|   (sc < 0)
+            # Both products stay below 2**(w-1) per lane (a < 2**wa,
+            # |sc| <= 2**(wb-1)), so a whole-vector multiply by the scalar
+            # is exact, and the difference uses the same +2**w bias as SUB.
+            ca, cb = isinstance(expr.a, Const), isinstance(expr.b, Const)
+            if ca and cb:
+                val = (to_signed(expr.a.value, expr.a.width)
+                       * to_signed(expr.b.value, expr.b.width))
+                return self._rep(val & ((1 << w) - 1))
+            if ca or cb:
+                var, const = (expr.b, expr.a) if ca else (expr.a, expr.b)
+                sc = to_signed(const.value, const.width)
+                if sc == 0:
+                    return self._rep(0)
+                wa = var.width
+                a = self.atom(var)
+                mag = abs(sc)
+                p = a if mag == 1 else self._bind(f"(({a}) * {self._lit(mag)})")
+                s = self._bind(f"((({a}) >> {wa - 1}) & {self._rep(1)})")
+                q = self._bind(f"(({s}) * {self._lit(mag << wa)})")
+                hi, lo = (q, p) if sc < 0 else (p, q)
+                return (f"(((({hi}) + {self._rep(1 << w)}) - ({lo})) "
+                        f"& {self._rmask(w)})")
+            return self._fallback2(expr)
+        if kind in (K.SHL, K.LSHR, K.ASHR):
+            if not isinstance(expr.b, Const):
+                return self._fallback2(expr)
+            c = expr.b.value
+            if kind is K.SHL:
+                if c >= w:
+                    return "0"
+                if c == 0:
+                    return self.code_for(expr.a)
+                a = self.code_for(expr.a)
+                return f"((({a}) & {self._rmask(w - c)}) << {c})"
+            if kind is K.LSHR:
+                if c >= w:
+                    return "0"
+                if c == 0:
+                    return self.code_for(expr.a)
+                a = self.code_for(expr.a)
+                return f"((({a}) >> {c}) & {self._rmask(w - c)})"
+            shift = min(c, w - 1)
+            if shift == 0:
+                return self.code_for(expr.a)
+            a = self.atom(expr.a)
+            s = self._bind(f"((({a}) >> {w - 1}) & {self._rep(1)})")
+            logical = f"((({a}) >> {shift}) & {self._rmask(w - shift)})"
+            fill = f"(({s} << {w}) - ({s} << {w - shift}))"
+            return f"({logical} | {fill})"
+        # Comparisons (result width 1).
+        wa = expr.a.width
+        if kind in _SIGNED_TO_UNSIGNED:
+            bias = self._rep(1 << (wa - 1))
+            a = f"(({self.code_for(expr.a)}) ^ {bias})"
+            b = f"(({self.code_for(expr.b)}) ^ {bias})"
+            kind = _SIGNED_TO_UNSIGNED[kind]
+        else:
+            a = f"({self.code_for(expr.a)})"
+            b = f"({self.code_for(expr.b)})"
+        one = self._rep(1)
+        if kind is K.EQ:
+            return (f"(((((({a}) ^ ({b})) + {self._rmask(wa)}) >> {wa}) "
+                    f"& {one}) ^ {one})")
+        if kind is K.NE:
+            return (f"(((((({a}) ^ ({b})) + {self._rmask(wa)}) >> {wa}) "
+                    f"& {one}))")
+        if kind in (K.UGT, K.ULE):
+            a, b = b, a
+            kind = K.ULT if kind is K.UGT else K.UGE
+        # a >= b per lane == carry out of (a + 2**wa) - b.
+        uge = (f"((((({a}) | {self._rep(1 << wa)}) - ({b})) >> {wa}) "
+               f"& {one})")
+        if kind is K.UGE:
+            return f"({uge})"
+        return f"(({uge}) ^ {one})"
+
+    def _emit_unop(self, expr: UnOp) -> str:
+        kind, wa = expr.kind, expr.a.width
+        a = self.code_for(expr.a)
+        one = self._rep(1)
+        if kind is UnOpKind.NOT:
+            return f"(({a}) ^ {self._rmask(wa)})"
+        if kind is UnOpKind.NEG:
+            return f"(({self._rep(1 << wa)} - ({a})) & {self._rmask(wa)})"
+        if kind is UnOpKind.REDOR:
+            return f"(((({a}) + {self._rmask(wa)}) >> {wa}) & {one})"
+        if kind is UnOpKind.REDAND:
+            return (f"((((((({a}) ^ {self._rmask(wa)})) + {self._rmask(wa)}) "
+                    f">> {wa}) & {one}) ^ {one})")
+        if kind is UnOpKind.REDXOR:
+            f = self._pool.fn(lambda x, _e=expr: _eval_unop(_e, x))
+            la = self._lit((1 << wa) - 1)
+            return f"_pl1(({a}), {self._lanes}, {self._stride}, {la}, {f})"
+        raise TypeError(f"unknown unop {kind}")
+
+    def _fallback2(self, expr: BinOp) -> str:
+        a, b = self.code_for(expr.a), self.code_for(expr.b)
+        f = self._pool.fn(lambda x, y, _e=expr: _eval_binop(_e, x, y))
+        la = self._lit((1 << expr.a.width) - 1)
+        lb = self._lit((1 << expr.b.width) - 1)
+        return (f"_pl2(({a}), ({b}), {self._lanes}, {self._stride}, "
+                f"{la}, {lb}, {f})")
+
+
+def _max_expr_width(netlist: Netlist) -> int:
+    """The widest value anywhere in the design (signals and expressions)."""
+    seen: set[int] = set()
+    widest = 1
+
+    def walk(expr: Expr) -> None:
+        nonlocal widest
+        if id(expr) in seen:
+            return
+        seen.add(id(expr))
+        if expr.width > widest:
+            widest = expr.width
+        for child in _children(expr):
+            walk(child)
+
+    for _sig, expr in netlist.comb_order():
+        walk(expr)
+    for reg in netlist.registers:
+        walk(reg.next)
+        if reg.en is not None:
+            walk(reg.en)
+    for mem in netlist.memories:
+        for write in mem.writes:
+            walk(write.en)
+            walk(write.addr)
+            walk(write.data)
+    for sig in netlist.signals():
+        if sig.width > widest:
+            widest = sig.width
+    return widest
+
+
+def compile_batch(netlist: Netlist, lanes: int) -> BatchCompiled:
+    """Compile ``netlist`` into lane-packed ``settle``/``tick`` functions."""
+    if lanes < 1:
+        raise SimulationError(f"batch compilation needs lanes >= 1, got {lanes}")
+    with obs_trace.span("sim.batch.compile", netlist=netlist.name,
+                        lanes=lanes) as span:
+        return _compile_batch_traced(netlist, lanes, span)
+
+
+def _compile_batch_traced(netlist: Netlist, lanes: int, span) -> BatchCompiled:
+    signals = netlist.signals()
+    index_of = {sig: i for i, sig in enumerate(signals)}
+    mem_index_of = {mem: i for i, mem in enumerate(netlist.memories)}
+    ordered = netlist.comb_order()
+    stride = _max_expr_width(netlist) + 1  # one guard bit per lane
+    pool = _Pool()
+
+    # -- settle --------------------------------------------------------
+    settle_emit = _BatchEmitter(index_of, mem_index_of, lanes, stride, pool)
+    for _sig, expr in ordered:
+        settle_emit.count(expr)
+    for sig, expr in ordered:
+        code = settle_emit.code_for(expr)
+        settle_emit.statement(f"v[{index_of[sig]}] = {code}")
+    settle_body = settle_emit.lines or ["    pass"]
+
+    # -- tick ----------------------------------------------------------
+    tick_emit = _BatchEmitter(index_of, mem_index_of, lanes, stride, pool)
+    for reg in netlist.registers:
+        tick_emit.count(reg.next)
+        if reg.en is not None:
+            tick_emit.count(reg.en)
+    for mem in netlist.memories:
+        for write in mem.writes:
+            tick_emit.count(write.en)
+            tick_emit.count(write.addr)
+            tick_emit.count(write.data)
+
+    commit_lines: list[str] = []
+    for i, reg in enumerate(netlist.registers):
+        idx = index_of[reg.signal]
+        next_code = tick_emit.code_for(reg.next)
+        if reg.en is None:
+            tick_emit.statement(f"n{i} = {next_code}")
+        else:
+            smear = tick_emit.smear(reg.en)
+            tick_emit.statement(
+                f"n{i} = ((({next_code}) ^ v[{idx}]) & {smear}) ^ v[{idx}]")
+        commit_lines.append(f"    v[{idx}] = n{i}")
+    for mi, mem in enumerate(netlist.memories):
+        for wi, write in enumerate(mem.writes):
+            en_code = tick_emit.code_for(write.en)
+            addr_code = tick_emit.code_for(write.addr)
+            data_code = tick_emit.code_for(write.data)
+            la = tick_emit._lit((1 << write.addr.width) - 1)
+            ld = tick_emit._lit((1 << write.data.width) - 1)
+            msk = tick_emit._lit((1 << mem.width) - 1)
+            tick_emit.statement(
+                f"w{mi}_{wi} = (({en_code}), ({addr_code}), ({data_code}))")
+            commit_lines.append(
+                f"    _mwr(mems[{mi}], *w{mi}_{wi}, {lanes}, {stride}, "
+                f"{la}, {ld}, {mem.depth}, {msk})")
+    tick_body = (tick_emit.lines + commit_lines) or ["    pass"]
+
+    source = "\n".join(
+        [f"# batch-compiled netlist {netlist.name!r}: "
+         f"lanes={lanes}, stride={stride}",
+         "def settle(v, mems):"]
+        + settle_body
+        + ["", "def tick(v, mems):"]
+        + tick_body
+    )
+    namespace: dict[str, object] = {
+        "_K": tuple(pool.objs),
+        "_pl1": _pl1,
+        "_pl2": _pl2,
+        "_mrd": _mrd,
+        "_mwr": _mwr,
+    }
+    exec(compile(source, f"<batch netlist {netlist.name}>", "exec"), namespace)
+    if obs_trace.enabled():
+        n_lines = source.count("\n") + 1
+        obs_metrics.inc("sim.batch.netlists")
+        obs_metrics.observe("sim.batch.source_lines", n_lines)
+        span.set(signals=len(signals), lanes=lanes, stride=stride,
+                 source_lines=n_lines)
+    return BatchCompiled(
+        netlist=netlist,
+        lanes=lanes,
+        stride=stride,
+        ones=sum(1 << (i * stride) for i in range(lanes)),
+        index_of=index_of,
+        mem_index_of=mem_index_of,
+        settle=namespace["settle"],
+        tick=namespace["tick"],
+        source=source,
+    )
+
+
+def scalar_adapter(netlist: Netlist) -> CompiledNetlist:
+    """A one-lane batch compilation shaped like a ``CompiledNetlist``.
+
+    With ``lanes=1`` the packed representation of a value is the value
+    itself, so the generated functions operate directly on a scalar
+    :class:`~repro.sim.Simulator`'s state.  Only the memory layout differs
+    (the batch code expects one backing list per lane); the wrappers adapt
+    it without copying — the inner lists are shared, so writes land in the
+    simulator's own memories.
+    """
+    compiled = compile_batch(netlist, lanes=1)
+    bsettle, btick = compiled.settle, compiled.tick
+
+    def settle(v, mems):
+        bsettle(v, [[m] for m in mems])
+
+    def tick(v, mems):
+        btick(v, [[m] for m in mems])
+
+    return CompiledNetlist(
+        netlist=netlist,
+        index_of=compiled.index_of,
+        mem_index_of=compiled.mem_index_of,
+        settle=settle,
+        tick=tick,
+        source=compiled.source,
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-lane simulation
+# ----------------------------------------------------------------------
+
+class BatchSimulator:
+    """Lockstep B-lane simulator: lane ``i`` is an independent design copy.
+
+    The simulation contract matches :class:`~repro.sim.Simulator` (poke,
+    implicit settle, observe, :meth:`step`), except pokes and peeks address
+    either one lane, all lanes, or the raw packed value.  Settling is lazy:
+    a driver that pokes, peeks, and steps once per cycle pays exactly one
+    combinational pass per clock for all ``lanes`` instances.
+    """
+
+    def __init__(self, design: Module | Netlist, lanes: int = 8) -> None:
+        if isinstance(design, Module):
+            design = elaborate(design)
+        self.netlist = design
+        self.lanes = lanes
+        self._compiled = compile_batch(design, lanes)
+        self.stride = self._compiled.stride
+        self._ones = self._compiled.ones
+        self._index_of = self._compiled.index_of
+        self._mem_index_of = self._compiled.mem_index_of
+        self._by_name = {sig.name: sig for sig in self._index_of}
+        self._inputs = set(design.inputs)
+        self._values: list[int] = [0] * len(self._index_of)
+        self._mems: list[list[list[int]]] = []
+        self._dirty = True
+        self.cycles = 0
+        self.settles = 0   # lifetime count of combinational settle passes
+        if obs_trace.enabled():
+            obs_metrics.inc("sim.instances")
+            obs_metrics.inc("sim.engine.batch")
+            obs_metrics.observe("sim.batch.lanes", lanes)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Synchronous reset of every lane: registers and memories to init."""
+        for i in range(len(self._values)):
+            self._values[i] = 0
+        for reg in self.netlist.registers:
+            w = reg.signal.width
+            init = reg.init & ((1 << w) - 1)
+            self._values[self._index_of[reg.signal]] = init * self._ones
+        self._mems = []
+        for mem in self.netlist.memories:
+            words = list(mem.init[: mem.depth])
+            words += [0] * (mem.depth - len(words))
+            msk = (1 << mem.width) - 1
+            base = [word & msk for word in words]
+            self._mems.append([list(base) for _ in range(self.lanes)])
+        self.cycles = 0
+        self._dirty = True
+
+    def _resolve(self, signal: Signal | str) -> Signal:
+        if isinstance(signal, str):
+            resolved = self._by_name.get(signal)
+            if resolved is None:
+                raise SimulationError(f"no signal named {signal!r}")
+            return resolved
+        if signal not in self._index_of:
+            raise SimulationError(f"signal {signal.name!r} is not in this netlist")
+        return signal
+
+    def index_of(self, signal: Signal | str) -> int:
+        """The ``values`` index of a signal (for packed fast paths)."""
+        return self._index_of[self._resolve(signal)]
+
+    # ------------------------------------------------------------------
+    # poke / peek
+    # ------------------------------------------------------------------
+    def _check_input(self, sig: Signal) -> None:
+        if sig not in self._inputs:
+            raise SimulationError(f"cannot poke non-input signal {sig.name!r}")
+
+    def poke_all(self, signal: Signal | str, value: int) -> None:
+        """Drive the same value into an input on every lane."""
+        sig = self._resolve(signal)
+        self._check_input(sig)
+        masked = value & ((1 << sig.width) - 1)
+        self._values[self._index_of[sig]] = masked * self._ones
+        self._dirty = True
+
+    def poke_lanes(self, signal: Signal | str, values: Sequence[int]) -> None:
+        """Drive one value per lane into an input."""
+        sig = self._resolve(signal)
+        self._check_input(sig)
+        if len(values) != self.lanes:
+            raise SimulationError(
+                f"poke_lanes {sig.name!r}: expected {self.lanes} values, "
+                f"got {len(values)}")
+        msk = (1 << sig.width) - 1
+        packed = 0
+        for i, value in enumerate(values):
+            packed |= (value & msk) << (i * self.stride)
+        self._values[self._index_of[sig]] = packed
+        self._dirty = True
+
+    def poke_packed(self, signal: Signal | str, packed: int) -> None:
+        """Trusted fast path: drive a pre-packed value (lanes pre-masked)."""
+        sig = self._resolve(signal)
+        self._check_input(sig)
+        self._values[self._index_of[sig]] = packed
+        self._dirty = True
+
+    def settle(self) -> None:
+        """Propagate combinational logic if any input changed."""
+        if not self._dirty:
+            return
+        self._compiled.settle(self._values, self._mems)
+        self._dirty = False
+        self.settles += 1
+
+    def peek_packed(self, signal: Signal | str) -> int:
+        """The settled packed value of any signal."""
+        sig = self._resolve(signal)
+        self.settle()
+        return self._values[self._index_of[sig]]
+
+    def peek_lanes(self, signal: Signal | str) -> list[int]:
+        """The settled per-lane values of any signal."""
+        sig = self._resolve(signal)
+        packed = self.peek_packed(sig)
+        msk = (1 << sig.width) - 1
+        return [(packed >> (i * self.stride)) & msk for i in range(self.lanes)]
+
+    def peek_lane(self, signal: Signal | str, lane: int) -> int:
+        """One lane's settled value of any signal."""
+        sig = self._resolve(signal)
+        packed = self.peek_packed(sig)
+        return (packed >> (lane * self.stride)) & ((1 << sig.width) - 1)
+
+    # ------------------------------------------------------------------
+    def step(self, cycles: int = 1) -> None:
+        """Advance all lanes by ``cycles`` clock edges.
+
+        Like :meth:`Simulator.step` each edge charges one cycle against an
+        armed :mod:`repro.resilience.budget` — one clock, however many
+        lanes it advances.  The post-tick settle is lazy (performed at the
+        next peek), so a poke/peek/step driver loop settles once per cycle.
+        """
+        charge = res_budget.charge
+        for _ in range(cycles):
+            charge()
+            self.settle()
+            self._compiled.tick(self._values, self._mems)
+            self._dirty = True
+            self.cycles += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def compiled_source(self) -> str:
+        """The generated lane-packed Python source (debugging aid)."""
+        return self._compiled.source
+
+
+# ----------------------------------------------------------------------
+# lockstep block streaming
+# ----------------------------------------------------------------------
+
+class BatchStreamRunner:
+    """Streams N input blocks through B lockstep copies of a wrapped design.
+
+    Blocks are split into contiguous per-lane chunks and each lane streams
+    its chunk through its own copy of the AXI wrapper, all lanes advancing
+    on one shared clock: one lane-packed settle evaluates every instance.
+    Lanes that exhaust their input drive ``TVALID`` low and idle until the
+    stragglers finish; outputs reassemble in the original block order.
+
+    This is the data-parallel engine behind ``engine="batch"`` on the
+    serving tier — it trades the scalar harness's cycle-accurate timing
+    measurement (every lane has its own clock history) for one settle pass
+    per clock across the whole batch.
+    """
+
+    def __init__(self, design_top: Module | Netlist, spec,
+                 lanes: int = 8) -> None:
+        from ..axis.wrapper import AxisPorts
+
+        self.spec = spec
+        self.sim = BatchSimulator(design_top, lanes)
+        self.lanes = lanes
+        self._ix = {
+            name: self.sim.index_of(name)
+            for name in (AxisPorts.S_TDATA, AxisPorts.S_TVALID,
+                         AxisPorts.S_TLAST, AxisPorts.M_TREADY,
+                         AxisPorts.S_TREADY, AxisPorts.M_TVALID,
+                         AxisPorts.M_TDATA, AxisPorts.M_TLAST,
+                         AxisPorts.ERROR)
+        }
+
+    # ------------------------------------------------------------------
+    def run_blocks(self, blocks, signed_output: bool = True,
+                   timeout: int | None = None) -> list[list[list[int]]]:
+        """Stream ``blocks`` through the lanes and collect them in order."""
+        with obs_trace.span("sim.batch.stream", blocks=len(blocks),
+                            lanes=self.lanes) as span:
+            outputs, cycles = self._run(blocks, signed_output, timeout)
+            if obs_trace.enabled():
+                obs_metrics.inc("sim.batch.runs")
+                obs_metrics.inc("sim.batch.cycles", cycles)
+                obs_metrics.inc("sim.batch.blocks", len(blocks))
+                span.set(cycles=cycles,
+                         settles=self.sim.settles)
+            return outputs
+
+    def _run(self, blocks, signed_output: bool, timeout: int | None):
+        from ..axis.wrapper import AxisPorts
+
+        sim, spec = self.sim, self.spec
+        rows, cols = spec.rows, spec.cols
+        lanes, stride = self.lanes, sim.stride
+        in_width = spec.in_width
+        in_mask = (1 << in_width) - 1
+
+        chunk_size = -(-len(blocks) // lanes) if blocks else 0
+        chunks = [blocks[i * chunk_size:(i + 1) * chunk_size]
+                  for i in range(lanes)]
+        lane_beats: list[list[tuple[int, bool]]] = []
+        for chunk in chunks:
+            beats: list[tuple[int, bool]] = []
+            for matrix in chunk:
+                if len(matrix) != rows:
+                    raise SimulationError(f"matrix must have {rows} rows",
+                                          phase="sim.batch.stream")
+                for r, row in enumerate(matrix):
+                    # Inline pack_row (element 0 in the LSBs): building the
+                    # word beats a per-element helper call at these volumes.
+                    word = 0
+                    for v in reversed(row):
+                        word = (word << in_width) | (v & in_mask)
+                    beats.append((word, r == rows - 1))
+            lane_beats.append(beats)
+        expected = [len(chunk) * rows for chunk in chunks]
+        if timeout is None:
+            timeout = 64 * (max((len(b) for b in lane_beats), default=0) + 64)
+
+        sim.reset()
+        values = sim._values
+        ix = self._ix
+        i_in_data = ix[AxisPorts.S_TDATA]
+        i_in_valid = ix[AxisPorts.S_TVALID]
+        i_in_last = ix[AxisPorts.S_TLAST]
+        i_out_ready = ix[AxisPorts.M_TREADY]
+        i_in_ready = ix[AxisPorts.S_TREADY]
+        i_out_valid = ix[AxisPorts.M_TVALID]
+        i_out_data = ix[AxisPorts.M_TDATA]
+        i_out_last = ix[AxisPorts.M_TLAST]
+        out_row_mask = (1 << spec.out_row_bits) - 1
+
+        next_beat = [0] * lanes
+        out_words: list[list[int]] = [[] for _ in range(lanes)]
+        remaining = sum(expected)
+        cycle = 0
+        lane_range = range(lanes)
+
+        values[i_out_ready] = sim._ones  # sink always ready on every lane
+        while remaining:
+            if cycle > timeout:
+                self._raise_timeout(cycle, next_beat, lane_beats,
+                                    out_words, expected)
+            tv = td = tl = 0
+            for i in lane_range:
+                beats = lane_beats[i]
+                nb = next_beat[i]
+                if nb < len(beats):
+                    word, last = beats[nb]
+                    sh = i * stride
+                    tv |= 1 << sh
+                    td |= word << sh
+                    if last:
+                        tl |= 1 << sh
+            values[i_in_valid] = tv
+            values[i_in_data] = td
+            values[i_in_last] = tl
+            sim._dirty = True
+            sim.settle()
+
+            accept = tv & values[i_in_ready]
+            if accept:
+                for i in lane_range:
+                    if (accept >> (i * stride)) & 1:
+                        next_beat[i] += 1
+            out_valid = values[i_out_valid]
+            if out_valid:
+                out_data = values[i_out_data]
+                out_last = values[i_out_last]
+                for i in lane_range:
+                    sh = i * stride
+                    if (out_valid >> sh) & 1:
+                        words = out_words[i]
+                        if len(words) >= expected[i]:
+                            raise ProtocolError(
+                                f"lane {i} produced an unexpected output "
+                                f"beat at cycle {cycle}")
+                        expect_last = (len(words) % rows) == rows - 1
+                        if bool((out_last >> sh) & 1) != expect_last:
+                            raise ProtocolError(
+                                f"TLAST misaligned on lane {i} at cycle "
+                                f"{cycle}")
+                        words.append((out_data >> sh) & out_row_mask)
+                        remaining -= 1
+            sim.step()
+            cycle += 1
+
+        if sim.peek_packed(AxisPorts.ERROR):
+            raise ProtocolError(
+                f"wrapper raised sticky error by cycle {cycle}")
+
+        ow = spec.out_width
+        omask = (1 << ow) - 1
+        sign = 1 << (ow - 1) if signed_output else 0
+        shifts = [c * ow for c in range(cols)]
+        outputs: list[list[list[int]]] = []
+        for i in lane_range:
+            words = out_words[i]
+            for m in range(expected[i] // rows):
+                block = []
+                for r in range(rows):
+                    word = words[m * rows + r]
+                    # Inline unpack_row with branchless sign extension.
+                    block.append([
+                        ((word >> sh) & omask ^ sign) - sign
+                        for sh in shifts
+                    ])
+                outputs.append(block)
+        return outputs, cycle
+
+    def _raise_timeout(self, cycle, next_beat, lane_beats, out_words,
+                       expected):
+        from ..axis.wrapper import AxisPorts
+
+        # A stuck lane usually means the wrapper latched its sticky error;
+        # surface that as the (more specific) protocol failure.
+        if self.sim.peek_packed(AxisPorts.ERROR):
+            raise ProtocolError(
+                f"wrapper raised sticky error by cycle {cycle}")
+        obs_trace.event("sim.batch.timeout", cycles=cycle,
+                        beats_in=sum(next_beat),
+                        beats_out=sum(len(w) for w in out_words),
+                        expected_out=sum(expected))
+        obs_metrics.inc("sim.stream.timeouts")
+        raise HarnessTimeout(
+            f"batch stream run timed out at cycle {cycle} "
+            f"({sum(next_beat)}/{sum(len(b) for b in lane_beats)} beats in, "
+            f"{sum(len(w) for w in out_words)}/{sum(expected)} beats out)",
+            phase="sim.batch.stream", cycles=cycle,
+            beats_in=sum(next_beat),
+            beats_out=sum(len(w) for w in out_words),
+        )

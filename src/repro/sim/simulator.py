@@ -2,12 +2,16 @@
 
 :class:`Simulator` drives a flat :class:`~repro.rtl.elaborate.Netlist` (or a
 :class:`~repro.rtl.module.Module`, elaborated on the fly) with an implicit
-clock.  Two evaluation engines share one semantics:
+clock.  Three evaluation engines (see :mod:`repro.engines`) share one
+semantics:
 
 * ``engine="compiled"`` (default) — generated Python via
   :mod:`repro.sim.compile`, fast enough for system-level AXI-Stream runs;
 * ``engine="interp"`` — the reference interpreter from
-  :mod:`repro.rtl.ir`, used to cross-check the compiler in tests.
+  :mod:`repro.rtl.ir`, used to cross-check the compilers in tests;
+* ``engine="batch"`` — the lane-packed compiler from
+  :mod:`repro.sim.batch` run at one lane, so single-block use sites can
+  exercise the exact code the batch runner executes.
 
 The simulation contract per clock cycle: poke inputs, (implicitly) settle
 combinational logic, observe outputs, then :meth:`step` commits registers
@@ -41,11 +45,22 @@ class Simulator:
     ) -> None:
         if isinstance(design, Module):
             design = elaborate(design)
-        if engine not in ("compiled", "interp"):
-            raise SimulationError(f"unknown engine {engine!r}")
+        try:
+            from ..engines import resolve_engine
+
+            engine = resolve_engine(engine, "sim")
+        except ValueError as exc:
+            # Historical contract: a bad engine at the simulator level is
+            # a SimulationError, not a usage error.
+            raise SimulationError(str(exc)) from exc
         self.netlist = design
         self.engine = engine
-        self._compiled = compile_netlist(design)
+        if engine == "batch":
+            from .batch import scalar_adapter
+
+            self._compiled = scalar_adapter(design)
+        else:
+            self._compiled = compile_netlist(design)
         self._index_of = self._compiled.index_of
         self._mem_index_of = self._compiled.mem_index_of
         self._by_name = {sig.name: sig for sig in self._index_of}
@@ -154,10 +169,10 @@ class Simulator:
     def _settle_if_dirty(self) -> None:
         if not self._dirty:
             return
-        if self.engine == "compiled":
-            self._compiled.settle(self._values, self._mems)
-        else:
+        if self.engine == "interp":
             self._settle_interp()
+        else:
+            self._compiled.settle(self._values, self._mems)
         self._dirty = False
         self.settles += 1
 
@@ -178,10 +193,10 @@ class Simulator:
         for _ in range(cycles):
             charge()
             self._settle_if_dirty()
-            if self.engine == "compiled":
-                self._compiled.tick(self._values, self._mems)
-            else:
+            if self.engine == "interp":
                 self._tick_interp()
+            else:
+                self._compiled.tick(self._values, self._mems)
             self._dirty = True
             self._settle_if_dirty()
             self.cycles += 1

@@ -1,0 +1,312 @@
+"""Tests for the lane-packed batch simulator and the engine registry.
+
+Covers the SWAR emitter op-by-op against the interpreter oracle, the
+full design matrix (batch engine vs interp, every non-MaxJ frontend),
+the B=1 scalar adapter behind ``Simulator(engine="batch")``, the engine
+registry (resolution, suggestions, contexts, serialization), and the
+``Session.verify`` cache-threading fix.
+"""
+
+import random
+
+import pytest
+
+from repro.api import (
+    Session,
+    UnknownEngineError,
+    default_engine,
+    design_names,
+    engine_names,
+    engines_payload,
+    render_engines_json,
+    resolve_engine,
+)
+from repro.axis import StreamHarness
+from repro.core.errors import SimulationError, UsageError
+from repro.eval.measure import _CACHE, clear_measure_cache, measure_design
+from repro.eval.verify import random_matrices
+from repro.frontends.vlog import verilog_initial, verilog_opt
+from repro.idct.reference import chen_wang_idct
+from repro.rtl import Module, ops
+from repro.sim import (
+    BatchSimulator,
+    BatchStreamRunner,
+    Simulator,
+    compile_batch,
+    scalar_adapter,
+)
+
+WIDTH = 12
+# Multiplier constants chosen to hit every MULS-by-const emitter branch:
+# zero, +/-1 (multiply elided), positive/negative magnitudes, and the
+# two's-complement extremes of the constant's width.
+MUL_CONSTS = (0, 1, -1, 3, -7, 181, 2047, -2048)
+
+
+def make_alu():
+    """Combinational module exercising every vectorized op shape."""
+    m = Module("alu")
+    a = m.input("a", WIDTH)
+    b = m.input("b", WIDTH)
+    m.assign(m.output("o_add", WIDTH), ops.add(a, b))
+    m.assign(m.output("o_sub", WIDTH), ops.sub(a, b))
+    m.assign(m.output("o_and", WIDTH), ops.band(a, b))
+    m.assign(m.output("o_xor", WIDTH), ops.bxor(a, b))
+    m.assign(m.output("o_not", WIDTH), ops.bnot(a))
+    m.assign(m.output("o_mux", WIDTH), ops.mux(ops.lt(a, b), a, b))
+    m.assign(m.output("o_shr", WIDTH), ops.ashr(a, 2))
+    m.assign(m.output("o_lt", 1), ops.lt(a, b))
+    m.assign(m.output("o_eq", 1), ops.eq(a, b))
+    for i, c in enumerate(MUL_CONSTS):
+        e = ops.mul(a, c)               # MULS by constant (SWAR path)
+        m.assign(m.output(f"o_mul{i}", e.width), e)
+    e = ops.mul(a, b)                   # MULS var*var (per-lane fallback)
+    m.assign(m.output("o_mulv", e.width), e)
+    return m
+
+
+def make_accumulator(width=16):
+    m = Module("acc")
+    data = m.input("data", width)
+    total = m.output("total", width)
+    acc = m.reg("acc", width)
+    m.set_next(acc, ops.add(acc, data))
+    m.assign(total, ops.ref(acc))
+    return m
+
+
+def _lane_inputs(rng, lanes):
+    return [rng.randrange(1 << WIDTH) for _ in range(lanes)]
+
+
+# ---------------------------------------------------------------------------
+# SWAR emitter vs the interpreter oracle
+# ---------------------------------------------------------------------------
+class TestSwarOps:
+    def test_every_op_matches_interp_lanewise(self):
+        module = make_alu()
+        lanes = 8
+        batch = BatchSimulator(module, lanes=lanes)
+        oracle = Simulator(make_alu(), engine="interp")
+        outputs = [s.name for s in batch.netlist.outputs]
+        assert outputs, "ALU module elaborated with no outputs"
+        rng = random.Random(20230317)
+        for _ in range(16):
+            a_vals = _lane_inputs(rng, lanes)
+            b_vals = _lane_inputs(rng, lanes)
+            batch.poke_lanes("a", a_vals)
+            batch.poke_lanes("b", b_vals)
+            for name in outputs:
+                got = batch.peek_lanes(name)
+                for lane in range(lanes):
+                    oracle.poke("a", a_vals[lane])
+                    oracle.poke("b", b_vals[lane])
+                    assert got[lane] == oracle.peek(name).uint, (
+                        f"{name} lane {lane}: a={a_vals[lane]} "
+                        f"b={b_vals[lane]}")
+
+    def test_muls_const_input_extremes(self):
+        """The sign-split product formula at the input corner cases."""
+        module = make_alu()
+        lanes = 4
+        batch = BatchSimulator(module, lanes=lanes)
+        oracle = Simulator(make_alu(), engine="interp")
+        extremes = [0, 1, (1 << (WIDTH - 1)) - 1,   # 0, 1, +max
+                    1 << (WIDTH - 1),               # -min
+                    (1 << WIDTH) - 1]               # -1
+        outputs = [s.name for s in batch.netlist.outputs
+                   if s.name.startswith("o_mul")]
+        for at in range(0, len(extremes), lanes):
+            chunk = (extremes[at:at + lanes] * lanes)[:lanes]
+            batch.poke_lanes("a", chunk)
+            batch.poke_lanes("b", chunk)
+            for name in outputs:
+                got = batch.peek_lanes(name)
+                for lane, value in enumerate(chunk):
+                    oracle.poke("a", value)
+                    oracle.poke("b", value)
+                    assert got[lane] == oracle.peek(name).uint, (
+                        f"{name}: a={value}")
+
+    def test_sequential_lanes_tick_independently(self):
+        lanes = 4
+        batch = BatchSimulator(make_accumulator(), lanes=lanes)
+        streams = [[(lane + 1) * step for step in range(1, 6)]
+                   for lane in range(lanes)]
+        for step in range(5):
+            batch.poke_lanes("data", [streams[l][step] for l in range(lanes)])
+            batch.step()
+        totals = batch.peek_lanes("total")
+        assert totals == [sum(streams[l]) for l in range(lanes)]
+        assert batch.cycles == 5
+
+    def test_compiled_source_introspection(self):
+        from repro.rtl import elaborate
+
+        compiled = compile_batch(elaborate(make_alu()), lanes=4)
+        assert compiled.lanes == 4
+        assert "def settle" in compiled.source
+        sim = BatchSimulator(make_alu(), lanes=4)
+        assert "def settle" in sim.compiled_source
+        adapter = scalar_adapter(elaborate(make_accumulator()))
+        assert "def settle" in adapter.source
+
+
+# ---------------------------------------------------------------------------
+# full design matrix: batch engine vs the interp oracle, every frontend
+# ---------------------------------------------------------------------------
+def _sim_designs():
+    """Every design the sim engines apply to (MaxJ takes the PCIe
+    system path in measurement, not the AXI-Stream harness)."""
+    return [n for n in design_names() if not n.startswith("maxj-")]
+
+
+class TestDesignMatrix:
+    @pytest.mark.parametrize("name", _sim_designs())
+    def test_batch_matches_interp(self, name):
+        design = Session().build(name)
+        matrices = random_matrices(2, seed=11)
+        oracle = StreamHarness(
+            Simulator(design.top, engine="interp"), design.spec)
+        want, _timing = oracle.run_matrices(matrices, timeout=50_000)
+        runner = BatchStreamRunner(design.top, design.spec, lanes=4)
+        got = runner.run_blocks([[list(r) for r in m] for m in matrices],
+                                timeout=50_000)
+        assert got == want
+        # and both agree with the golden model, not just each other
+        assert got == [chen_wang_idct(m) for m in matrices]
+
+
+class TestStreamRunner:
+    def test_uneven_block_counts_and_lane_shapes(self):
+        design = verilog_opt()
+        for n_blocks, lanes in ((5, 8), (10, 4)):
+            blocks = [[list(r) for r in m]
+                      for m in random_matrices(n_blocks, seed=n_blocks)]
+            runner = BatchStreamRunner(design.top, design.spec, lanes=lanes)
+            got = runner.run_blocks(blocks)
+            assert got == [chen_wang_idct(b) for b in blocks]
+
+    def test_simulator_batch_engine_matches_compiled_with_timing(self):
+        design = verilog_initial()
+        matrices = random_matrices(3, seed=9)
+        results = []
+        for engine in ("compiled", "batch"):
+            harness = StreamHarness(
+                Simulator(design.top, engine=engine), design.spec)
+            outs, timing = harness.run_matrices(matrices)
+            results.append((outs, timing.latency, timing.periodicity,
+                            timing.total_cycles))
+        assert results[0] == results[1]
+
+    def test_simulator_rejects_unknown_engine(self):
+        with pytest.raises(SimulationError):
+            Simulator(make_accumulator(), engine="vector")
+
+
+# ---------------------------------------------------------------------------
+# engine registry
+# ---------------------------------------------------------------------------
+class TestEngineRegistry:
+    def test_resolution_and_defaults(self):
+        assert resolve_engine("batch") == "batch"
+        assert resolve_engine("batch", "sim") == "batch"
+        assert resolve_engine("batch", "serve") == "batch"
+        assert default_engine("sim") == "compiled"
+        assert default_engine("serve") == "model"
+        assert engine_names("sim") == ("interp", "compiled", "batch")
+        assert engine_names("serve") == ("batch", "model", "sim")
+
+    def test_unknown_engine_suggests_near_miss(self):
+        with pytest.raises(UnknownEngineError) as excinfo:
+            resolve_engine("compield")
+        assert "did you mean" in str(excinfo.value)
+        assert "compiled" in excinfo.value.suggestions
+        # the error satisfies both historical contracts
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, UsageError)
+
+    def test_engine_outside_context_is_rejected(self):
+        with pytest.raises(UnknownEngineError, match="not available"):
+            resolve_engine("model", "sim")
+        with pytest.raises(UnknownEngineError, match="not available"):
+            resolve_engine("interp", "serve")
+
+    def test_json_rendering_is_canonical(self):
+        import json
+
+        text = render_engines_json()
+        assert text.endswith("\n")
+        assert json.loads(text) == engines_payload()
+        names = [spec["name"] for spec in json.loads(text)["engines"]]
+        assert names == list(engine_names())
+
+    def test_cli_engines_json_is_the_one_serialization(self, capsys):
+        from repro.cli import main
+
+        assert main(["engines", "--json"]) == 0
+        assert capsys.readouterr().out == render_engines_json()
+
+    def test_cli_engines_text_lists_every_engine(self, capsys):
+        from repro.cli import main
+
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in engine_names():
+            assert name in out
+
+    def test_cli_rejects_unknown_engine_with_exit_2(self, capsys):
+        # argparse `choices` (fed from the registry) rejects it up front
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "verilog-initial", "--engine", "hopeful"])
+        assert excinfo.value.code == 2
+        assert "hopeful" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# cache threading through Session.verify and the measure memo
+# ---------------------------------------------------------------------------
+class TestVerifyCaching:
+    def test_verify_defaults_to_session_cache(self, tmp_path):
+        session = Session(cache=tmp_path / "cache")
+        clear_measure_cache()
+        cold = session.verify("verilog-initial")
+        assert session.cache.stats["puts"] > 0
+        clear_measure_cache()  # force the disk path, not the memo
+        warm = session.verify("verilog-initial")
+        assert warm == cold
+        assert session.cache.stats["hits"] > 0
+
+    def test_verify_use_cache_false_forces_fresh(self, tmp_path):
+        from repro import obs
+        from repro.obs import metrics as obs_metrics
+
+        session = Session(cache=tmp_path / "cache")
+        clear_measure_cache()
+        session.verify("verilog-initial")
+        clear_measure_cache()
+        obs.enable()
+        obs.clear()
+        try:
+            fresh = session.verify("verilog-initial", use_cache=False)
+            # a full measurement ran — neither the memo nor the disk
+            # "measured" artifact short-circuited it
+            assert obs_metrics.counter("measure.designs").value == 1
+        finally:
+            obs.disable()
+            obs.clear()
+        assert ("verilog-initial", 4, "compiled") not in _CACHE
+        assert fresh.bit_exact
+
+    def test_measure_memo_is_engine_keyed(self):
+        clear_measure_cache()
+        design = verilog_initial()
+        compiled = measure_design(design, engine="compiled")
+        batch = measure_design(design, engine="batch")
+        assert ((design.name, 4, "compiled") in _CACHE
+                and (design.name, 4, "batch") in _CACHE)
+        # two engines, one truth: identical measurements either way
+        assert compiled == batch
+        clear_measure_cache()

@@ -247,6 +247,11 @@ class TestEvaluator:
         assert session.idct(DESIGN, blocks, engine="model") == expected
         assert session.idct(DESIGN, blocks, engine="sim") == expected
 
+    def test_batch_engine_matches_the_golden_model(self, session):
+        blocks = _blocks(5)
+        expected = [chen_wang_idct(block) for block in blocks]
+        assert session.idct(DESIGN, blocks, engine="batch") == expected
+
     def test_unknown_engine_is_rejected(self, session):
         with pytest.raises(ValueError):
             session.idct(DESIGN, _blocks(1), engine="hopeful")
@@ -404,6 +409,39 @@ class TestLiveServer:
         assert status == 200
         assert json.loads(body)["outputs"] == [
             chen_wang_idct(block) for block in blocks]
+        assert server.stop() == 0
+
+    def test_batch_engine_over_http_matches_model(self, live):
+        server = live(batch_wait_s=0.0, warm=(DESIGN,))
+        blocks = _blocks(3)
+        status, body = server.request(
+            "POST", "/v1/idct",
+            {"design": DESIGN, "blocks": blocks, "engine": "batch"})
+        assert status == 200
+        assert json.loads(body)["outputs"] == [
+            chen_wang_idct(block) for block in blocks]
+        assert server.stop() == 0
+
+    def test_unknown_engine_is_a_400_not_a_breaker_failure(self, live):
+        server = live(batch_wait_s=0.0, warm=(DESIGN,))
+        status, body = server.request(
+            "POST", "/v1/idct",
+            {"design": DESIGN, "blocks": _blocks(1), "engine": "hopeful"})
+        assert status == 400
+        assert b"hopeful" in body
+        # resolution happens before the breaker/batcher: a typo must not
+        # count toward tripping the circuit breaker
+        assert server.server.breaker.state == "closed"
+        assert server.server.breaker._consecutive == 0
+        assert server.stop() == 0
+
+    def test_engines_endpoint_is_the_one_serialization(self, live):
+        from repro.api import render_engines_json
+
+        server = live(batch_wait_s=0.0)
+        status, body = server.request("GET", "/v1/engines")
+        assert status == 200
+        assert body == render_engines_json().encode("utf-8")
         assert server.stop() == 0
 
     def test_overload_answers_429_with_queue_depth_gauge(self, live):
