@@ -251,8 +251,10 @@ class Session:
         inject_faults=(),
         max_tasks_per_child: int | None = _DEFAULT_RECYCLE,
         chaos: ChaosPolicy | str | None = None,
+        fabric: str | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
+        self.fabric = fabric
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         self.cache = cache
@@ -317,14 +319,20 @@ class Session:
             self.last_runner = self._fixed_runner
             return self._fixed_runner
         checkpoint = self._make_checkpoint()
-        if self.jobs > 1 and tasks:
+        if tasks and (self.jobs > 1 or self.fabric):
             from .exec import ParallelSweepRunner
 
+            executor = None
+            if self.fabric:
+                from .fabric import FabricExecutor
+
+                executor = FabricExecutor(self.fabric)
             runner: SweepRunner = ParallelSweepRunner(
                 tasks=tasks, jobs=self.jobs, cache=self.cache,
                 config=self.runner_config, checkpoint=checkpoint,
                 inject_failures=self.inject_faults,
-                max_tasks_per_child=self.max_tasks_per_child)
+                max_tasks_per_child=self.max_tasks_per_child,
+                executor=executor)
             runner.prefetch()
         else:
             runner = SweepRunner(config=self.runner_config,
@@ -484,7 +492,8 @@ class Session:
                                                jobs=self.jobs):
             from .exec import table2_tasks
 
-            tasks = table2_tasks(tools) if self.jobs > 1 else None
+            tasks = (table2_tasks(tools)
+                     if self.jobs > 1 or self.fabric else None)
             runner = self._sweep_runner(tasks)
             return generate_table2(tools=tools, runner=runner)
 
@@ -504,7 +513,8 @@ class Session:
 
         with self._activated(), obs_trace.span("sweep.fig1", jobs=self.jobs,
                                                full=full):
-            if self.jobs > 1 and self._fixed_runner is None:
+            if (self.jobs > 1 or self.fabric) \
+                    and self._fixed_runner is None:
                 from .exec import fig1_tasks
 
                 lists = fig1_design_lists(**sizes)

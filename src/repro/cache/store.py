@@ -75,6 +75,10 @@ class ArtifactCache:
         os.makedirs(self.root, exist_ok=True)
         self.stats = {"hits": 0, "misses": 0, "puts": 0, "errors": 0,
                       "corrupt": 0}
+        #: Root-relative paths of every sealed entry this handle wrote,
+        #: in write order.  Fabric pull-workers use the tail of this list
+        #: as the per-task artifact manifest to upload to the master.
+        self.written: list[str] = []
 
     # -- bookkeeping ---------------------------------------------------
     def _hit(self) -> None:
@@ -128,6 +132,7 @@ class ArtifactCache:
         if policy is not None:
             blob = policy.corrupt_bytes(f"cache:{key}", blob)
         self._write_atomic(path, blob)
+        self.written.append(os.path.relpath(path, self.root))
 
     def _quarantine(self, path: str) -> None:
         """Move a corrupt entry aside (post-mortem) and count it."""
@@ -223,6 +228,69 @@ class ArtifactCache:
         self._write_sealed(self._path(phase, key, "pkl"), data,
                            f"{phase}/{key}.pkl")
         self._put()
+        return True
+
+    # -- raw blobs (fabric artifact wire transport) --------------------
+    def blob_path(self, key: str) -> str:
+        """Where the raw blob addressed by ``key`` (hex SHA-256) lives."""
+        return os.path.join(self.root, "fabric", key[:2], f"{key}.bin")
+
+    def put_blob(self, data: bytes, key: str) -> str:
+        """Store a raw blob at its SHA-256 address; reject mismatches.
+
+        The fabric artifact endpoint feeds uploads through here: the
+        claimed address must equal the digest of the bytes actually
+        received, so a tampered or truncated upload never lands in the
+        tree — it is written to ``<root>/corrupt/`` for post-mortem
+        (counted like any corrupt entry) and ``ValueError`` is raised.
+        """
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != key:
+            quarantine_path = os.path.join(self.root, "corrupt",
+                                           f"{key}.bin")
+            self._write_atomic(quarantine_path, data)
+            self.stats["corrupt"] += 1
+            self.stats["errors"] += 1
+            obs_metrics.inc("cache.corrupt")
+            obs_events.emit("cache.corrupt", path=f"{key}.bin",
+                            reason="address mismatch")
+            raise ValueError(
+                f"blob digest {actual[:12]}… does not match its "
+                f"address {key[:12]}…")
+        self._write_atomic(self.blob_path(key), data)
+        self._put()
+        return key
+
+    def get_blob(self, key: str) -> bytes | None:
+        """Raw blob by SHA-256 address, re-verified; ``None`` on a miss."""
+        path = self.blob_path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self._miss()
+            return None
+        if hashlib.sha256(data).hexdigest() != key:
+            self._quarantine(path)
+            self._miss()
+            return None
+        self._hit()
+        return data
+
+    def install(self, relpath: str, data: bytes) -> bool:
+        """Place uploaded bytes at a root-relative cache path, atomically.
+
+        The fabric master installs worker-produced sealed artifacts into
+        its own tree through this, after the blob passed its address
+        check.  Paths are sanitized (no absolute paths, no ``..``
+        escapes); the normal read-time checksum verification still
+        guards the content, so a bogus body is quarantined on first use.
+        """
+        clean = os.path.normpath(relpath)
+        if (os.path.isabs(clean) or clean.startswith("..")
+                or clean != relpath.rstrip("/")):
+            return False
+        self._write_atomic(os.path.join(self.root, clean), data)
         return True
 
 

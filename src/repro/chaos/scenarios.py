@@ -37,6 +37,14 @@ Scenarios
     engine's, worker kills during a batch-engine sweep must recover to
     byte-identical output, and rotted batch-engine cache artifacts must
     be quarantined and recomputed.
+``fabric-kill``
+    A live fabric master (short ``fabric_lease_s``) with a two-process
+    pull-worker fleet under ``kill≈0.7`` chaos: workers SIGKILL
+    themselves mid-lease on first attempt, their leases expire, the
+    master re-queues the tasks, and the fleet respawns the dead
+    workers.  The ``--fabric`` sweep must still render byte-identical
+    to a clean serial run, with lease expiries > 0 proving the deaths
+    happened.
 ``all``
     Every scenario above, worst exit code wins.
 """
@@ -333,12 +341,85 @@ def _batch_engine(seed: int, jobs: int) -> int:
     return _report("batch-engine", violations)
 
 
+def _fabric_kill(seed: int, jobs: int) -> int:
+    """SIGKILL fabric pull-workers mid-lease; the sweep must converge.
+
+    Kill-once faults are transient: the expired lease re-queues with a
+    bumped attempt, the respawned worker measures it cleanly, and the
+    task-order merge keeps the rendered output byte-identical to a
+    clean serial run — quarantine would be an invariant violation here.
+    """
+    import multiprocessing
+    import threading
+
+    from ..api import Session
+    from ..core.errors import WorkerCrashError
+    from ..fabric import run_worker_fleet
+    from ..serve import EvalServer, ServeConfig
+
+    clean = _fig1_text(Session(jobs=1))
+
+    server = EvalServer(Session(), ServeConfig(port=0, fabric_lease_s=1.0))
+    ready = threading.Event()
+    port: list[int] = []
+
+    def announce(host: str, bound: int) -> None:
+        port.append(bound)
+        ready.set()
+
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"announce": announce},
+        daemon=True)
+    thread.start()
+    if not ready.wait(timeout=120):
+        return _report("fabric-kill", ["fabric master never came up"])
+    master = f"127.0.0.1:{port[0]}"
+
+    # Non-daemon on purpose: the fleet forks its own worker children.
+    mp = multiprocessing.get_context("fork")
+    fleet = mp.Process(
+        target=run_worker_fleet, args=(master, max(2, jobs)),
+        kwargs={"chaos": ChaosPolicy(seed=seed, kill=0.7)})
+    fleet.start()
+
+    violations: list[str] = []
+    chaotic = clean
+    session = Session(fabric=master)
+    try:
+        chaotic = _fig1_text(session)
+    except WorkerCrashError as exc:
+        violations.append(
+            f"kill-once chaos exhausted the sweep's expiry budget: {exc}")
+    finally:
+        server.request_drain(0)
+        thread.join(timeout=60)
+        fleet.join(timeout=60)
+        if fleet.is_alive():  # pragma: no cover - cleanup of a wedged fleet
+            fleet.terminate()
+            fleet.join(timeout=10)
+
+    violations += check_invariant(clean, chaotic)
+    stats = session.last_runner.stats if session.last_runner else {}
+    if not stats.get("worker_restarts"):
+        violations.append(
+            "no lease expiries recorded — the kills never happened, "
+            "so the scenario proved nothing")
+    if chaotic != clean:
+        violations.append(
+            "kill-once chaos should recover to a byte-identical run, "
+            f"but {stats.get('poisoned', 0)} tasks were quarantined")
+    print(f"  lease expiries recovered: {stats.get('worker_restarts', 0)}, "
+          f"quarantined: {stats.get('poisoned', 0)}")
+    return _report("fabric-kill", violations)
+
+
 SCENARIOS = {
     "worker-kill": _worker_kill,
     "cache-rot": _cache_rot,
     "serve-flaky": _serve_flaky,
     "serve-kill": _serve_kill,
     "batch-engine": _batch_engine,
+    "fabric-kill": _fabric_kill,
 }
 
 

@@ -29,7 +29,16 @@ Commands:
   pre-forks N evaluator processes with (design, engine)-affinity routing
   under the heartbeat → soft cancel → SIGTERM → SIGKILL → respawn
   supervision ladder; SIGTERM drains in-flight work and exits 0, ^C
-  drains and exits 3;
+  drains and exits 3; the same instance doubles as the fabric master
+  (``POST /v1/sweeps`` + task leases, ``--fabric-lease-s`` sets the
+  lease deadline);
+* ``work --master URL [--parallel N] [--batch B] [--cache DIR]
+  [--poll-s S] [--max-idle-s S] [--once] [--chaos SPEC]`` — run fabric
+  pull-workers against a ``serve`` master: lease tasks, measure them
+  through the shared worker path, upload content-addressed artifacts,
+  post results; exits 0 when the master goes away (or ``--once`` /
+  ``--max-idle-s`` fires), 2 when the master is unreachable at start
+  or the worker crash budget is exhausted;
 * ``profile <design> [--json] [--trace PATH] [--metrics PATH]`` — run
   one design through the full pipeline with tracing on and print the
   per-phase breakdown; ``--json`` emits the machine-readable profile
@@ -49,13 +58,18 @@ Commands:
   the detection rate drops below ``--min-detect``;
 * ``chaos <scenario> [--seed S] [--jobs N]`` — run a seeded chaos drill
   (``worker-kill``, ``cache-rot``, ``serve-flaky``, ``serve-kill``,
-  ``batch-engine``, or ``all``) and assert the honest-failure invariant;
-  exits 1 on any violation;
+  ``batch-engine``, ``fabric-kill``, or ``all``) and assert the
+  honest-failure invariant; exits 1 on any violation;
 * ``list``              — list all registered design names.
 
 ``table2`` and ``fig1`` share the execution flags: ``--jobs N`` (measure
 design points across N worker processes; stdout stays byte-identical to
-a serial run), ``--cache DIR`` (content-addressed artifact cache reused
+a serial run), ``--fabric URL`` (route the sweep through a fabric
+master — a ``serve`` instance — and its ``work`` pull-workers instead
+of a local pool; the task-order merge keeps stdout byte-identical to
+serial, and a lease that expires twice quarantines its design as an
+honest ``FAILED(…)`` cell exactly like a twice-crashed pool worker),
+``--cache DIR`` (content-addressed artifact cache reused
 across runs and commands), ``--checkpoint PATH`` (JSONL progress log),
 ``--resume`` (skip designs already in the checkpoint), ``--inject-fault
 NAME`` (force a design to fail, repeatable), ``--budget-s`` /
@@ -214,7 +228,8 @@ def _make_session(args, *, trace: bool = False):
                    resume=args.resume,
                    inject_faults=args.inject_fault or [],
                    max_tasks_per_child=args.max_tasks_per_child or None,
-                   chaos=args.chaos)
+                   chaos=args.chaos,
+                   fabric=getattr(args, "fabric", None))
 
 
 def _print_summaries(session) -> None:
@@ -397,11 +412,30 @@ def _cmd_serve(args) -> int:
             workers=args.workers,
             worker_deadline_s=args.worker_deadline_s,
             worker_crash_budget=args.worker_crash_budget,
+            fabric_lease_s=args.fabric_lease_s,
         )
     except OSError as exc:
         print(f"cannot listen on {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 2
+
+
+def _cmd_work(args) -> int:
+    from .chaos import parse_chaos_spec
+    from .core.errors import UsageError
+    from .fabric import run_worker_fleet
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos_spec(args.chaos)
+        except ValueError as exc:
+            raise UsageError(f"bad --chaos spec: {exc}") from exc
+    run_worker_fleet(
+        args.master, args.parallel, batch=args.batch,
+        cache_dir=args.cache, chaos=chaos, poll_s=args.poll_s,
+        max_idle_s=args.max_idle_s, once=args.once)
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -645,6 +679,11 @@ def main(argv: list[str] | None = None) -> int:
                        default="compiled",
                        help="simulator engine for every measurement "
                             "(see `python -m repro engines`)")
+        p.add_argument("--fabric", metavar="URL",
+                       help="route the sweep through a fabric master "
+                            "(a `serve` instance) and its `work` "
+                            "pull-workers instead of a local pool; "
+                            "output stays byte-identical to serial")
 
     p_table2 = sub.add_parser("table2", help="regenerate Table II")
     p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
@@ -754,7 +793,40 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--chaos", metavar="SPEC",
                          help="seeded fault injection for drills, e.g. "
                               "'seed=3,flaky=0.5,latency=0.1'")
+    p_serve.add_argument("--fabric-lease-s", type=float, default=30.0,
+                         metavar="S",
+                         help="fabric task lease duration; a pull-worker "
+                              "silent this long is presumed dead and its "
+                              "task re-queues (default 30)")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_work = sub.add_parser(
+        "work", help="run a fabric pull-worker against a serve master")
+    p_work.add_argument("--master", required=True, metavar="URL",
+                        help="fabric master address, e.g. 127.0.0.1:8349 "
+                             "(a `serve` instance)")
+    p_work.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="forked worker processes; dead ones respawn "
+                             "under a crash budget (default 1)")
+    p_work.add_argument("--batch", type=int, default=1, metavar="B",
+                        help="tasks leased per pull (default 1)")
+    p_work.add_argument("--cache", metavar="DIR",
+                        help="local artifact cache; entries written per "
+                             "task are uploaded to the master's "
+                             "content-addressed store")
+    p_work.add_argument("--poll-s", type=float, default=0.2, metavar="S",
+                        help="idle poll interval (default 0.2)")
+    p_work.add_argument("--max-idle-s", type=float, default=None,
+                        metavar="S",
+                        help="exit after this long without work "
+                             "(default: wait until the master goes away)")
+    p_work.add_argument("--once", action="store_true",
+                        help="exit at the first idle poll after having "
+                             "completed work (smoke tests)")
+    p_work.add_argument("--chaos", metavar="SPEC",
+                        help="seeded fault injection for drills "
+                             "(kill= SIGKILLs this worker mid-lease)")
+    p_work.set_defaults(fn=_cmd_work)
 
     p_chaos = sub.add_parser(
         "chaos", help="run a chaos drill asserting the honest-failure "
@@ -762,7 +834,7 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("scenario",
                          choices=("worker-kill", "cache-rot", "serve-flaky",
                                   "serve-kill", "batch-engine",
-                                  "all"))
+                                  "fabric-kill", "all"))
     p_chaos.add_argument("--seed", type=int, default=3,
                          help="chaos policy seed (default 3)")
     p_chaos.add_argument("--jobs", type=int, default=2,

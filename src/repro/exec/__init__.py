@@ -5,18 +5,20 @@ them across a process pool, and replays the results through the
 unchanged serial generators so rendered output stays byte-identical to
 a serial run:
 
-* :mod:`repro.exec.tasks`    — picklable task coordinates;
-* :mod:`repro.exec.worker`   — worker-process entry points;
+* :mod:`repro.exec.tasks`    — JSON-wire task coordinates;
+* :mod:`repro.exec.worker`   — worker-process entry points and the
+  shared :class:`WorkerContext` bootstrap;
+* :mod:`repro.exec.executor` — the pluggable :class:`Executor` seam and
+  the in-process :class:`PoolExecutor`;
 * :mod:`repro.exec.parallel` — :class:`ParallelSweepRunner`, the
-  pool-backed :class:`~repro.resilience.runner.SweepRunner`.
+  executor-backed :class:`~repro.resilience.runner.SweepRunner`.
 """
 
-from .parallel import (
-    DEFAULT_MAX_TASKS_PER_CHILD,
-    ParallelSweepRunner,
-    PrebuiltPoint,
-)
-from .tasks import SweepTask, fig1_tasks, table2_tasks
+from .executor import DEFAULT_MAX_TASKS_PER_CHILD, Executor, PoolExecutor
+from .parallel import ParallelSweepRunner, PrebuiltPoint
+from .tasks import SweepTask, TaskSchemaError, fig1_tasks, table2_tasks
+from .worker import WorkerContext
 
 __all__ = ["ParallelSweepRunner", "PrebuiltPoint", "SweepTask",
+           "TaskSchemaError", "WorkerContext", "Executor", "PoolExecutor",
            "fig1_tasks", "table2_tasks", "DEFAULT_MAX_TASKS_PER_CHILD"]

@@ -41,9 +41,6 @@ every surviving point and resume semantics are unchanged.
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 
 from .. import chaos as chaos_mod
@@ -55,23 +52,13 @@ from ..obs import trace as obs_trace
 from ..resilience.checkpoint import SCHEMA_VERSION
 from ..resilience.errors import failure_record
 from ..resilience.runner import DesignResult, SweepRunner, result_from_record
-from ..resilience.supervise import backoff_delay, default_crash_budget
+from .executor import DEFAULT_MAX_TASKS_PER_CHILD, POISON_ATTEMPTS, PoolExecutor
 from .tasks import SweepTask
+from .worker import WorkerContext
 from . import worker as worker_mod
 
 __all__ = ["ParallelSweepRunner", "PrebuiltPoint", "DEFAULT_MAX_TASKS_PER_CHILD",
            "POISON_ATTEMPTS"]
-
-#: Tasks a pool worker may serve before the whole pool is recycled.
-#: Design builds memoize netlists and compiled simulators per process, so
-#: a long-lived worker grows monotonically; recycling bounds its footprint
-#: the way ``multiprocessing.Pool(maxtasksperchild=…)`` would, but without
-#: requiring a non-fork start method.
-DEFAULT_MAX_TASKS_PER_CHILD = 64
-
-#: A task that has killed this many pool workers is given one solo-pool
-#: probe; a crash there quarantines it as a poison task.
-POISON_ATTEMPTS = 2
 
 
 @dataclass
@@ -84,14 +71,6 @@ class PrebuiltPoint:
     build_error: dict | None = None
 
 
-def _pool_context():
-    """Prefer fork (cheap, library already imported); fall back otherwise."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
-
-
 class ParallelSweepRunner(SweepRunner):
     """A :class:`SweepRunner` that prefetches results across processes."""
 
@@ -100,6 +79,7 @@ class ParallelSweepRunner(SweepRunner):
                  max_tasks_per_child: int | None = DEFAULT_MAX_TASKS_PER_CHILD,
                  crash_backoff_s: float = 0.05,
                  max_worker_crashes: int | None = None,
+                 executor=None,
                  **kwargs) -> None:
         super().__init__(**kwargs)
         self.tasks = list(tasks)
@@ -109,6 +89,11 @@ class ParallelSweepRunner(SweepRunner):
                                     else max(1, int(max_tasks_per_child)))
         self.crash_backoff_s = max(0.0, crash_backoff_s)
         self.max_worker_crashes = max_worker_crashes
+        #: Injected :class:`~repro.exec.executor.Executor`; ``None``
+        #: builds the default :class:`PoolExecutor` lazily in
+        #: :meth:`prefetch` (a fabric executor dispatches even with
+        #: ``jobs == 1`` — parallelism lives in the remote workers).
+        self._executor = executor
         self.pools_used = 0
         self.stats.update({"worker_restarts": 0, "poisoned": 0})
         self._prefetched: dict[str, dict] = {}
@@ -137,8 +122,15 @@ class ParallelSweepRunner(SweepRunner):
         if self._prefetch_done:
             return len(self._prefetched)
         self._prefetch_done = True
-        if not self.tasks or self.jobs <= 1:
+        if not self.tasks or (self.jobs <= 1 and self._executor is None):
             return 0
+        executor = self._executor
+        if executor is None:
+            executor = PoolExecutor(
+                jobs=self.jobs,
+                max_tasks_per_child=self.max_tasks_per_child,
+                crash_backoff_s=self.crash_backoff_s,
+                max_worker_crashes=self.max_worker_crashes)
         trace_on = obs_trace.enabled()
         if trace_on and not obs_trace.TRACER.trace_id:
             obs_trace.new_trace()
@@ -157,109 +149,25 @@ class ParallelSweepRunner(SweepRunner):
             base = {"config": self.config, "inject": self.inject_failures,
                     "trace": trace_on, "skip": skip}
             cache_dir = self.cache.root if self.cache is not None else None
-            initargs = (cache_dir, trace_on, chaos_mod.active())
-            results: list[dict | None] = [None] * len(self.tasks)
-            attempts = [0] * len(self.tasks)
-            pending = list(range(len(self.tasks)))
-            crashes = 0
-            budget = (self.max_worker_crashes
-                      if self.max_worker_crashes is not None
-                      else default_crash_budget(len(self.tasks)))
-            while pending:
-                retry: list[int] = []
-                fresh = [i for i in pending if attempts[i] < POISON_ATTEMPTS]
-                suspect = [i for i in pending
-                           if attempts[i] >= POISON_ATTEMPTS]
-                if self.max_tasks_per_child is None:
-                    stride = max(1, len(fresh))
-                else:
-                    stride = self.jobs * self.max_tasks_per_child
-                for start in range(0, len(fresh), stride):
-                    chunk = fresh[start:start + stride]
-                    lost, broke = self._run_pool(chunk, self.jobs, base,
-                                                 initargs, results, attempts)
-                    if broke:
-                        crashes += 1
-                        self._note_crash(crashes, lost)
-                        for i in lost:
-                            attempts[i] += 1
-                        retry.extend(lost)
-                for i in suspect:
-                    # Solo probe: one task, one worker.  A crash here is
-                    # attributable beyond doubt — quarantine the task.
-                    lost, broke = self._run_pool([i], 1, base, initargs,
-                                                 results, attempts)
-                    if broke:
-                        crashes += 1
-                        self._note_crash(crashes, lost)
-                        self._quarantine(i, attempts[i] + 1)
-                pending = retry
-                if crashes > budget:
-                    raise WorkerCrashError(
-                        f"worker pool crashed {crashes} times "
-                        f"(budget {budget}); aborting sweep",
-                        phase="exec.supervise")
+            context = WorkerContext(cache_dir=cache_dir, trace=trace_on,
+                                    chaos=chaos_mod.active())
+            results = executor.run(self.tasks, base, context)
+            self.stats["worker_restarts"] += executor.stats.get(
+                "worker_restarts", 0)
+            self.pools_used += executor.stats.get("pools", 0)
+            for i, res in enumerate(results):
+                if res is not None and res.get("crashed"):
+                    # The executor gave up on this task (poison pool
+                    # worker / double lease expiry): quarantine it as an
+                    # honest FAILED(…) cell.
+                    self._quarantine(i, res["crashed"])
+                    results[i] = None
             self._merge(results, under=graft)
             obs_trace.event("exec.prefetch_done", tasks=len(self.tasks),
                             jobs=self.jobs, pools=self.pools_used,
                             worker_restarts=self.stats["worker_restarts"],
                             poisoned=self.stats["poisoned"])
         return len(self._prefetched)
-
-    def _run_pool(self, indices: list[int], workers: int, base: dict,
-                  initargs: tuple, results: list,
-                  attempts: list[int]) -> tuple[list[int], bool]:
-        """Run one pool over ``indices``; ``(lost_indices, pool_broke)``.
-
-        Successful task outputs land in ``results``; tasks the pool lost
-        (their worker died before the future resolved, so the executor
-        can only report ``BrokenProcessPool`` for every unfinished
-        future) come back for the supervision loop to re-dispatch.
-        """
-        pool = ProcessPoolExecutor(
-            max_workers=max(1, min(workers, len(indices))),
-            mp_context=_pool_context(),
-            initializer=worker_mod.init_worker,
-            initargs=initargs,
-        )
-        self.pools_used += 1
-        broke = False
-        remaining = set(indices)
-        futures: dict = {}
-        try:
-            try:
-                for i in indices:
-                    payload = dict(base, task=self.tasks[i],
-                                   attempt=attempts[i])
-                    futures[pool.submit(worker_mod.run_task, payload)] = i
-            except BrokenExecutor:
-                broke = True
-            for future in as_completed(futures):
-                i = futures[future]
-                try:
-                    results[i] = future.result()
-                except BrokenExecutor:
-                    broke = True
-                    continue
-                remaining.discard(i)
-        except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        finally:
-            pool.shutdown(wait=True)
-        return sorted(remaining), broke
-
-    def _note_crash(self, crashes: int, lost: list[int]) -> None:
-        self.stats["worker_restarts"] += 1
-        obs_metrics.inc("exec.worker_restarts")
-        obs_trace.event("exec.worker_crash", crashes=crashes,
-                        lost=len(lost))
-        obs_events.emit("worker.restart", crashes=crashes, lost=len(lost),
-                        tasks=[worker_mod.task_id(self.tasks[i])
-                               for i in lost])
-        delay = backoff_delay(crashes, self.crash_backoff_s)
-        if delay:
-            time.sleep(delay)
 
     def _identify(self, task: SweepTask):
         """``(label, design-or-None)`` — ``None`` for deferred points.

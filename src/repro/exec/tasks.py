@@ -13,7 +13,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["SweepTask", "table2_tasks", "fig1_tasks"]
+from ..core.errors import ReproError
+
+__all__ = ["SweepTask", "TaskSchemaError", "TASK_SCHEMA_VERSION",
+           "table2_tasks", "fig1_tasks"]
+
+#: Version tag stamped on every serialized task.  Bump when the wire
+#: layout changes; readers reject anything they don't understand instead
+#: of guessing.
+TASK_SCHEMA_VERSION = 1
+
+
+class TaskSchemaError(ReproError):
+    """A serialized task carries a schema this build cannot interpret."""
 
 
 @dataclass(frozen=True)
@@ -25,6 +37,37 @@ class SweepTask:
     index: int           # 0=initial / 1=optimized, or the point index
     sizes: tuple = ()    # sorted (name, value) pairs for fig1_design_lists
     ctx: tuple = ()      # (trace_id, parent_span_id) when tracing, else ()
+
+    def to_record(self) -> dict:
+        """The versioned JSON wire form (pool payloads and fabric leases).
+
+        Tasks cross process and machine boundaries as plain JSON — never
+        as pickles — so a lease body served over HTTP and a payload
+        handed to a forked pool worker are the same bytes.
+        """
+        return {
+            "schema": TASK_SCHEMA_VERSION,
+            "kind": self.kind, "key": self.key, "index": self.index,
+            "sizes": [list(pair) for pair in self.sizes],
+            "ctx": list(self.ctx),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SweepTask":
+        """Rebuild a task from its wire form; reject unknown schemas."""
+        schema = record.get("schema") if isinstance(record, dict) else None
+        if schema != TASK_SCHEMA_VERSION:
+            raise TaskSchemaError(
+                f"unknown task schema {schema!r} "
+                f"(this build speaks {TASK_SCHEMA_VERSION})",
+                phase="exec.tasks")
+        return cls(
+            kind=str(record["kind"]), key=str(record["key"]),
+            index=int(record["index"]),
+            sizes=tuple((str(name), value)
+                        for name, value in record.get("sizes") or ()),
+            ctx=tuple(record.get("ctx") or ()),
+        )
 
 
 def table2_tasks(tools: list[str] | None = None) -> list[SweepTask]:

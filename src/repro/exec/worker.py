@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import signal
+from dataclasses import dataclass
 
 from .. import cache as cache_mod
 from .. import chaos as chaos_mod
@@ -36,28 +37,51 @@ from ..resilience.errors import failure_record
 from ..resilience.runner import ABORT_ENV, SweepRunner, result_to_record
 from .tasks import SweepTask
 
-__all__ = ["init_worker", "run_task", "task_id"]
+__all__ = ["WorkerContext", "init_worker", "run_task", "task_id"]
 
 # Per-worker-process memos: fig1 enumerations by sizes, table2 pairs by key.
 _FIG1_LISTS: dict[tuple, dict] = {}
 _TABLE2_PAIRS: dict[str, tuple] = {}
 
 
-def init_worker(cache_dir: str | None = None, trace: bool = False,
-                chaos=None) -> None:
-    """Pool initializer: cache handle, tracing mode, no inherited abort."""
-    os.environ.pop(ABORT_ENV, None)
-    if cache_dir:
-        cache_mod.set_active(cache_mod.ArtifactCache(cache_dir))
-    # Explicitly (re)set the chaos policy: a forked worker inherits the
-    # parent's active policy, which must not leak into a clean pool.
-    chaos_mod.set_active(chaos)
-    if trace:
-        obs.enable()
-    else:
-        # A forked worker inherits the parent's enabled flag and buffers.
-        obs.disable()
-    obs.clear()
+@dataclass(frozen=True)
+class WorkerContext:
+    """The per-process bootstrap every worker flavor shares.
+
+    Pool workers (``exec.parallel``), serve evaluator workers
+    (``serve.pool``), and fabric pull-workers (``fabric.worker``) all
+    start from the same three decisions — which artifact cache to use,
+    whether tracing is on, which chaos policy applies — plus the
+    invariant that a worker never inherits the parent's deterministic
+    abort hook.  Centralizing them here keeps the three flavors from
+    drifting.
+    """
+
+    cache_dir: str | None = None
+    trace: bool = False
+    chaos: object | None = None
+
+    def apply(self) -> None:
+        """Install this context into the current process."""
+        os.environ.pop(ABORT_ENV, None)
+        # Explicitly (re)set cache and chaos: a forked worker inherits
+        # the parent's active handles, which must not leak into a clean
+        # worker.
+        cache_mod.set_active(
+            cache_mod.ArtifactCache(self.cache_dir) if self.cache_dir
+            else None)
+        chaos_mod.set_active(self.chaos)
+        if self.trace:
+            obs.enable()
+        else:
+            # A forked worker inherits the parent's enabled flag/buffers.
+            obs.disable()
+        obs.clear()
+
+
+def init_worker(context: WorkerContext) -> None:
+    """Pool initializer: apply the shared worker bootstrap."""
+    context.apply()
 
 
 def task_id(task: SweepTask) -> str:
@@ -87,12 +111,15 @@ def _table2_design(task: SweepTask):
 def run_task(payload: dict) -> dict:
     """Resolve, build, and measure one task; never raises ``ReproError``.
 
-    ``payload`` carries ``task`` (a :class:`SweepTask`), ``config`` (the
-    sweep's :class:`~repro.resilience.runner.RunnerConfig`), ``inject``
+    ``payload`` carries ``task`` (a :class:`SweepTask` wire record, see
+    :meth:`SweepTask.to_record`), ``config`` (the sweep's
+    :class:`~repro.resilience.runner.RunnerConfig`), ``inject``
     (forced-failure design names), ``skip`` (names already checkpointed —
     built for identification but not re-measured), and ``trace``.
     """
-    task: SweepTask = payload["task"]
+    task = payload["task"]
+    if isinstance(task, dict):
+        task = SweepTask.from_record(task)
     policy = chaos_mod.active()
     if (policy is not None
             and policy.should_kill(task_id(task), payload.get("attempt", 0))):

@@ -1,0 +1,31 @@
+"""``repro.fabric`` — pull-based distributed sweep execution.
+
+The fabric splits a sweep across machines without giving up the repo's
+core guarantee: rendered output is byte-identical to a clean serial run,
+or honestly ``FAILED(…)`` — never silently wrong.
+
+* :mod:`repro.fabric.broker` — :class:`TaskBroker`, the master-side
+  lease ledger the serve tier exposes over HTTP (sweeps in, leases out,
+  results back, deadline-driven re-queue);
+* :mod:`repro.fabric.client` — :class:`FabricClient` (the thin HTTP
+  wire) and :class:`FabricExecutor`, the
+  :class:`repro.exec.executor.Executor` implementation that routes a
+  :class:`~repro.exec.parallel.ParallelSweepRunner` sweep through a
+  remote master;
+* :mod:`repro.fabric.worker` — the ``python -m repro work`` pull-worker
+  loop: lease → run via :func:`repro.exec.worker.run_task` → upload
+  artifacts + result → repeat.
+
+Crash safety is the PR 5 supervision arithmetic verbatim: a lease
+expiring is the distributed spelling of "the worker died", so expired
+tasks re-queue with exponential backoff under a crash budget, and a task
+whose lease expires twice is quarantined as a ``FAILED(WorkerCrashError)``
+cell.
+"""
+
+from .broker import TaskBroker
+from .client import FabricClient, FabricExecutor
+from .worker import run_worker, run_worker_fleet
+
+__all__ = ["TaskBroker", "FabricClient", "FabricExecutor",
+           "run_worker", "run_worker_fleet"]

@@ -1,0 +1,346 @@
+"""The master-side task ledger behind the fabric HTTP surface.
+
+:class:`TaskBroker` owns every sweep the serve tier has accepted for
+distributed execution.  It is deliberately passive — plain method calls
+from the (single-threaded) asyncio event loop, with an injectable clock
+— so every transition is unit-testable without sockets or sleeps:
+
+* ``submit``    — a client posts a wire sweep (task records + policy);
+* ``lease``     — a pull-worker asks for up to N runnable tasks; each
+  lease carries a deadline ``lease_s`` out;
+* ``heartbeat`` — the worker extends a lease mid-run;
+* ``result``    — the worker uploads the task's output (checkpoint
+  record + obs buffers + artifact manifest);
+* ``expire``    — the server's periodic tick; a lease past its deadline
+  means the worker is presumed dead.
+
+Expiry is the distributed spelling of a worker crash, so it reuses the
+PR 5 supervision arithmetic: the task's attempt counter bumps, the task
+re-queues after :func:`~repro.resilience.supervise.backoff_delay`, and a
+task reaching :data:`~repro.exec.executor.POISON_ATTEMPTS` expiries is
+poisoned — reported to the client as a ``{"crashed": n}`` sentinel that
+becomes an honest ``FAILED(WorkerCrashError)`` cell.  Total expiries per
+sweep are bounded by
+:func:`~repro.resilience.supervise.default_crash_budget`; past that the
+sweep fails instead of spinning forever.
+
+Results commit **at most once per task** (a late upload from a
+presumed-dead worker is answered ``stale``), and the client folds them
+in task order, so the byte-identity invariant survives any interleaving
+of worker deaths and re-dispatches.
+
+When the serve tier runs with obs enabled, each submitted sweep gets a
+synthetic ``fabric.dispatch`` span (stamped with the caller's trace id
+from its ``traceparent``) and every result's span buffer is grafted
+under it — ``GET /v1/traces/<trace-id>`` then assembles the whole
+distributed run as one connected tree.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..exec.executor import POISON_ATTEMPTS
+from ..exec.tasks import SweepTask
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..resilience.supervise import backoff_delay, default_crash_budget
+
+__all__ = ["TaskBroker"]
+
+
+@dataclass
+class _Task:
+    """One design point's ledger entry."""
+
+    id: str
+    sweep: str
+    index: int
+    wire: dict                      # the SweepTask wire record
+    attempt: int = 0
+    state: str = "pending"          # pending | leased | done | poisoned
+    worker: str | None = None
+    deadline: float | None = None   # broker-clock lease deadline
+    ready_at: float = 0.0           # earliest re-lease time (backoff)
+    result: dict | None = None      # {"output": …} | {"crashed": n}
+
+
+@dataclass
+class _Sweep:
+    """One submitted sweep: shared policy plus its tasks."""
+
+    id: str
+    tasks: list[_Task]
+    config: dict
+    inject: list
+    skip: list
+    trace: bool
+    budget: int
+    state: str = "running"          # running | done | failed
+    expiries: int = 0
+    error: str | None = None
+    trace_id: str = ""
+    graft: int | None = None        # server-side fabric.dispatch span id
+
+
+class TaskBroker:
+    """Lease-based scheduler state for distributed sweeps."""
+
+    def __init__(self, lease_s: float = 30.0, backoff_s: float = 0.05,
+                 clock=time.monotonic, journal=None, cache=None) -> None:
+        self.lease_s = max(0.1, float(lease_s))
+        self.backoff_s = max(0.0, float(backoff_s))
+        self.clock = clock
+        self.journal = journal            # callable(event, **fields) | None
+        self.cache = cache                # master ArtifactCache | None
+        self.sweeps: dict[str, _Sweep] = {}
+        self.tasks: dict[str, _Task] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def _note(self, event: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal(event, **fields)
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict, traceparent: str | None = None) -> str:
+        """Accept a wire sweep; returns its id.
+
+        Raises ``ValueError`` for a malformed body and
+        :class:`~repro.exec.tasks.TaskSchemaError` for task records this
+        build cannot interpret — both surface as HTTP 400.
+        """
+        records = payload.get("tasks")
+        if not isinstance(records, list) or not records:
+            raise ValueError("sweep needs a non-empty 'tasks' list")
+        config = payload.get("config")
+        if not isinstance(config, dict):
+            raise ValueError("sweep needs a 'config' object")
+        for record in records:
+            SweepTask.from_record(record)  # validate schema up front
+        self._seq += 1
+        sweep_id = f"s{self._seq}"
+        trace_id = ""
+        ctx = None
+        if traceparent:
+            ctx = obs_trace.TraceContext.from_traceparent(traceparent)
+            if ctx is not None:
+                trace_id = ctx.trace_id
+        graft = self._dispatch_span(sweep_id, len(records), trace_id)
+        tasks = [
+            _Task(id=f"{sweep_id}-{index}", sweep=sweep_id, index=index,
+                  wire=record)
+            for index, record in enumerate(records)
+        ]
+        sweep = _Sweep(
+            id=sweep_id, tasks=tasks, config=config,
+            inject=sorted(payload.get("inject") or []),
+            skip=sorted(payload.get("skip") or []),
+            trace=bool(payload.get("trace")),
+            budget=default_crash_budget(len(tasks)),
+            trace_id=trace_id, graft=graft)
+        self.sweeps[sweep_id] = sweep
+        for task in tasks:
+            self.tasks[task.id] = task
+        self._note("fabric.submitted", id=sweep_id, tasks=len(tasks),
+                   trace=trace_id)
+        obs_events.emit("fabric.submitted", sweep=sweep_id,
+                        tasks=len(tasks))
+        return sweep_id
+
+    def _dispatch_span(self, sweep_id: str, tasks: int,
+                       trace_id: str) -> int | None:
+        """Synthesize the sweep's ``fabric.dispatch`` grouping span.
+
+        Worker span buffers graft under this node as results arrive, so
+        the trace endpoint shows one connected tree per distributed run.
+        The ingest assigns the span a local id; reading the tracer's
+        next-id counter first (safe: the event loop is the only writer)
+        tells us what it will be.
+        """
+        if not obs_trace.enabled():
+            return None
+        graft = obs_trace.TRACER._next_id
+        obs_trace.TRACER.ingest([{
+            "span_id": 1, "parent_id": None, "depth": 0,
+            "name": "fabric.dispatch",
+            "t_wall": round(time.time(), 6),
+            "t_start": round(time.perf_counter(), 6),
+            "dur_us": 0.0, "kind": "span", "status": "ok",
+            "attrs": {"sweep": sweep_id, "tasks": tasks},
+            "trace_id": trace_id,
+        }])
+        return graft
+
+    # ------------------------------------------------------------------
+    def lease(self, worker: str, limit: int = 1) -> list[dict]:
+        """Hand ``worker`` up to ``limit`` runnable tasks."""
+        now = self.clock()
+        limit = max(1, int(limit))
+        leases: list[dict] = []
+        for task in self.tasks.values():
+            if len(leases) >= limit:
+                break
+            if task.state != "pending" or task.ready_at > now:
+                continue
+            sweep = self.sweeps[task.sweep]
+            if sweep.state != "running":
+                continue
+            task.state = "leased"
+            task.worker = worker
+            task.deadline = now + self.lease_s
+            obs_metrics.inc("fabric.leases")
+            self._note("fabric.lease", id=task.id, worker=worker,
+                       attempt=task.attempt)
+            leases.append({
+                "id": task.id, "deadline_s": self.lease_s,
+                "attempt": task.attempt, "task": task.wire,
+                "config": sweep.config, "inject": sweep.inject,
+                "skip": sweep.skip, "trace": sweep.trace,
+            })
+        return leases
+
+    def heartbeat(self, task_id: str, worker: str) -> dict | None:
+        """Extend a live lease; ``None`` for unknown tasks, ``stale``
+        (in the returned dict) when the lease is no longer this worker's."""
+        task = self.tasks.get(task_id)
+        if task is None:
+            return None
+        if task.state != "leased" or task.worker != worker:
+            return {"stale": True}
+        task.deadline = self.clock() + self.lease_s
+        return {"stale": False, "deadline_s": self.lease_s}
+
+    # ------------------------------------------------------------------
+    def result(self, task_id: str, worker: str, output: dict,
+               artifacts: list | None = None) -> dict | None:
+        """Commit one task's output; at most one commit ever wins."""
+        task = self.tasks.get(task_id)
+        if task is None:
+            return None
+        if task.state != "leased" or task.worker != worker:
+            # A presumed-dead worker finishing late, or a double upload:
+            # the ledger already moved on, so this result must not land.
+            return {"stale": True}
+        task.state = "done"
+        task.result = {"output": output}
+        self._note("fabric.result", id=task_id, worker=worker)
+        self._install_artifacts(artifacts or [])
+        sweep = self.sweeps[task.sweep]
+        if obs_trace.enabled():
+            if output.get("spans"):
+                obs_trace.TRACER.ingest(output["spans"], under=sweep.graft)
+            if output.get("events"):
+                obs_events.EVENTS.ingest(output["events"])
+            if output.get("metrics"):
+                obs_metrics.REGISTRY.merge_snapshot(output["metrics"])
+        self._maybe_finish(sweep)
+        return {"stale": False}
+
+    def _install_artifacts(self, manifest: list) -> None:
+        """Copy uploaded blobs into the master's cache tree.
+
+        Every entry was already verified against its SHA-256 address by
+        the artifact endpoint; :meth:`ArtifactCache.install` sanitizes
+        the relative path, and read-time checksum verification still
+        guards the sealed content.
+        """
+        if self.cache is None:
+            return
+        for entry in manifest:
+            if not isinstance(entry, dict):
+                continue
+            path, key = entry.get("path"), entry.get("key")
+            if not isinstance(path, str) or not isinstance(key, str):
+                continue
+            blob = self.cache.get_blob(key)
+            if blob is not None:
+                self.cache.install(path, blob)
+
+    # ------------------------------------------------------------------
+    def expire(self) -> int:
+        """Re-queue or poison every task whose lease deadline passed."""
+        now = self.clock()
+        expired = 0
+        for task in self.tasks.values():
+            if task.state != "leased" or task.deadline is None \
+                    or task.deadline > now:
+                continue
+            expired += 1
+            sweep = self.sweeps[task.sweep]
+            sweep.expiries += 1
+            task.attempt += 1
+            task.worker = None
+            task.deadline = None
+            obs_metrics.inc("fabric.expiries")
+            obs_events.emit("fabric.expiry", task=task.id,
+                            attempt=task.attempt)
+            self._note("fabric.expiry", id=task.id, attempt=task.attempt)
+            if task.attempt >= POISON_ATTEMPTS:
+                # Two workers (or one worker, twice) died holding this
+                # task: quarantine it instead of killing a third.
+                task.state = "poisoned"
+                task.result = {"crashed": task.attempt}
+                self._note("fabric.poisoned", id=task.id,
+                           crashes=task.attempt)
+            else:
+                task.state = "pending"
+                task.ready_at = now + backoff_delay(sweep.expiries,
+                                                    self.backoff_s)
+                obs_metrics.inc("fabric.requeues")
+            if sweep.expiries > sweep.budget and sweep.state == "running":
+                sweep.state = "failed"
+                sweep.error = (
+                    f"fabric sweep lost {sweep.expiries} leases "
+                    f"(budget {sweep.budget}); aborting sweep")
+                self._note("fabric.failed", id=sweep.id,
+                           expiries=sweep.expiries)
+            else:
+                self._maybe_finish(sweep)
+        return expired
+
+    def _maybe_finish(self, sweep: _Sweep) -> None:
+        if sweep.state != "running":
+            return
+        if all(task.state in ("done", "poisoned") for task in sweep.tasks):
+            sweep.state = "done"
+            self._note("fabric.done", id=sweep.id, expiries=sweep.expiries)
+            obs_events.emit("fabric.done", sweep=sweep.id,
+                            expiries=sweep.expiries)
+
+    # ------------------------------------------------------------------
+    def status(self, sweep_id: str) -> dict | None:
+        sweep = self.sweeps.get(sweep_id)
+        if sweep is None:
+            return None
+        done = sum(1 for task in sweep.tasks
+                   if task.state in ("done", "poisoned"))
+        return {"id": sweep.id, "state": sweep.state,
+                "total": len(sweep.tasks), "done": done,
+                "expiries": sweep.expiries, "error": sweep.error}
+
+    def results(self, sweep_id: str) -> list | None:
+        """Per-task outcomes in task order, once the sweep is done."""
+        sweep = self.sweeps.get(sweep_id)
+        if sweep is None or sweep.state != "done":
+            return None
+        return [task.result for task in sweep.tasks]
+
+    def snapshot(self) -> dict:
+        """The ``fabric`` block of ``/healthz``."""
+        leased = [task for task in self.tasks.values()
+                  if task.state == "leased"]
+        pending = sum(1 for task in self.tasks.values()
+                      if task.state == "pending")
+        return {
+            "workers": sorted({task.worker for task in leased
+                               if task.worker}),
+            "leases": len(leased),
+            "pending": pending,
+            "sweeps": {state: sum(1 for s in self.sweeps.values()
+                                  if s.state == state)
+                       for state in ("running", "done", "failed")},
+            "expiries": sum(s.expiries for s in self.sweeps.values()),
+        }

@@ -1,0 +1,222 @@
+"""The ``python -m repro work`` pull-worker loop.
+
+A pull-worker owns no scheduling state: it asks the master for work
+(``POST /v1/tasks/lease``), measures each leased task through the exact
+same :func:`repro.exec.worker.run_task` path a forked pool worker uses,
+uploads any cache artifacts it produced (``PUT /v1/artifacts/<key>``,
+content-addressed), posts the result, and asks again.  A background
+heartbeat extends the lease while a long measurement runs; if the
+worker dies instead (SIGKILL, OOM, power loss), the heartbeat stops,
+the lease expires, and the master re-queues the task — no worker-side
+cleanup is ever required for correctness.
+
+Process bootstrap is the shared :class:`repro.exec.worker.WorkerContext`
+(cache handle, tracing off by default — leases carry the sweep's trace
+flag per task — and an optional chaos policy for drills), so a
+pull-worker cannot drift from the pool-worker flavors.
+
+``run_worker_fleet`` is the ``--parallel N`` form: it forks N child
+workers and respawns any that die (the ``chaos fabric-kill`` drill
+SIGKILLs them mid-lease on purpose), under the usual crash-budget
+arithmetic so a worker that can never start does not respawn forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import socket
+import threading
+import time
+
+from .. import cache as cache_mod
+from ..core.errors import UsageError
+from ..exec import worker as worker_mod
+from ..exec.worker import WorkerContext
+from ..resilience.runner import RunnerConfig
+from ..resilience.supervise import backoff_delay, default_crash_budget
+from .client import FabricClient
+
+__all__ = ["run_worker", "run_worker_fleet"]
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _lease_payload(lease: dict) -> dict:
+    """A lease body in the :func:`repro.exec.worker.run_task` shape."""
+    return {
+        "task": lease["task"],
+        "config": RunnerConfig(**(lease.get("config") or {})),
+        "inject": tuple(lease.get("inject") or ()),
+        "skip": frozenset(lease.get("skip") or ()),
+        "trace": bool(lease.get("trace")),
+        "attempt": int(lease.get("attempt") or 0),
+    }
+
+
+def _heartbeat_loop(client: FabricClient, task_id: str, worker_id: str,
+                    period_s: float, stop: threading.Event) -> None:
+    while not stop.wait(period_s):
+        try:
+            status, reply = client.request(
+                "POST", f"/v1/tasks/{task_id}/heartbeat",
+                {"worker": worker_id})
+        except OSError:
+            continue  # transient wire trouble; the next beat retries
+        if status != 200 or (isinstance(reply, dict) and reply.get("stale")):
+            return    # lease already re-queued; stop flogging it
+
+
+def _upload_artifacts(client: FabricClient, cache, mark: int) -> list[dict]:
+    """Ship every cache entry written since ``mark``; returns the manifest."""
+    manifest: list[dict] = []
+    if cache is None:
+        return manifest
+    for relpath in cache.written[mark:]:
+        try:
+            with open(os.path.join(cache.root, relpath), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            continue
+        key = hashlib.sha256(data).hexdigest()
+        try:
+            status, _ = client.request("PUT", f"/v1/artifacts/{key}",
+                                       body=data)
+        except OSError:
+            continue
+        if status in (200, 201):
+            manifest.append({"path": relpath, "key": key})
+    return manifest
+
+
+def _run_lease(client: FabricClient, worker_id: str, lease: dict) -> None:
+    payload = _lease_payload(lease)
+    cache = cache_mod.active()
+    mark = len(cache.written) if cache is not None else 0
+    period = max(0.05, float(lease.get("deadline_s") or 30.0) / 3.0)
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(client, lease["id"], worker_id, period, stop), daemon=True)
+    beat.start()
+    try:
+        output = worker_mod.run_task(payload)
+    finally:
+        stop.set()
+        beat.join(timeout=period + 1.0)
+    artifacts = _upload_artifacts(client, cache, mark)
+    client.request("POST", f"/v1/tasks/{lease['id']}/result",
+                   {"worker": worker_id, "output": output,
+                    "artifacts": artifacts})
+
+
+def run_worker(master: str, worker_id: str | None = None, *,
+               batch: int = 1, cache_dir: str | None = None,
+               chaos=None, poll_s: float = 0.2,
+               max_idle_s: float | None = None, once: bool = False,
+               bootstrap: bool = True,
+               client: FabricClient | None = None) -> int:
+    """Pull-and-run until the master goes away; returns tasks completed.
+
+    ``once`` returns after the first idle poll that follows completed
+    work (the smoke-test form); ``max_idle_s`` bounds how long a worker
+    waits for its first task.  ``bootstrap=False`` skips the
+    process-wide :class:`WorkerContext` install (for in-process tests
+    that must not clobber the host's obs/cache state).
+    """
+    if bootstrap:
+        WorkerContext(cache_dir=cache_dir, trace=False, chaos=chaos).apply()
+    client = client or FabricClient(master)
+    worker_id = worker_id or _default_worker_id()
+    completed = 0
+    connected = False
+    idle_since: float | None = None
+    while True:
+        try:
+            status, reply = client.request(
+                "POST", "/v1/tasks/lease",
+                {"worker": worker_id, "limit": max(1, int(batch))})
+        except OSError as exc:
+            if not connected:
+                raise UsageError(
+                    f"cannot reach fabric master at {master}: {exc}")
+            return completed   # master gone: a worker has nothing to do
+        connected = True
+        leases = (reply.get("leases") if isinstance(reply, dict) else None) \
+            or []
+        if status != 200 or not leases:
+            if once and completed:
+                return completed
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if max_idle_s is not None and now - idle_since >= max_idle_s:
+                return completed
+            time.sleep(poll_s)
+            continue
+        idle_since = None
+        for lease in leases:
+            _run_lease(client, worker_id, lease)
+            completed += 1
+
+
+def run_worker_fleet(master: str, parallel: int, **kwargs) -> int:
+    """Fork ``parallel`` pull-workers; respawn the ones that die.
+
+    A child exiting cleanly means the master is gone (or ``once`` /
+    ``max_idle_s`` fired) — the fleet winds down.  A child dying
+    (SIGKILL, crash) respawns with exponential backoff under a crash
+    budget, exactly the supervision stance the local pool takes.
+    """
+    import multiprocessing
+
+    parallel = max(1, int(parallel))
+    if parallel == 1:
+        return run_worker(master, **kwargs)
+    try:
+        mp = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        mp = multiprocessing.get_context()
+
+    def child(slot: int) -> None:
+        run_worker(master, worker_id=f"{_default_worker_id()}.{slot}",
+                   **kwargs)
+
+    procs = {slot: mp.Process(target=child, args=(slot,), daemon=True)
+             for slot in range(parallel)}
+    for proc in procs.values():
+        proc.start()
+    budget = default_crash_budget(8 * parallel)
+    crashes = 0
+    try:
+        while procs:
+            time.sleep(0.05)
+            for slot, proc in list(procs.items()):
+                if proc.is_alive():
+                    continue
+                if proc.exitcode == 0:
+                    # Clean exit: the master is gone — stop the fleet.
+                    del procs[slot]
+                    for other in procs.values():
+                        other.terminate()
+                    for other in procs.values():
+                        other.join(timeout=5.0)
+                    return 0
+                crashes += 1
+                if crashes > budget:
+                    raise UsageError(
+                        f"fabric workers died {crashes} times "
+                        f"(budget {budget}); giving up")
+                time.sleep(backoff_delay(crashes, 0.05))
+                procs[slot] = mp.Process(target=child, args=(slot,),
+                                         daemon=True)
+                procs[slot].start()
+        return 0
+    finally:
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs.values():
+            proc.join(timeout=5.0)

@@ -292,6 +292,10 @@ PROM_HELP = {
     "serve.batch_size": "Blocks coalesced per evaluator invocation.",
     "serve.worker_restarts": "Serve pool evaluator workers respawned.",
     "serve.worker_kills": "Serve pool evaluator worker deaths observed.",
+    "fabric.leases": "Sweep tasks leased to fabric pull-workers.",
+    "fabric.expiries": "Fabric task leases that expired (worker presumed "
+                       "dead).",
+    "fabric.requeues": "Expired fabric tasks re-queued for another worker.",
     "sweep.cells_done": "Sweep design points committed (per design).",
 }
 
@@ -307,6 +311,9 @@ DEFAULT_COUNTERS = (
     "resilience.failures",
     "serve.worker_restarts",
     "serve.worker_kills",
+    "fabric.leases",
+    "fabric.expiries",
+    "fabric.requeues",
 )
 
 

@@ -197,20 +197,14 @@ def pool_worker_main(conn: socket.socket, init: WorkerInit) -> None:
         pass
     _close_inherited_fds(keep=frozenset({conn.fileno()}))
 
-    from .. import cache as cache_mod
     from .. import chaos as chaos_mod
     from .. import obs
     from ..api import Session
+    from ..exec.worker import WorkerContext
     from ..resilience import budget as res_budget
 
-    cache_mod.set_active(
-        cache_mod.ArtifactCache(init.cache_dir) if init.cache_dir else None)
-    chaos_mod.set_active(init.chaos)
-    if init.obs:
-        obs.enable()
-    else:
-        obs.disable()
-    obs.clear()
+    WorkerContext(cache_dir=init.cache_dir, trace=init.obs,
+                  chaos=init.chaos).apply()
     session = Session()
 
     def handle_eval(req: dict) -> dict:

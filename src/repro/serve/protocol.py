@@ -67,6 +67,7 @@ REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Content",
     429: "Too Many Requests",

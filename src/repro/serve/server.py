@@ -20,7 +20,18 @@ GET    ``/v1/jobs/<id>/events``  chunked NDJSON stream of the job's
                             structured events: replay first, then live
                             per-cell events until the job is terminal
 GET    ``/v1/traces/<id>``  the assembled span tree for one trace id
-GET    ``/healthz``         liveness + drain state
+POST   ``/v1/sweeps``       submit a distributed sweep (wire-form tasks)
+                            to the fabric broker
+GET    ``/v1/sweeps/<id>``  fabric sweep status (``/results`` once done)
+POST   ``/v1/tasks/lease``  pull-worker lease: up to N runnable tasks,
+                            each with a ``fabric_lease_s`` deadline
+POST   ``/v1/tasks/<id>/heartbeat``  extend a live lease mid-run
+POST   ``/v1/tasks/<id>/result``     upload a task's record + obs
+                            buffers + artifact manifest (stale → 409)
+GET    ``/v1/artifacts/<key>``  fetch a content-addressed blob
+PUT    ``/v1/artifacts/<key>``  upload one; bytes must hash to ``key``
+                            or the upload is rejected and quarantined
+GET    ``/healthz``         liveness + drain state + fabric lease block
 GET    ``/metrics``         live obs snapshot, Prometheus text format
                             (with per-design/per-engine label series)
 ====== ==================== ===========================================
@@ -121,6 +132,9 @@ class ServeConfig:
     worker_term_grace_s: float = 2.0  # SIGTERM death window (the ladder)
     worker_ping_s: float = 5.0   # idle-worker heartbeat period
     worker_crash_budget: int | None = None  # pool-wide deaths before 503s
+    fabric_lease_s: float = 30.0  # fabric task lease before a worker is
+    #                               presumed dead and the task re-queues
+    fabric_backoff_s: float = 0.05  # expiry → re-queue backoff base
 
 
 class _Admission:
@@ -171,6 +185,14 @@ class EvalServer:
             threshold=self.config.breaker_threshold,
             cooldown_s=self.config.breaker_cooldown_s)
         self.admission = _Admission(self.config.max_inflight)
+        from ..fabric.broker import TaskBroker
+
+        self.fabric = TaskBroker(
+            lease_s=self.config.fabric_lease_s,
+            backoff_s=self.config.fabric_backoff_s,
+            journal=self.jobs._journal,
+            cache=getattr(session, "cache", None))
+        self._fabric_tick: asyncio.Task | None = None
         self.pool: WorkerPool | None = None   # built in run() when workers>1
         self._compute = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-eval")
@@ -208,6 +230,7 @@ class EvalServer:
                 self._handle_conn, self.config.host, self.config.port)
             self.port = self._listener.sockets[0].getsockname()[1]
             self._started = time.monotonic()
+            self._fabric_tick = loop.create_task(self._fabric_expiry_loop())
             handled_signals = []
             for signum, code in ((signal.SIGTERM, 0), (signal.SIGINT, 3)):
                 try:
@@ -294,7 +317,20 @@ class EvalServer:
         if self._exit is not None and not self._exit.done():
             self._exit.set_result(code)
 
+    async def _fabric_expiry_loop(self) -> None:
+        """Periodic lease sweep: expired leases re-queue or poison."""
+        interval = min(0.5, self.config.fabric_lease_s / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            self.fabric.expire()
+
     async def _close_everything(self) -> None:
+        if self._fabric_tick is not None:
+            self._fabric_tick.cancel()
+            try:
+                await self._fabric_tick
+            except asyncio.CancelledError:
+                pass
         if self._listener is not None:
             self._listener.close()
             await self._listener.wait_closed()
@@ -427,6 +463,35 @@ class EvalServer:
             if method != "GET":
                 return error_response("use GET", 405)
             return self._get_trace(path[len("/v1/traces/"):])
+        if path == "/v1/sweeps":
+            if method != "POST":
+                return error_response("use POST", 405)
+            return self._submit_sweep(request)
+        if path.startswith("/v1/sweeps/"):
+            if method != "GET":
+                return error_response("use GET", 405)
+            rest = path[len("/v1/sweeps/"):]
+            if rest.endswith("/results"):
+                return self._sweep_results(rest[:-len("/results")])
+            return self._sweep_status(rest)
+        if path == "/v1/tasks/lease":
+            if method != "POST":
+                return error_response("use POST", 405)
+            return self._lease_tasks(request)
+        if path.startswith("/v1/tasks/"):
+            if method != "POST":
+                return error_response("use POST", 405)
+            rest = path[len("/v1/tasks/"):]
+            if rest.endswith("/heartbeat"):
+                return self._task_heartbeat(
+                    rest[:-len("/heartbeat")], request)
+            if rest.endswith("/result"):
+                return self._task_result(rest[:-len("/result")], request)
+        if path.startswith("/v1/artifacts/"):
+            if method not in ("GET", "PUT"):
+                return error_response("use GET or PUT", 405)
+            return self._artifact(method, path[len("/v1/artifacts/"):],
+                                  request)
         return error_response(f"no such endpoint: {method} {path}", 404)
 
     # ------------------------------------------------------------------
@@ -441,6 +506,7 @@ class EvalServer:
             "breaker": self.breaker.state,
             "workers": (self.pool.snapshot()
                         if self.pool is not None else []),
+            "fabric": self.fabric.snapshot(),
             "uptime_s": round(time.monotonic() - self._started, 3),
         })
 
@@ -628,6 +694,107 @@ class EvalServer:
         if not payload["spans"]:
             return error_response(f"no spans for trace: {trace_id}", 404)
         return json_response(payload)
+
+    # ------------------------------------------------------------------
+    # fabric task surface
+    # ------------------------------------------------------------------
+    def _submit_sweep(self, request: Request) -> Response:
+        from ..exec.tasks import TaskSchemaError
+
+        if self._draining:
+            return error_response("server is draining", 503)
+        try:
+            sweep_id = self.fabric.submit(
+                request.json(), request.headers.get("traceparent"))
+        except (ValueError, TaskSchemaError) as exc:
+            return error_response(str(exc), 400)
+        info = self.fabric.status(sweep_id) or {}
+        return json_response({"id": sweep_id,
+                              "tasks": info.get("total", 0)})
+
+    def _sweep_status(self, sweep_id: str) -> Response:
+        info = self.fabric.status(sweep_id)
+        if info is None:
+            return error_response(f"no such sweep: {sweep_id}", 404)
+        return json_response(info)
+
+    def _sweep_results(self, sweep_id: str) -> Response:
+        info = self.fabric.status(sweep_id)
+        if info is None:
+            return error_response(f"no such sweep: {sweep_id}", 404)
+        results = self.fabric.results(sweep_id)
+        if results is None:
+            return error_response(
+                f"sweep {sweep_id} is {info['state']}, not done", 409)
+        return json_response({"id": sweep_id, "results": results})
+
+    def _lease_tasks(self, request: Request) -> Response:
+        payload = request.json()
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            return error_response("missing 'worker'", 400)
+        if self._draining:
+            # A draining master hands out no new work; workers idle and
+            # exit on their own schedule.
+            return json_response({"leases": []})
+        try:
+            limit = int(payload.get("limit", 1))
+        except (TypeError, ValueError):
+            return error_response("bad 'limit'", 400)
+        return json_response({"leases": self.fabric.lease(worker, limit)})
+
+    def _task_heartbeat(self, task_id: str, request: Request) -> Response:
+        payload = request.json()
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            return error_response("missing 'worker'", 400)
+        reply = self.fabric.heartbeat(task_id, worker)
+        if reply is None:
+            return error_response(f"no such task: {task_id}", 404)
+        if reply.get("stale"):
+            return error_response(
+                f"lease on {task_id} is no longer held by {worker}", 409)
+        return json_response(reply)
+
+    def _task_result(self, task_id: str, request: Request) -> Response:
+        payload = request.json()
+        worker = payload.get("worker")
+        output = payload.get("output")
+        if not isinstance(worker, str) or not worker:
+            return error_response("missing 'worker'", 400)
+        if not isinstance(output, dict):
+            return error_response("missing 'output'", 400)
+        reply = self.fabric.result(task_id, worker, output,
+                                   payload.get("artifacts"))
+        if reply is None:
+            return error_response(f"no such task: {task_id}", 404)
+        if reply.get("stale"):
+            return error_response(
+                f"lease on {task_id} is no longer held by {worker}; "
+                f"result discarded", 409)
+        return json_response({"ok": True})
+
+    def _artifact(self, method: str, key: str, request: Request) -> Response:
+        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+            return error_response(
+                "artifact keys are 64 lowercase hex chars (SHA-256)", 400)
+        cache = getattr(self.session, "cache", None)
+        if cache is None:
+            return error_response(
+                "no artifact cache configured on this master", 503)
+        if method == "GET":
+            data = cache.get_blob(key)
+            if data is None:
+                return error_response(f"no such artifact: {key}", 404)
+            return Response(body=data,
+                            content_type="application/octet-stream")
+        try:
+            cache.put_blob(request.body, key)
+        except ValueError as exc:
+            # Tampered or truncated upload: the bytes do not hash to the
+            # claimed address.  The cache quarantined them already.
+            return error_response(str(exc), 400)
+        return json_response({"key": key})
 
     # ------------------------------------------------------------------
     # compute plumbing
