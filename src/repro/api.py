@@ -237,6 +237,16 @@ class Session:
         (``seed=3,kill=0.5,…``); active for this session's work,
         including pool workers and the evaluation service.  A bad spec
         raises :class:`UsageError` (CLI exit 2).
+    preempt:
+        QoS hook: a callable polled at every sweep-cell boundary (after
+        the cell's checkpoint record is durable); returning true raises
+        :class:`~repro.core.errors.SweepPreempted`.  The serve tier's
+        job scheduler uses this to pause a running sweep for a
+        higher-priority arrival and resume it byte-identically later.
+    priority / api_key:
+        Stamped on fabric sweep submissions: the broker schedules
+        tenants fair-share and orders a tenant's sweeps by priority;
+        ``api_key`` is sent as ``X-Api-Key`` to the fabric master.
     """
 
     def __init__(
@@ -252,9 +262,18 @@ class Session:
         max_tasks_per_child: int | None = _DEFAULT_RECYCLE,
         chaos: ChaosPolicy | str | None = None,
         fabric: str | None = None,
+        preempt=None,
+        priority: int = 0,
+        api_key: str | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.fabric = fabric
+        #: QoS: sweep-cell preemption hook (see SweepRunner.preempt),
+        #: the priority stamped on fabric sweep submissions, and the
+        #: API key sent as ``X-Api-Key`` to a fabric master.
+        self.preempt = preempt
+        self.priority = int(priority)
+        self.api_key = api_key
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         self.cache = cache
@@ -326,18 +345,21 @@ class Session:
             if self.fabric:
                 from .fabric import FabricExecutor
 
-                executor = FabricExecutor(self.fabric)
+                executor = FabricExecutor(self.fabric,
+                                          api_key=self.api_key,
+                                          priority=self.priority)
             runner: SweepRunner = ParallelSweepRunner(
                 tasks=tasks, jobs=self.jobs, cache=self.cache,
                 config=self.runner_config, checkpoint=checkpoint,
                 inject_failures=self.inject_faults,
                 max_tasks_per_child=self.max_tasks_per_child,
-                executor=executor)
+                executor=executor, preempt=self.preempt)
             runner.prefetch()
         else:
             runner = SweepRunner(config=self.runner_config,
                                  checkpoint=checkpoint,
-                                 inject_failures=self.inject_faults)
+                                 inject_failures=self.inject_faults,
+                                 preempt=self.preempt)
         self.last_runner = runner
         return runner
 

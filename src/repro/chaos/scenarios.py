@@ -45,6 +45,13 @@ Scenarios
     workers.  The ``--fabric`` sweep must still render byte-identical
     to a clean serial run, with lease expiries > 0 proving the deaths
     happened.
+``qos-storm``
+    A saturating high-priority tenant storms the job scheduler while an
+    anonymous low-priority fig1 job is mid-sweep: the storm preempts the
+    light job at a cell boundary, the fair-share queue runs the heavy
+    jobs, and the light job's re-run resumes from its checkpoint — its
+    final output must be byte-identical to an uninterrupted run, with
+    ``preemptions > 0`` proving the storm actually paused it.
 ``all``
     Every scenario above, worst exit code wins.
 """
@@ -413,6 +420,99 @@ def _fabric_kill(seed: int, jobs: int) -> int:
     return _report("fabric-kill", violations)
 
 
+def _qos_storm(seed: int, jobs: int) -> int:
+    """A tenant storm preempts a running sweep; its output must not move.
+
+    The storm is synchronized off the obs event stream, not sleeps: the
+    first ``cell.done`` of the light job triggers the heavy-tenant
+    submissions, so the light sweep is provably mid-flight (at least one
+    cell committed, more to go) when the higher priority arrives.
+    """
+    import time as _time
+
+    from .. import obs
+    from ..api import Session
+    from ..obs import events as obs_events
+    from ..obs import metrics as obs_metrics
+    from ..qos import Keyring, Tenant
+    from ..serve.jobs import JobManager
+
+    del seed  # deterministic by construction: no randomness involved
+    clean = _fig1_text(Session(jobs=1))
+
+    obs.clear()
+    obs.enable()
+    keyring = Keyring.from_dict(
+        {"tenants": {"heavy": {"weight": 4, "priority": 5}},
+         "keys": {"storm-key": "heavy"}},
+        default=Tenant())
+    manager = JobManager(Session(jobs=max(1, jobs)), max_queued=16,
+                         keyring=keyring)
+    violations: list[str] = []
+    try:
+        light = manager.submit("fig1")
+        heavy_params = {"bsc_configs": 1, "bambu_configs": 1,
+                        "xls_stages": 1}
+        heavy_ids: list[str] = []
+        stormed = False
+
+        def storm(event: dict) -> None:
+            nonlocal stormed
+            if stormed or event.get("type") != "cell.done" \
+                    or event.get("job") != light.id:
+                return
+            stormed = True
+            for _ in range(2):
+                job = manager.submit("fig1", dict(heavy_params),
+                                     tenant=keyring.resolve("storm-key"))
+                heavy_ids.append(job.id)
+
+        with obs_events.EVENTS.subscribe(storm):
+            deadline = _time.monotonic() + 300
+            while _time.monotonic() < deadline:
+                jobs_now = manager.list()
+                if stormed and all(j.status in ("done", "failed")
+                                   for j in jobs_now):
+                    break
+                _time.sleep(0.05)
+        manager.drain()
+        if not stormed:
+            violations.append(
+                "the light job finished before the storm could trigger — "
+                "the scenario proved nothing")
+        for job_id in heavy_ids:
+            job = manager.get(job_id)
+            if job is None or job.status != "done":
+                violations.append(
+                    f"heavy job {job_id} did not complete "
+                    f"({job.status if job else 'evicted'})")
+        if light.status != "done":
+            violations.append(
+                f"light job never finished under the storm "
+                f"(status {light.status!r}: {light.error})")
+        elif light.output != clean:
+            violations += check_invariant(clean, light.output or "")
+            violations.append(
+                "preempted-and-resumed output differs from an "
+                "uninterrupted run — the checkpoint resume leaked state")
+        if not light.preemptions:
+            violations.append(
+                "no preemption recorded — the storm never paused the "
+                "light job, so the scenario proved nothing")
+        preempt_count = obs_metrics.snapshot()["counters"].get(
+            "qos.preemptions", 0)
+        if light.preemptions and not preempt_count:
+            violations.append(
+                "qos.preemptions counter stayed 0 despite a recorded "
+                "preemption — the metrics path is broken")
+        print(f"  preemptions: {light.preemptions}, heavy jobs run: "
+              f"{len(heavy_ids)}, qos.preemptions counter: "
+              f"{preempt_count}")
+    finally:
+        obs.disable()
+    return _report("qos-storm", violations)
+
+
 SCENARIOS = {
     "worker-kill": _worker_kill,
     "cache-rot": _cache_rot,
@@ -420,6 +520,7 @@ SCENARIOS = {
     "serve-kill": _serve_kill,
     "batch-engine": _batch_engine,
     "fabric-kill": _fabric_kill,
+    "qos-storm": _qos_storm,
 }
 
 

@@ -23,7 +23,8 @@ Commands:
   (byte-identical to the service's ``POST /v1/measure`` response);
 * ``serve [--host H] [--port P] [--jobs N] [--cache DIR] [--max-batch B]
   [--batch-wait-ms W] [--max-inflight Q] [--budget-s S] [--warm NAME]
-  [--workers N] [--worker-deadline-s S] [--worker-crash-budget K]``
+  [--workers N] [--worker-deadline-s S] [--worker-crash-budget K]
+  [--api-keys FILE] [--quota N] [--rate R] [--burst B] [--weight W]``
   — run the asyncio evaluation service (``/v1/idct`` micro-batching,
   admission control, ``/healthz`` + ``/metrics``); ``--workers N`` (N>1)
   pre-forks N evaluator processes with (design, engine)-affinity routing
@@ -58,8 +59,8 @@ Commands:
   the detection rate drops below ``--min-detect``;
 * ``chaos <scenario> [--seed S] [--jobs N]`` — run a seeded chaos drill
   (``worker-kill``, ``cache-rot``, ``serve-flaky``, ``serve-kill``,
-  ``batch-engine``, ``fabric-kill``, or ``all``) and assert the
-  honest-failure invariant; exits 1 on any violation;
+  ``batch-engine``, ``fabric-kill``, ``qos-storm``, or ``all``) and
+  assert the honest-failure invariant; exits 1 on any violation;
 * ``list``              — list all registered design names.
 
 ``table2`` and ``fig1`` share the execution flags: ``--jobs N`` (measure
@@ -98,6 +99,22 @@ task ids, ``kill`` SIGKILLs the affine evaluator worker on the first
 attempt (the batch retries once on a fresh worker), ``poison`` on both
 attempts (the request is quarantined and answered with an honest 503 —
 the ``serve-kill`` drill asserts exactly this contract).
+
+Multi-tenant QoS grammar: ``serve --api-keys FILE`` loads a JSON keyring
+(``{"tenants": {name: {weight, rate_per_s, burst, max_jobs, priority}},
+"keys": {api-key: name}}``); requests authenticate with an ``X-Api-Key``
+header (no header → the anonymous tenant, unknown key → 403).
+``--quota N`` caps the anonymous tenant's queued+running jobs (over
+quota → 429 with a computed ``Retry-After``), ``--rate R``/``--burst B``
+set its integer token-bucket request rate (0 = unlimited), and
+``--weight W`` its fair-share weight: job and fabric queues dequeue by
+weighted deficit round-robin across tenants, so a weight-``W`` tenant
+gets ``W`` cells per scheduling round and nobody starves.  On the
+client side ``table2``/``fig1`` accept ``--api-key KEY`` (identifies
+the tenant to a ``--fabric`` master) and ``--priority P`` (orders the
+tenant's own sweeps; a higher-priority arrival preempts a running sweep
+at the next cell boundary and the preempted sweep resumes from its
+checkpoint with stdout byte-identical to an uninterrupted run).
 
 Exit-code contract (stable — scripts and CI may rely on it):
 
@@ -229,7 +246,9 @@ def _make_session(args, *, trace: bool = False):
                    inject_faults=args.inject_fault or [],
                    max_tasks_per_child=args.max_tasks_per_child or None,
                    chaos=args.chaos,
-                   fabric=getattr(args, "fabric", None))
+                   fabric=getattr(args, "fabric", None),
+                   priority=getattr(args, "priority", 0) or 0,
+                   api_key=getattr(args, "api_key", None))
 
 
 def _print_summaries(session) -> None:
@@ -413,6 +432,11 @@ def _cmd_serve(args) -> int:
             worker_deadline_s=args.worker_deadline_s,
             worker_crash_budget=args.worker_crash_budget,
             fabric_lease_s=args.fabric_lease_s,
+            api_keys=args.api_keys,
+            tenant_quota=args.quota,
+            tenant_rate=args.rate,
+            tenant_burst=args.burst,
+            tenant_weight=args.weight,
         )
     except OSError as exc:
         print(f"cannot listen on {args.host}:{args.port}: {exc}",
@@ -684,6 +708,12 @@ def main(argv: list[str] | None = None) -> int:
                             "(a `serve` instance) and its `work` "
                             "pull-workers instead of a local pool; "
                             "output stays byte-identical to serial")
+        p.add_argument("--api-key", metavar="KEY",
+                       help="QoS tenant credential sent to the --fabric "
+                            "master (X-Api-Key header)")
+        p.add_argument("--priority", type=int, default=0, metavar="P",
+                       help="sweep priority within the tenant (higher "
+                            "preempts lower at cell boundaries; default 0)")
 
     p_table2 = sub.add_parser("table2", help="regenerate Table II")
     p_table2.add_argument("--tools", nargs="*", help="restrict to tool keys")
@@ -798,6 +828,23 @@ def main(argv: list[str] | None = None) -> int:
                          help="fabric task lease duration; a pull-worker "
                               "silent this long is presumed dead and its "
                               "task re-queues (default 30)")
+    p_serve.add_argument("--api-keys", metavar="FILE",
+                         help="JSON keyring mapping API keys to QoS "
+                              "tenants (weight, rate, burst, quota, "
+                              "priority); requests without a key run as "
+                              "the anonymous tenant")
+    p_serve.add_argument("--quota", type=int, default=None, metavar="N",
+                         help="queued+running sweep jobs per anonymous "
+                              "tenant before 429 (default: unlimited)")
+    p_serve.add_argument("--rate", type=int, default=0, metavar="R",
+                         help="anonymous-tenant request rate per second, "
+                              "token bucket (default 0: unlimited)")
+    p_serve.add_argument("--burst", type=int, default=8, metavar="B",
+                         help="anonymous-tenant token-bucket burst "
+                              "(default 8)")
+    p_serve.add_argument("--weight", type=int, default=1, metavar="W",
+                         help="anonymous-tenant fair-share weight "
+                              "(default 1)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_work = sub.add_parser(
@@ -834,7 +881,7 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("scenario",
                          choices=("worker-kill", "cache-rot", "serve-flaky",
                                   "serve-kill", "batch-engine",
-                                  "fabric-kill", "all"))
+                                  "fabric-kill", "qos-storm", "all"))
     p_chaos.add_argument("--seed", type=int, default=3,
                          help="chaos policy seed (default 3)")
     p_chaos.add_argument("--jobs", type=int, default=2,

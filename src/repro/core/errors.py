@@ -31,6 +31,7 @@ __all__ = [
     "UsageError",
     "BudgetExceeded",
     "SweepInterrupted",
+    "SweepPreempted",
     "WorkerCrashError",
 ]
 
@@ -164,6 +165,18 @@ class BudgetExceeded(ReproError):
 
 class SweepInterrupted(ReproError):
     """A sweep was deliberately stopped mid-run (checkpoint left on disk)."""
+
+
+class SweepPreempted(SweepInterrupted):
+    """A higher-priority arrival paused this sweep at a cell boundary.
+
+    Raised by the runner's ``preempt`` hook *after* the boundary cell's
+    checkpoint record is durable, so re-running the sweep with
+    ``resume=True`` replays every committed cell and the resumed run's
+    stdout stays byte-identical to an uninterrupted one.  The scheduler
+    (``repro.serve.jobs``) catches this to re-queue the job rather than
+    fail it.
+    """
 
 
 class WorkerCrashError(ReproError):

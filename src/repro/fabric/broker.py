@@ -46,6 +46,7 @@ from ..exec.tasks import SweepTask
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..qos import WeightedFairQueue
 from ..resilience.supervise import backoff_delay, default_crash_budget
 
 __all__ = ["TaskBroker"]
@@ -65,6 +66,7 @@ class _Task:
     deadline: float | None = None   # broker-clock lease deadline
     ready_at: float = 0.0           # earliest re-lease time (backoff)
     result: dict | None = None      # {"output": …} | {"crashed": n}
+    seq: int = 0                    # fair-share queue position (stable)
 
 
 @dataclass
@@ -83,6 +85,9 @@ class _Sweep:
     error: str | None = None
     trace_id: str = ""
     graft: int | None = None        # server-side fabric.dispatch span id
+    tenant: str = "anon"            # owning tenant (from the API key)
+    weight: int = 1                 # fair-share weight at lease time
+    priority: int = 0               # within-tenant sweep priority
 
 
 class TaskBroker:
@@ -98,6 +103,9 @@ class TaskBroker:
         self.sweeps: dict[str, _Sweep] = {}
         self.tasks: dict[str, _Task] = {}
         self._seq = 0
+        # Pending task ids, dequeued weighted-fair across tenants
+        # (priority-ordered within a tenant) instead of plain FIFO.
+        self._queue = WeightedFairQueue()
 
     # ------------------------------------------------------------------
     def _note(self, event: str, **fields) -> None:
@@ -105,8 +113,13 @@ class TaskBroker:
             self.journal(event, **fields)
 
     # ------------------------------------------------------------------
-    def submit(self, payload: dict, traceparent: str | None = None) -> str:
+    def submit(self, payload: dict, traceparent: str | None = None,
+               tenant=None) -> str:
         """Accept a wire sweep; returns its id.
+
+        ``tenant`` (a :class:`~repro.qos.Tenant`, resolved from the
+        request's ``X-Api-Key``) owns the sweep for fair-share purposes;
+        the payload's ``priority`` orders the tenant's own sweeps.
 
         Raises ``ValueError`` for a malformed body and
         :class:`~repro.exec.tasks.TaskSchemaError` for task records this
@@ -118,6 +131,11 @@ class TaskBroker:
         config = payload.get("config")
         if not isinstance(config, dict):
             raise ValueError("sweep needs a 'config' object")
+        raw_priority = payload.get("priority", 0)
+        if isinstance(raw_priority, bool) \
+                or not isinstance(raw_priority, (int, type(None))):
+            raise ValueError("'priority' must be an integer")
+        priority = int(raw_priority or 0)
         for record in records:
             SweepTask.from_record(record)  # validate schema up front
         self._seq += 1
@@ -134,16 +152,23 @@ class TaskBroker:
                   wire=record)
             for index, record in enumerate(records)
         ]
+        tenant_name = getattr(tenant, "name", None) or "anon"
+        weight = max(1, int(getattr(tenant, "weight", 1) or 1))
+        if not priority:
+            priority = int(getattr(tenant, "priority", 0) or 0)
         sweep = _Sweep(
             id=sweep_id, tasks=tasks, config=config,
             inject=sorted(payload.get("inject") or []),
             skip=sorted(payload.get("skip") or []),
             trace=bool(payload.get("trace")),
             budget=default_crash_budget(len(tasks)),
-            trace_id=trace_id, graft=graft)
+            trace_id=trace_id, graft=graft,
+            tenant=tenant_name, weight=weight, priority=priority)
         self.sweeps[sweep_id] = sweep
         for task in tasks:
             self.tasks[task.id] = task
+            task.seq = self._queue.enqueue(tenant_name, task.id,
+                                           weight=weight, priority=priority)
         self._note("fabric.submitted", id=sweep_id, tasks=len(tasks),
                    trace=trace_id)
         obs_events.emit("fabric.submitted", sweep=sweep_id,
@@ -176,17 +201,29 @@ class TaskBroker:
 
     # ------------------------------------------------------------------
     def lease(self, worker: str, limit: int = 1) -> list[dict]:
-        """Hand ``worker`` up to ``limit`` runnable tasks."""
+        """Hand ``worker`` up to ``limit`` runnable tasks.
+
+        Dequeue order is weighted deficit round-robin across tenants
+        (priority-ordered within each), so a saturating tenant cannot
+        starve a light one of worker capacity.
+        """
         now = self.clock()
         limit = max(1, int(limit))
         leases: list[dict] = []
-        for task in self.tasks.values():
-            if len(leases) >= limit:
+
+        def ready(task_id: str) -> bool:
+            return self.tasks[task_id].ready_at <= now
+
+        while len(leases) < limit:
+            task_id = self._queue.pop(ready=ready)
+            if task_id is None:
                 break
-            if task.state != "pending" or task.ready_at > now:
-                continue
+            task = self.tasks[task_id]
             sweep = self.sweeps[task.sweep]
-            if sweep.state != "running":
+            if task.state != "pending" or sweep.state != "running":
+                # Stale queue entry (task re-leased elsewhere, or its
+                # sweep already failed): drop it without charging the
+                # worker's limit.
                 continue
             task.state = "leased"
             task.worker = worker
@@ -289,6 +326,11 @@ class TaskBroker:
                 task.state = "pending"
                 task.ready_at = now + backoff_delay(sweep.expiries,
                                                     self.backoff_s)
+                # Re-enter the fair-share queue at the original seq so
+                # the retry keeps its place within the tenant's line.
+                self._queue.enqueue(sweep.tenant, task.id,
+                                    weight=sweep.weight,
+                                    priority=sweep.priority, seq=task.seq)
                 obs_metrics.inc("fabric.requeues")
             if sweep.expiries > sweep.budget and sweep.state == "running":
                 sweep.state = "failed"

@@ -76,11 +76,14 @@ class FabricExecutor:
 
     def __init__(self, master: str, poll_s: float = 0.05,
                  timeout_s: float | None = None,
-                 client: FabricClient | None = None) -> None:
+                 client: FabricClient | None = None,
+                 api_key: str | None = None, priority: int = 0) -> None:
         self.master = master
         self.poll_s = max(0.01, float(poll_s))
         self.timeout_s = timeout_s
         self.client = client or FabricClient(master)
+        self.api_key = api_key          # identifies the QoS tenant
+        self.priority = int(priority)   # within-tenant sweep priority
         self.stats = {"worker_restarts": 0, "pools": 0}
 
     def run(self, tasks, base, context) -> list[dict | None]:
@@ -90,8 +93,11 @@ class FabricExecutor:
             "inject": sorted(base["inject"]),
             "skip": sorted(base["skip"]),
             "trace": bool(base["trace"]),
+            "priority": self.priority,
         }
         headers = {}
+        if self.api_key:
+            headers["X-Api-Key"] = self.api_key
         if base["trace"]:
             headers["traceparent"] = \
                 obs_trace.current_context().to_traceparent()

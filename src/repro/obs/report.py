@@ -297,6 +297,13 @@ PROM_HELP = {
                        "dead).",
     "fabric.requeues": "Expired fabric tasks re-queued for another worker.",
     "sweep.cells_done": "Sweep design points committed (per design).",
+    "qos.throttled": "Requests rejected 429 by a tenant's token bucket "
+                     "(per-tenant series carry a tenant label).",
+    "qos.preemptions": "Running sweeps paused at a cell boundary for a "
+                       "higher-priority arrival (per-tenant labelled).",
+    "qos.quota_rejections": "Job submissions rejected 429 over a "
+                            "tenant's concurrent-job quota "
+                            "(per-tenant labelled).",
 }
 
 #: Counters pre-registered before serving ``/metrics`` so supervision
@@ -314,6 +321,9 @@ DEFAULT_COUNTERS = (
     "fabric.leases",
     "fabric.expiries",
     "fabric.requeues",
+    "qos.throttled",
+    "qos.preemptions",
+    "qos.quota_rejections",
 )
 
 

@@ -1,0 +1,43 @@
+"""Multi-tenant quality of service: keys, quotas, fair-share, preemption.
+
+``repro.qos`` is the admission and scheduling layer the serve tier and
+the fabric broker thread their tenant policy through:
+
+* :class:`~repro.qos.tenants.Keyring` maps ``X-Api-Key`` headers to
+  named :class:`~repro.qos.tenants.Tenant` records (weight, rate limit,
+  job quota, default priority); requests without a key fall back to the
+  anonymous tenant so existing clients keep working unchanged.
+* :class:`~repro.qos.bucket.TokenBucket` /
+  :class:`~repro.qos.bucket.RateLimiter` implement per-tenant request
+  throttling in pure integer milli-token arithmetic with an injectable
+  clock — over the limit is an immediate 429 with a computed
+  ``Retry-After``, never a hang.
+* :class:`~repro.qos.sched.WeightedFairQueue` is a deficit-round-robin
+  dequeue across tenants (integer deficits only, so scheduling is
+  deterministic): a weight-``w`` tenant drains ``w`` items per round,
+  which bounds any tenant's wait by the sum of the other weights even
+  under a saturating neighbour.  Within a tenant, items order by
+  descending priority then submission order.
+
+The sweep-side preemption hook lives in
+:class:`repro.resilience.runner.SweepRunner` (``preempt=``) and raises
+:class:`repro.core.errors.SweepPreempted` at a cell boundary after the
+checkpoint record is durable, so a preempted-then-resumed job's stdout
+is byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from .bucket import RateLimiter, TokenBucket
+from .sched import WeightedFairQueue
+from .tenants import ANON, Keyring, Tenant, UnknownApiKeyError
+
+__all__ = [
+    "ANON",
+    "Keyring",
+    "RateLimiter",
+    "Tenant",
+    "TokenBucket",
+    "UnknownApiKeyError",
+    "WeightedFairQueue",
+]

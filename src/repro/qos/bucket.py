@@ -1,0 +1,76 @@
+"""Integer token-bucket rate limiting with an injectable clock.
+
+The bucket stores *milli-tokens* and reads the clock in whole
+milliseconds, so every refill and spend is integer arithmetic — two
+runs presenting the same clock readings make byte-identical admission
+decisions, which is what lets ``tests/test_qos.py`` drive the limiter
+with a deterministic fake clock.
+
+``try_acquire`` never blocks: it either admits (returns ``None``) or
+returns the computed whole-second wait until the next token matures —
+the ``Retry-After`` value the serve tier puts on its 429.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+#: Milli-tokens per request (cost 1 token).
+_COST = 1000
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate_per_s`` refill."""
+
+    def __init__(self, rate_per_s: int, burst: int,
+                 clock=time.monotonic) -> None:
+        self.rate_per_s = max(0, int(rate_per_s))
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._milli = self.burst * _COST       # starts full
+        self._last_ms = self._now_ms()
+
+    def _now_ms(self) -> int:
+        return int(self._clock() * 1000)
+
+    def try_acquire(self) -> int | None:
+        """Admit one request, or return the whole-second retry delay.
+
+        ``None`` means admitted.  A non-``None`` return is always >= 1:
+        the integer-ceiling seconds until enough milli-tokens mature.
+        A zero rate means unlimited — always admitted.
+        """
+        if self.rate_per_s <= 0:
+            return None
+        now = self._now_ms()
+        elapsed = max(0, now - self._last_ms)
+        self._last_ms = now
+        self._milli = min(self.burst * _COST,
+                          self._milli + elapsed * self.rate_per_s)
+        if self._milli >= _COST:
+            self._milli -= _COST
+            return None
+        deficit_ms = -(-(_COST - self._milli) // self.rate_per_s)
+        return max(1, -(-deficit_ms // 1000))
+
+
+class RateLimiter:
+    """Per-tenant buckets, built lazily from each tenant's policy."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def try_acquire(self, tenant) -> int | None:
+        """Admit one request for ``tenant`` (a :class:`~.tenants.Tenant`),
+        or return its computed ``Retry-After`` seconds."""
+        if tenant.rate_per_s <= 0:
+            return None
+        bucket = self._buckets.get(tenant.name)
+        if bucket is None:
+            bucket = TokenBucket(tenant.rate_per_s, tenant.burst,
+                                 clock=self._clock)
+            self._buckets[tenant.name] = bucket
+        return bucket.try_acquire()

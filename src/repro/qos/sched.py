@@ -1,0 +1,141 @@
+"""Weighted fair-share dequeue: deficit round-robin over tenants.
+
+The queue replaces the FIFO order the job manager and the fabric broker
+used to dequeue in.  Tenants take turns in a fixed ring; on each visit a
+tenant's integer deficit grows by ``quantum * weight`` and every dequeue
+spends one unit, so a weight-``w`` tenant drains ``w`` items per round.
+The no-starvation bound follows directly: with unit costs, the item at
+the head of any tenant's queue waits at most ``sum(other weights)``
+dequeues — even while a saturating neighbour keeps hundreds queued.
+
+Everything is integer arithmetic over explicit sequence numbers (no
+floats, no wall clock), so two runs enqueueing the same items in the
+same order dequeue them in the same order: scheduling is deterministic,
+which the byte-identity invariant of preempted-and-resumed sweeps
+leans on.
+
+Within a tenant, items order by ``(-priority, seq)``: higher priority
+first, submission order among equals.  A re-enqueued item may keep its
+original ``seq`` (a preempted job, an expired fabric lease) so it
+returns to the head of its class instead of the back of the line.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+__all__ = ["WeightedFairQueue"]
+
+
+class _TenantQueue:
+    __slots__ = ("weight", "deficit", "items")
+
+    def __init__(self, weight: int) -> None:
+        self.weight = max(1, int(weight))
+        self.deficit = 0
+        self.items: list[tuple[int, int, object]] = []  # (-prio, seq, item)
+
+
+class WeightedFairQueue:
+    """Deterministic deficit-round-robin queue across named tenants."""
+
+    def __init__(self, quantum: int = 1) -> None:
+        self.quantum = max(1, int(quantum))
+        self._tenants: dict[str, _TenantQueue] = {}
+        self._order: list[str] = []   # ring of tenants, first-seen order
+        self._cursor = 0
+        self._charged = False         # cursor tenant got its quantum?
+        self._seq = 0
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, tenant: str, item, *, weight: int = 1,
+                priority: int = 0, seq: int | None = None) -> int:
+        """Queue ``item`` under ``tenant``; returns its sequence number.
+
+        Passing a previous ``seq`` back re-inserts the item at its old
+        position within the tenant's priority class (preemption/requeue
+        must not push work to the back of the line it already waited in).
+        """
+        queue = self._tenants.get(tenant)
+        if queue is None:
+            queue = _TenantQueue(weight)
+            self._tenants[tenant] = queue
+            self._order.append(tenant)
+        else:
+            queue.weight = max(1, int(weight))
+        if seq is None:
+            self._seq += 1
+            seq = self._seq
+        insort(queue.items, (-int(priority), int(seq), item))
+        self._count += 1
+        return seq
+
+    def __len__(self) -> int:
+        return self._count
+
+    def highest_priority(self) -> int | None:
+        """The best priority among all queued items (``None`` if empty) —
+        what a running job compares against at each preemption point."""
+        best = None
+        for queue in self._tenants.values():
+            if queue.items:
+                priority = -queue.items[0][0]
+                if best is None or priority > best:
+                    best = priority
+        return best
+
+    def snapshot(self) -> dict:
+        """Queue depth per tenant (the ``/healthz`` qos block)."""
+        return {name: len(self._tenants[name].items)
+                for name in self._order if self._tenants[name].items}
+
+    # ------------------------------------------------------------------
+    def pop(self, ready=None):
+        """Dequeue the next item under DRR, or ``None`` if nothing is
+        ready.  ``ready(item)`` filters (e.g. backoff timers): unready
+        items stay queued without spending their tenant's deficit.
+        """
+        if self._count == 0 or not self._order:
+            return None
+        hops = 0
+        limit = 2 * len(self._order) + 1
+        while hops < limit:
+            name = self._order[self._cursor % len(self._order)]
+            queue = self._tenants[name]
+            index = self._first_ready(queue, ready)
+            if index is None:
+                if not queue.items:
+                    queue.deficit = 0   # classic DRR: idle tenants reset
+                self._advance()
+                hops += 1
+                continue
+            if not self._charged:
+                queue.deficit += self.quantum * queue.weight
+                self._charged = True
+            if queue.deficit >= 1:
+                queue.deficit -= 1
+                _prio, _seq, item = queue.items.pop(index)
+                self._count -= 1
+                if not queue.items:
+                    queue.deficit = 0
+                    self._advance()
+                return item
+            self._advance()
+            hops += 1
+        return None
+
+    def _advance(self) -> None:
+        self._cursor = (self._cursor + 1) % max(1, len(self._order))
+        self._charged = False
+
+    @staticmethod
+    def _first_ready(queue: _TenantQueue, ready) -> int | None:
+        if not queue.items:
+            return None
+        if ready is None:
+            return 0
+        for index, (_prio, _seq, item) in enumerate(queue.items):
+            if ready(item):
+                return index
+        return None

@@ -1,0 +1,149 @@
+"""Tenant identity: API keys, per-tenant policy, the anonymous default.
+
+A keyring file (``--api-keys FILE``) is JSON with two tables::
+
+    {
+      "tenants": {
+        "heavy": {"weight": 4, "rate_per_s": 10, "burst": 20,
+                  "max_jobs": 2, "priority": 5},
+        "light": {"weight": 1}
+      },
+      "keys": {"secret-key-1": "heavy", "secret-key-2": "light"}
+    }
+
+Every policy field is optional and integer-valued.  ``rate_per_s = 0``
+means unlimited (no token bucket), ``max_jobs = null``/absent means no
+concurrent-job quota.  A request presenting no ``X-Api-Key`` header
+resolves to the anonymous tenant (name ``"anon"``, policy set by the
+serve-side ``--quota/--rate/--burst/--weight`` flags), so existing
+clients keep working; a request presenting an *unknown* key is a 403 —
+a typo'd credential must never silently demote to anonymous.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..core.errors import UsageError
+
+__all__ = ["ANON", "Keyring", "Tenant", "UnknownApiKeyError"]
+
+#: Name of the tenant requests without an API key resolve to.
+ANON = "anon"
+
+#: Integer policy fields a keyring entry may set (anything else is a
+#: config error, caught at load time rather than silently ignored).
+_TENANT_FIELDS = ("weight", "rate_per_s", "burst", "max_jobs", "priority")
+
+
+class UnknownApiKeyError(Exception):
+    """The presented ``X-Api-Key`` matches no keyring entry (HTTP 403)."""
+
+
+class Tenant:
+    """One tenant's QoS policy (immutable value object)."""
+
+    __slots__ = _TENANT_FIELDS + ("name",)
+
+    def __init__(self, name: str = ANON, *, weight: int = 1,
+                 rate_per_s: int = 0, burst: int = 8,
+                 max_jobs: int | None = None, priority: int = 0) -> None:
+        self.name = str(name)
+        self.weight = max(1, int(weight))
+        self.rate_per_s = max(0, int(rate_per_s))
+        self.burst = max(1, int(burst))
+        self.max_jobs = None if max_jobs is None else max(0, int(max_jobs))
+        self.priority = int(priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Tenant({self.name!r}, weight={self.weight}, "
+                f"rate_per_s={self.rate_per_s}, burst={self.burst}, "
+                f"max_jobs={self.max_jobs}, priority={self.priority})")
+
+
+class Keyring:
+    """API-key → :class:`Tenant` resolution with an anonymous default."""
+
+    def __init__(self, default: Tenant | None = None) -> None:
+        self.default = default or Tenant(ANON)
+        self._tenants: dict[str, Tenant] = {}
+        self._keys: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: dict,
+                  default: Tenant | None = None) -> "Keyring":
+        """Build a keyring from the parsed file payload (validated)."""
+        if not isinstance(payload, dict):
+            raise UsageError("api-keys file must hold a JSON object")
+        ring = cls(default=default)
+        tenants = payload.get("tenants") or {}
+        if not isinstance(tenants, dict):
+            raise UsageError("api-keys 'tenants' must be an object")
+        for name, spec in tenants.items():
+            if not isinstance(spec, dict):
+                raise UsageError(f"tenant {name!r} spec must be an object")
+            unknown = sorted(set(spec) - set(_TENANT_FIELDS))
+            if unknown:
+                raise UsageError(
+                    f"tenant {name!r} has unknown field {unknown[0]!r} "
+                    f"(choices: {', '.join(_TENANT_FIELDS)})")
+            try:
+                ring._tenants[name] = Tenant(name, **spec)
+            except (TypeError, ValueError) as exc:
+                raise UsageError(f"tenant {name!r}: {exc}") from exc
+        keys = payload.get("keys") or {}
+        if not isinstance(keys, dict):
+            raise UsageError("api-keys 'keys' must be an object")
+        for key, name in keys.items():
+            if not isinstance(name, str):
+                raise UsageError(f"key {key!r} must name a tenant")
+            if name not in ring._tenants:
+                raise UsageError(
+                    f"key {key!r} names undeclared tenant {name!r}")
+            ring._keys[key] = name
+        return ring
+
+    @classmethod
+    def load(cls, path: str | os.PathLike,
+             default: Tenant | None = None) -> "Keyring":
+        """Load and validate a keyring file; bad files are exit-2 errors."""
+        try:
+            with open(os.fspath(path), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise UsageError(f"cannot read api-keys file: {exc}") from exc
+        except ValueError as exc:
+            raise UsageError(f"api-keys file is not JSON: {exc}") from exc
+        return cls.from_dict(payload, default=default)
+
+    # ------------------------------------------------------------------
+    def resolve(self, api_key: str | None) -> Tenant:
+        """The tenant for one request's ``X-Api-Key`` header value.
+
+        No key → the anonymous default; an unknown key →
+        :class:`UnknownApiKeyError` (the server answers 403).
+        """
+        if not api_key:
+            return self.default
+        name = self._keys.get(api_key)
+        if name is None:
+            raise UnknownApiKeyError("unknown API key")
+        return self._tenants[name]
+
+    def get(self, name: str) -> Tenant:
+        """The named tenant's policy (default policy for unknown names,
+        e.g. a journal-replayed job whose tenant left the keyring)."""
+        if name == self.default.name:
+            return self.default
+        return self._tenants.get(name) or Tenant(
+            name, weight=self.default.weight,
+            rate_per_s=self.default.rate_per_s, burst=self.default.burst,
+            max_jobs=self.default.max_jobs, priority=self.default.priority)
+
+    def all_tenants(self) -> list[Tenant]:
+        """Every known tenant, anonymous default first (stable order) —
+        what the serve tier pre-registers zero-valued counters for."""
+        return [self.default] + [self._tenants[name]
+                                 for name in sorted(self._tenants)]

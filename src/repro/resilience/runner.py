@@ -30,6 +30,7 @@ from ..core.errors import (
     ReproError,
     ScheduleError,
     SweepInterrupted,
+    SweepPreempted,
 )
 from ..eval.measure import Measured, measure_design
 from ..frontends.base import Design
@@ -137,6 +138,7 @@ class SweepRunner:
         inject_failures: set[str] | frozenset[str] | tuple = (),
         abort_after: int | None = None,
         measure_fn=None,
+        preempt=None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.checkpoint = checkpoint
@@ -144,6 +146,11 @@ class SweepRunner:
         if abort_after is None:
             abort_after = int(os.environ.get(ABORT_ENV, "0")) or None
         self.abort_after = abort_after
+        #: QoS preemption hook: a callable polled at every cell boundary
+        #: (after the checkpoint record is durable).  Returning true
+        #: raises :class:`SweepPreempted` so the scheduler can pause and
+        #: later resume the sweep byte-identically.
+        self.preempt = preempt
         self._measure = measure_fn or measure_design
         self._fresh_completed = 0
         self.stats = {"ok": 0, "failed": 0, "retries": 0, "degraded_runs": 0,
@@ -179,6 +186,14 @@ class SweepRunner:
             obs_trace.event("resilience.failed", design=result.name,
                             reason=result.reason, attempts=result.attempts)
         self._fresh_completed += 1
+        if self.preempt is not None and self.preempt():
+            # The boundary cell is already checkpointed, so the resumed
+            # run replays it (and everything before it) verbatim.
+            raise SweepPreempted(
+                f"sweep preempted after {self._fresh_completed} fresh "
+                f"designs; checkpoint is consistent",
+                design=result.name, phase="sweep",
+            )
         if self.abort_after is not None and self._fresh_completed >= self.abort_after:
             raise SweepInterrupted(
                 f"sweep aborted after {self._fresh_completed} designs "

@@ -65,6 +65,7 @@ REASONS = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -95,6 +96,8 @@ class Request:
     query: str
     headers: dict[str, str]
     body: bytes
+    #: Resolved QoS tenant (set by the server's dispatch, not the parser).
+    tenant: object = None
 
     @property
     def keep_alive(self) -> bool:

@@ -88,6 +88,7 @@ from ..obs import trace as obs_trace
 from ..obs.trace import TraceContext
 from ..resilience import budget as res_budget
 from ..engines import resolve_engine
+from ..qos import Keyring, RateLimiter, Tenant, UnknownApiKeyError
 from .batcher import MicroBatcher
 from .breaker import CircuitBreaker
 from .evaluator import validate_blocks
@@ -135,6 +136,11 @@ class ServeConfig:
     fabric_lease_s: float = 30.0  # fabric task lease before a worker is
     #                               presumed dead and the task re-queues
     fabric_backoff_s: float = 0.05  # expiry → re-queue backoff base
+    api_keys: str | None = None  # keyring file (X-Api-Key -> tenant)
+    tenant_quota: int | None = None   # anon concurrent-job quota
+    tenant_rate: int = 0         # anon requests/s (0 = unlimited)
+    tenant_burst: int = 8        # anon token-bucket burst
+    tenant_weight: int = 1       # anon fair-share weight
 
 
 class _Admission:
@@ -176,11 +182,19 @@ class EvalServer:
         self.batcher = MicroBatcher(self._run_batch,
                                     max_batch=self.config.max_batch,
                                     max_wait_s=self.config.batch_wait_s)
+        anon = Tenant(weight=self.config.tenant_weight,
+                      rate_per_s=self.config.tenant_rate,
+                      burst=self.config.tenant_burst,
+                      max_jobs=self.config.tenant_quota)
+        self.keyring = (Keyring.load(self.config.api_keys, default=anon)
+                        if self.config.api_keys else Keyring(default=anon))
+        self.limiter = RateLimiter()
         self.jobs = JobManager(session, max_queued=self.config.max_jobs,
                                journal=self.config.job_journal,
                                resume=self.config.resume_jobs,
                                max_retained=self.config.job_retained,
-                               ttl_s=self.config.job_ttl_s)
+                               ttl_s=self.config.job_ttl_s,
+                               keyring=self.keyring)
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
             cooldown_s=self.config.breaker_cooldown_s)
@@ -218,6 +232,7 @@ class EvalServer:
             from .. import obs
 
             obs.enable()
+        self._ensure_qos_series()
         try:
             for name in self.config.warm:
                 await loop.run_in_executor(
@@ -381,7 +396,12 @@ class EvalServer:
         if header:
             ctx = TraceContext.from_traceparent(header)
         try:
+            request.tenant = self.keyring.resolve(
+                request.headers.get("x-api-key"))
             response = await self._route(request)
+        except UnknownApiKeyError as exc:
+            # Never demote a typo'd credential to anonymous silently.
+            response = error_response(str(exc), 403)
         except ProtocolError as exc:
             response = error_response(str(exc), exc.status)
         except Exception as exc:  # noqa: BLE001 - never kill the connection
@@ -448,7 +468,7 @@ class EvalServer:
             return await self._measure(request)
         if path == "/v1/jobs":
             if method == "GET":
-                return self._list_jobs()
+                return self._list_jobs(request)
             if method != "POST":
                 return error_response("use POST or GET", 405)
             return self._submit_job(request)
@@ -507,6 +527,7 @@ class EvalServer:
             "workers": (self.pool.snapshot()
                         if self.pool is not None else []),
             "fabric": self.fabric.snapshot(),
+            "qos": {"tenants": self.jobs.qos_snapshot()},
             "uptime_s": round(time.monotonic() - self._started, 3),
         })
 
@@ -521,6 +542,7 @@ class EvalServer:
         from ..obs.report import ensure_default_instruments, render_prometheus
 
         ensure_default_instruments()
+        self._ensure_qos_series()
         obs_metrics.set_gauge("serve.queue_depth", self.admission.inflight)
         obs_metrics.set_gauge("serve.uptime_s",
                               round(time.monotonic() - self._started, 3))
@@ -533,10 +555,43 @@ class EvalServer:
         if self._draining:
             return error_response("server is draining", 503)
         if not self.admission.try_acquire():
-            return error_response(
+            return _retry_later(error_response(
                 f"overloaded: {self.admission.inflight} requests in flight "
-                f"(limit {self.admission.limit})", 429)
+                f"(limit {self.admission.limit})", 429))
         return None
+
+    def _throttle(self, request: Request) -> Response | None:
+        """Per-tenant token-bucket gate on the compute endpoints.
+
+        Over the limit answers 429 immediately with the bucket's
+        *computed* ``Retry-After`` — a throttled tenant is told exactly
+        when its next token matures, and never holds a connection open.
+        """
+        tenant = getattr(request, "tenant", None)
+        if tenant is None:
+            return None
+        retry_after = self.limiter.try_acquire(tenant)
+        if retry_after is None:
+            return None
+        obs_metrics.inc("qos.throttled")
+        obs_metrics.inc(f"qos.throttled|tenant={tenant.name}")
+        from ..obs import events as obs_events
+
+        obs_events.emit("qos.throttled", tenant=tenant.name,
+                        path=request.path, retry_after_s=retry_after)
+        return _retry_later(error_response(
+            f"tenant {tenant.name!r} over its rate limit "
+            f"({tenant.rate_per_s}/s, burst {tenant.burst}); "
+            f"retry in {retry_after}s", 429), retry_after)
+
+    def _ensure_qos_series(self) -> None:
+        """Pre-register zero-valued per-tenant QoS counters so
+        dashboards see every series from the first scrape, not only
+        after the first throttle/preemption/rejection."""
+        for tenant in self.keyring.all_tenants():
+            for base in ("qos.throttled", "qos.preemptions",
+                         "qos.quota_rejections"):
+                obs_metrics.counter(f"{base}|tenant={tenant.name}")
 
     async def _idct(self, request: Request) -> Response:
         payload = request.json()
@@ -553,6 +608,9 @@ class EvalServer:
         from ..api import canonical_name
 
         key = (canonical_name(name), engine)
+        rejected = self._throttle(request)
+        if rejected is not None:
+            return rejected
         rejected = self._breaker_reject()
         if rejected is None:
             rejected = self._admit()
@@ -594,6 +652,9 @@ class EvalServer:
             engine = resolve_engine(payload.get("engine", "compiled"), "sim")
         except ValueError as exc:
             return error_response(str(exc), 400)
+        rejected = self._throttle(request)
+        if rejected is not None:
+            return rejected
         rejected = self._admit()
         if rejected is not None:
             return rejected
@@ -618,6 +679,9 @@ class EvalServer:
         name = payload.get("design")
         if not isinstance(name, str) or not name:
             return error_response("missing 'design'", 400)
+        rejected = self._throttle(request)
+        if rejected is not None:
+            return rejected
         rejected = self._admit()
         if rejected is not None:
             return rejected
@@ -633,16 +697,26 @@ class EvalServer:
     def _submit_job(self, request: Request) -> Response:
         if self._draining:
             return error_response("server is draining", 503)
+        throttled = self._throttle(request)
+        if throttled is not None:
+            return throttled
         payload = request.json()
         kind = payload.get("kind")
         if not isinstance(kind, str):
             return error_response("missing 'kind'", 400)
+        priority = payload.get("priority")
+        if priority is not None and (isinstance(priority, bool)
+                                     or not isinstance(priority, int)):
+            return error_response("'priority' must be an integer", 400)
         try:
-            job = self.jobs.submit(kind, payload.get("params"))
+            job = self.jobs.submit(kind, payload.get("params"),
+                                   tenant=getattr(request, "tenant", None),
+                                   priority=priority)
         except UnknownJobKind as exc:
             return error_response(str(exc), 400)
         except JobQueueFull as exc:
-            return error_response(str(exc), 429)
+            return _retry_later(error_response(str(exc), 429),
+                                getattr(exc, "retry_after", 1))
         return json_response(job.to_dict(), status=202)
 
     def _get_job(self, job_id: str) -> Response:
@@ -651,10 +725,18 @@ class EvalServer:
             return error_response(f"no such job: {job_id}", 404)
         return json_response(job.to_dict())
 
-    def _list_jobs(self) -> Response:
-        """Every retained job (journal-recovered ones included)."""
+    def _list_jobs(self, request: Request) -> Response:
+        """Every retained job (journal-recovered ones included);
+        ``?tenant=<name>`` narrows the listing to one tenant's jobs."""
+        tenant = None
+        if request.query:
+            import urllib.parse
+
+            params = urllib.parse.parse_qs(request.query)
+            tenant = (params.get("tenant") or [None])[0]
         return json_response(
-            {"jobs": [job.to_dict() for job in self.jobs.list()]})
+            {"jobs": [job.to_dict()
+                      for job in self.jobs.list(tenant=tenant)]})
 
     def _job_events(self, job_id: str) -> Response:
         """Chunked NDJSON stream of one job's structured events.
@@ -703,9 +785,13 @@ class EvalServer:
 
         if self._draining:
             return error_response("server is draining", 503)
+        throttled = self._throttle(request)
+        if throttled is not None:
+            return throttled
         try:
             sweep_id = self.fabric.submit(
-                request.json(), request.headers.get("traceparent"))
+                request.json(), request.headers.get("traceparent"),
+                tenant=getattr(request, "tenant", None))
         except (ValueError, TaskSchemaError) as exc:
             return error_response(str(exc), 400)
         info = self.fabric.status(sweep_id) or {}
@@ -844,6 +930,12 @@ class EvalServer:
         if isinstance(exc, EvaluationError):
             return error_response(str(exc), 422)
         return error_response(f"internal error: {exc}", 500)
+
+
+def _retry_later(response: Response, seconds: int = 1) -> Response:
+    """Stamp a computed ``Retry-After`` on an admission-control 429."""
+    response.headers["Retry-After"] = str(max(1, int(seconds)))
+    return response
 
 
 def _is_usage(exc: BaseException) -> bool:

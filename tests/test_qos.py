@@ -1,0 +1,647 @@
+"""Tests for ``repro.qos``: token-bucket admission with computed
+``Retry-After``, weighted deficit-round-robin fairness (integer-only,
+deterministic), API-key → tenant resolution, per-tenant job quotas,
+preempt-at-cell-boundary → resume byte-identity, and the HTTP surface
+(403 for unknown keys, 429 + ``Retry-After`` under throttle/quota,
+tenant-labelled pre-registered metrics)."""
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import asdict
+
+import pytest
+
+from repro import obs
+from repro.api import Session
+from repro.chaos import ChaosPolicy
+from repro.core.errors import UsageError
+from repro.eval.experiments import render_fig1
+from repro.eval.measure import clear_measure_cache
+from repro.exec.tasks import table2_tasks
+from repro.fabric import TaskBroker
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.qos import (ANON, Keyring, RateLimiter, Tenant, TokenBucket,
+                       UnknownApiKeyError, WeightedFairQueue)
+from repro.resilience.runner import RunnerConfig
+from repro.serve import EvalServer, ServeConfig
+from repro.serve.jobs import JobManager, JobQueueFull, JobQuotaExceeded
+
+DESIGN = "verilog-initial"
+
+#: Enough cells that a preemption after the first still leaves real work.
+LIGHT_FIG1 = {"bsc_configs": 2, "bambu_configs": 2, "xls_stages": 2}
+#: The smallest useful sweep — what the high-priority tenant submits.
+VIP_FIG1 = {"bsc_configs": 0, "bambu_configs": 1, "xls_stages": 1}
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.clear()
+    yield
+    obs.disable()
+    obs.clear()
+
+
+@pytest.fixture(scope="module")
+def clean_light() -> str:
+    """Uninterrupted serial baseline the preempted runs must reproduce."""
+    clear_measure_cache()
+    return render_fig1(Session(jobs=1).fig1(**LIGHT_FIG1))
+
+
+# ---------------------------------------------------------------------------
+# token bucket (injectable clock; integer arithmetic)
+# ---------------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_admits_then_computed_retry_after(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate_per_s=1, burst=2, clock=lambda: clock[0])
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() == 1          # 1000ms to the next token
+        clock[0] = 1.0                            # one token matures
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() == 1
+
+    def test_partial_refill_never_rounds_retry_to_zero(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate_per_s=1, burst=1, clock=lambda: clock[0])
+        assert bucket.try_acquire() is None
+        clock[0] = 0.4                            # 400 of 1000 milli-tokens
+        retry = bucket.try_acquire()
+        assert retry == 1                         # ceil, and always >= 1
+
+    def test_zero_rate_is_unlimited(self):
+        bucket = TokenBucket(rate_per_s=0, burst=1, clock=lambda: 0.0)
+        assert all(bucket.try_acquire() is None for _ in range(100))
+
+    def test_decisions_are_deterministic_for_equal_clocks(self):
+        readings = [0.0, 0.0, 0.3, 0.9, 2.0, 2.0, 2.0]
+
+        def run():
+            state = [0.0]
+            bucket = TokenBucket(rate_per_s=1, burst=1,
+                                 clock=lambda: state[0])
+            out = []
+            for reading in readings:
+                state[0] = reading
+                out.append(bucket.try_acquire())
+            return out
+
+        assert run() == run()
+
+    def test_limiter_keeps_tenants_in_separate_buckets(self):
+        limiter = RateLimiter(clock=lambda: 0.0)
+        heavy = Tenant("heavy", rate_per_s=1, burst=1)
+        light = Tenant("light", rate_per_s=1, burst=1)
+        free = Tenant("free")                     # rate 0: unlimited
+        assert limiter.try_acquire(heavy) is None
+        assert limiter.try_acquire(heavy) == 1    # heavy is out of tokens
+        assert limiter.try_acquire(light) is None  # light is not
+        assert all(limiter.try_acquire(free) is None for _ in range(10))
+
+
+# ---------------------------------------------------------------------------
+# weighted fair queue (deficit round-robin)
+# ---------------------------------------------------------------------------
+def _drain(queue: WeightedFairQueue) -> list:
+    out = []
+    while True:
+        item = queue.pop()
+        if item is None:
+            return out
+        out.append(item)
+
+
+class TestWeightedFairQueue:
+    def test_single_tenant_degrades_to_fifo(self):
+        queue = WeightedFairQueue()
+        for item in ("a", "b", "c"):
+            queue.enqueue(ANON, item)
+        assert _drain(queue) == ["a", "b", "c"]
+        assert queue.pop() is None
+
+    def test_priority_orders_within_a_tenant(self):
+        queue = WeightedFairQueue()
+        queue.enqueue("t", "low1")
+        queue.enqueue("t", "high", priority=5)
+        queue.enqueue("t", "low2")
+        assert _drain(queue) == ["high", "low1", "low2"]
+
+    def test_weighted_interleave_is_exact_and_deterministic(self):
+        def build():
+            queue = WeightedFairQueue()
+            for item in ("A1", "A2", "A3"):
+                queue.enqueue("anon", item, weight=1)
+            for item in ("H1", "H2", "H3"):
+                queue.enqueue("heavy", item, weight=2)
+            return queue
+
+        first, second = _drain(build()), _drain(build())
+        # one DRR trace: anon spends its quantum of 1, heavy its 2, ...
+        assert first == ["A1", "H1", "H2", "A2", "H3", "A3"]
+        assert first == second                    # integer-only: no drift
+
+    def test_saturating_tenant_cannot_starve_a_light_one(self):
+        queue = WeightedFairQueue()
+        for index in range(40):
+            queue.enqueue("heavy", f"H{index}", weight=4)
+        queue.enqueue("light", "light", weight=1)
+        pops = _drain(queue)
+        # the bound: at most `heavy.weight` dequeues before light's turn
+        assert pops.index("light") <= 4
+        assert len(pops) == 41
+
+    def test_reenqueue_with_old_seq_keeps_queue_position(self):
+        queue = WeightedFairQueue()
+        seq_a = queue.enqueue("t", "a")
+        queue.enqueue("t", "b")
+        queue.enqueue("t", "c")
+        assert queue.pop() == "a"
+        queue.enqueue("t", "a", seq=seq_a)        # preempted: back to head
+        assert _drain(queue) == ["a", "b", "c"]
+
+    def test_ready_filter_skips_without_losing_items(self):
+        queue = WeightedFairQueue()
+        queue.enqueue("t", "backoff")
+        queue.enqueue("t", "runnable")
+        assert queue.pop(ready=lambda item: item != "backoff") == "runnable"
+        assert queue.pop(ready=lambda item: False) is None
+        assert queue.pop() == "backoff"
+        assert len(queue) == 0
+
+    def test_highest_priority_and_snapshot(self):
+        queue = WeightedFairQueue()
+        assert queue.highest_priority() is None
+        queue.enqueue("a", "x")
+        queue.enqueue("b", "y", priority=3)
+        queue.enqueue("b", "z", priority=-1)
+        assert queue.highest_priority() == 3
+        assert queue.snapshot() == {"a": 1, "b": 2}
+
+
+# ---------------------------------------------------------------------------
+# keyring: API keys -> tenants
+# ---------------------------------------------------------------------------
+_RING = {
+    "tenants": {
+        "heavy": {"weight": 4, "rate_per_s": 10, "burst": 20,
+                  "max_jobs": 2, "priority": 5},
+        "light": {"weight": 1},
+    },
+    "keys": {"k-heavy": "heavy", "k-light": "light"},
+}
+
+
+class TestKeyring:
+    def test_resolves_keys_to_policies(self):
+        ring = Keyring.from_dict(_RING)
+        heavy = ring.resolve("k-heavy")
+        assert (heavy.name, heavy.weight, heavy.max_jobs,
+                heavy.priority) == ("heavy", 4, 2, 5)
+        assert ring.resolve("k-light").rate_per_s == 0
+
+    def test_no_key_is_the_anonymous_default(self):
+        ring = Keyring.from_dict(_RING, default=Tenant(weight=3))
+        assert ring.resolve(None).name == ANON
+        assert ring.resolve("").weight == 3
+
+    def test_unknown_key_raises_never_demotes_to_anon(self):
+        ring = Keyring.from_dict(_RING)
+        with pytest.raises(UnknownApiKeyError):
+            ring.resolve("k-heavy-typo")
+
+    def test_bad_specs_are_usage_errors(self):
+        with pytest.raises(UsageError):
+            Keyring.from_dict([])                 # not an object
+        with pytest.raises(UsageError):
+            Keyring.from_dict(
+                {"tenants": {"x": {"colour": "red"}}})  # unknown field
+        with pytest.raises(UsageError):
+            Keyring.from_dict(
+                {"tenants": {}, "keys": {"k": "ghost"}})  # undeclared
+
+    def test_load_rejects_missing_or_malformed_files(self, tmp_path):
+        with pytest.raises(UsageError):
+            Keyring.load(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(UsageError):
+            Keyring.load(bad)
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_RING))
+        assert Keyring.load(good).resolve("k-heavy").weight == 4
+
+    def test_get_unknown_tenant_inherits_default_policy(self):
+        ring = Keyring.from_dict(_RING, default=Tenant(weight=7, burst=3))
+        ghost = ring.get("ghost")                 # journal-replayed tenant
+        assert (ghost.name, ghost.weight, ghost.burst) == ("ghost", 7, 3)
+
+    def test_all_tenants_is_default_first_then_sorted(self):
+        ring = Keyring.from_dict(_RING)
+        assert [t.name for t in ring.all_tenants()] == \
+            [ANON, "heavy", "light"]
+
+
+# ---------------------------------------------------------------------------
+# job manager: quotas, fair-share dispatch, priority
+# ---------------------------------------------------------------------------
+class _GatedManager(JobManager):
+    """JobManager whose jobs block on a gate and record execution order —
+    lets a test queue work while the scheduler is provably busy, then
+    release everything and inspect the dequeue order."""
+
+    def __init__(self, *args, **kwargs):
+        self.order = []
+        self.gate = threading.Event()
+        super().__init__(*args, **kwargs)
+
+    def _execute(self, job):
+        assert self.gate.wait(60), "test gate never opened"
+        self.order.append(job.id)
+        return f"ran {job.id}"
+
+
+def _wait(predicate, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition never became true")
+
+
+class TestJobManagerQoS:
+    def test_scheduler_interleaves_tenants_by_weight(self):
+        ring = Keyring.from_dict(
+            {"tenants": {"heavy": {"weight": 2}}, "keys": {"hk": "heavy"}})
+        manager = _GatedManager(Session(), max_queued=16, keyring=ring)
+        blocker = manager.submit("fig1")
+        _wait(lambda: blocker.status == "running")
+        anon = [manager.submit("fig1") for _ in range(3)]
+        heavy = [manager.submit("fig1", tenant=ring.resolve("hk"))
+                 for _ in range(3)]
+        manager.gate.set()
+        manager.drain()
+        a1, a2, a3 = (job.id for job in anon)
+        h1, h2, h3 = (job.id for job in heavy)
+        # the same DRR trace the queue unit test pins down, end to end
+        assert manager.order == [blocker.id, a1, h1, h2, a2, h3, a3]
+        assert all(job.status == "done" for job in manager.list())
+
+    def test_priority_runs_first_within_a_tenant(self):
+        manager = _GatedManager(Session(), max_queued=16)
+        blocker = manager.submit("fig1")
+        _wait(lambda: blocker.status == "running")
+        low1 = manager.submit("fig1")
+        high = manager.submit("fig1", priority=5)
+        low2 = manager.submit("fig1")
+        manager.gate.set()
+        manager.drain()
+        assert manager.order == [blocker.id, high.id, low1.id, low2.id]
+
+    def test_quota_rejects_one_tenant_without_blocking_others(self):
+        obs.enable()
+        ring = Keyring.from_dict(
+            {"tenants": {"limited": {"max_jobs": 1}},
+             "keys": {"lk": "limited"}})
+        manager = _GatedManager(Session(), max_queued=16, keyring=ring)
+        first = manager.submit("fig1", tenant=ring.resolve("lk"))
+        with pytest.raises(JobQuotaExceeded) as err:
+            manager.submit("fig1", tenant=ring.resolve("lk"))
+        assert isinstance(err.value, JobQueueFull)  # same 429 family
+        assert err.value.retry_after >= 1
+        other = manager.submit("fig1")            # anon is unaffected
+        manager.gate.set()
+        manager.drain()
+        assert (first.status, other.status) == ("done", "done")
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["qos.quota_rejections"] == 1
+        assert counters["qos.quota_rejections|tenant=limited"] == 1
+
+    def test_journal_records_and_replays_tenant_and_priority(self, tmp_path):
+        ring = Keyring.from_dict(
+            {"tenants": {"heavy": {"weight": 2}}, "keys": {"hk": "heavy"}})
+        journal = tmp_path / "jobs.jsonl"
+        manager = _GatedManager(Session(), max_queued=8, journal=journal,
+                                keyring=ring)
+        job = manager.submit("fig1", tenant=ring.resolve("hk"), priority=7)
+        manager.gate.set()
+        _wait(lambda: job.status == "done")
+        manager.drain()
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        submitted = next(r for r in records if r["event"] == "submitted")
+        assert (submitted["tenant"], submitted["priority"]) == ("heavy", 7)
+
+        replayed = _GatedManager(Session(), max_queued=8, journal=journal,
+                                 keyring=ring)
+        back = replayed.get(job.id)
+        assert (back.tenant, back.priority, back.status) == \
+            ("heavy", 7, "done")
+        replayed.drain()
+
+    def test_resume_requeues_interrupted_job_with_its_tenant(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        journal.write_text(json.dumps(
+            {"event": "submitted", "id": "job-1", "kind": "fig1",
+             "params": {}, "tenant": "heavy", "priority": 4}) + "\n")
+        ring = Keyring.from_dict(
+            {"tenants": {"heavy": {"weight": 2}}, "keys": {"hk": "heavy"}})
+        manager = _GatedManager(Session(), max_queued=8, journal=journal,
+                                resume=True, keyring=ring)
+        job = manager.get("job-1")
+        assert job.interrupted
+        assert (job.tenant, job.priority) == ("heavy", 4)
+        manager.gate.set()
+        _wait(lambda: job.status == "done")
+        manager.drain()
+
+
+# ---------------------------------------------------------------------------
+# preempt at a cell boundary -> resume byte-identical
+# ---------------------------------------------------------------------------
+def _preempt_scenario(base_session, clean: str):
+    """Run the light sweep, preempt it with a VIP arrival synchronized
+    off the first ``cell.done`` event, and assert the resumed output is
+    byte-identical to an uninterrupted run."""
+    obs.enable()
+    ring = Keyring.from_dict(
+        {"tenants": {"vip": {"priority": 5}}, "keys": {"vip-key": "vip"}})
+    manager = JobManager(base_session, max_queued=8, keyring=ring)
+    fired = threading.Event()
+    vip_ids = []
+    light = manager.submit("fig1", dict(LIGHT_FIG1))
+
+    def arrive(event):
+        if fired.is_set() or event.get("type") != "cell.done" \
+                or event.get("job") != light.id:
+            return
+        fired.set()
+        vip_ids.append(manager.submit(
+            "fig1", dict(VIP_FIG1), tenant=ring.resolve("vip-key")).id)
+
+    with obs_events.EVENTS.subscribe(arrive):
+        _wait(lambda: fired.is_set() and all(
+            job.status in ("done", "failed") for job in manager.list()),
+            timeout=300)
+    manager.drain()
+    assert fired.is_set(), "light sweep finished before the VIP arrived"
+    vip = manager.get(vip_ids[0])
+    assert vip.status == "done", vip.error
+    assert light.status == "done", light.error
+    assert light.preemptions >= 1
+    # the preemption actually reordered execution: VIP finished first
+    assert vip.finished_at <= light.finished_at
+    assert light.output == clean                  # byte-identical resume
+    return light
+
+
+class TestPreemptResume:
+    def test_serial_sweep_resumes_byte_identical(self, clean_light):
+        _preempt_scenario(Session(jobs=1), clean_light)
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["qos.preemptions"] >= 1
+        assert counters["qos.preemptions|tenant=anon"] >= 1
+
+    def test_parallel_sweep_resumes_byte_identical(self, clean_light):
+        _preempt_scenario(Session(jobs=2), clean_light)
+
+    def test_preemption_composes_with_kill_chaos(self, clean_light):
+        """SIGKILL chaos on every first attempt plus a mid-sweep
+        preemption: supervision re-dispatches, the checkpoint resumes,
+        and the output still must not move by a byte."""
+        session = Session(jobs=2, chaos=ChaosPolicy(seed=3, kill=1.0))
+        _preempt_scenario(session, clean_light)
+
+
+# ---------------------------------------------------------------------------
+# fabric broker: fair-share leases
+# ---------------------------------------------------------------------------
+def _sweep_payload(n=1, priority=None):
+    payload = {
+        "tasks": [task.to_record() for task in table2_tasks()[:n]],
+        "config": asdict(RunnerConfig()),
+        "inject": [], "skip": [], "trace": False,
+    }
+    if priority is not None:
+        payload["priority"] = priority
+    return payload
+
+
+class TestBrokerFairShare:
+    def setup_method(self):
+        self.clock = [0.0]
+        self.broker = TaskBroker(lease_s=10.0, backoff_s=0.0,
+                                 clock=lambda: self.clock[0])
+
+    def test_bad_priority_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            self.broker.submit(_sweep_payload(1, priority=True))
+        with pytest.raises(ValueError):
+            self.broker.submit(_sweep_payload(1, priority="high"))
+
+    def test_leases_interleave_tenants_by_weight(self):
+        anon_sweep = self.broker.submit(_sweep_payload(2))
+        heavy_sweep = self.broker.submit(
+            _sweep_payload(2), tenant=Tenant("heavy", weight=2))
+        owners = [self.broker.tasks[lease["id"]].sweep
+                  for lease in self.broker.lease("w1", limit=8)]
+        assert owners == [anon_sweep, heavy_sweep, heavy_sweep, anon_sweep]
+
+    def test_priority_orders_one_tenants_sweeps(self):
+        first = self.broker.submit(_sweep_payload(1))
+        urgent = self.broker.submit(_sweep_payload(1, priority=5))
+        owners = [self.broker.tasks[lease["id"]].sweep
+                  for lease in self.broker.lease("w1", limit=2)]
+        assert owners == [urgent, first]
+
+    def test_tenant_default_priority_applies_when_payload_is_silent(self):
+        sweep = self.broker.submit(
+            _sweep_payload(1), tenant=Tenant("vip", priority=7))
+        assert self.broker.sweeps[sweep].priority == 7
+
+    def test_expired_task_requeues_at_its_original_position(self):
+        sweep = self.broker.submit(_sweep_payload(2))
+        (first,) = self.broker.lease("w1", limit=1)
+        self.clock[0] = 11.0
+        assert self.broker.expire() == 1
+        leases = self.broker.lease("w2", limit=2)
+        # the retry leads: it kept its seq, it did not go to the back
+        assert [lease["id"] for lease in leases] == \
+            [first["id"], f"{sweep}-1"]
+        assert leases[0]["attempt"] == 1
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface (live in-process server)
+# ---------------------------------------------------------------------------
+class _LiveServer:
+    """EvalServer on a background thread; requests carry headers and the
+    response headers come back (``Retry-After`` assertions need them)."""
+
+    def __init__(self, session, **config):
+        self.server = EvalServer(session, ServeConfig(port=0, **config))
+        self.host = self.port = None
+        self.exit_code = None
+        self._announced = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._announced.wait(120), "server never announced"
+
+    def _run(self):
+        def announce(host, port):
+            self.host, self.port = host, port
+            self._announced.set()
+
+        self.exit_code = self.server.serve_forever(announce=announce)
+
+    def request(self, method, path, payload=None, headers=None, timeout=120):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            body = None if payload is None else json.dumps(payload).encode()
+            conn.request(method, path, body=body,
+                         headers=dict(headers or ()))
+            response = conn.getresponse()
+            return response.status, dict(response.headers), response.read()
+        finally:
+            conn.close()
+
+    def stop(self, code=0):
+        self.server.request_drain(code)
+        self._thread.join(timeout=120)
+        assert not self._thread.is_alive(), "server failed to drain"
+        return self.exit_code
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+@pytest.fixture()
+def live(session):
+    servers = []
+
+    def start(**config):
+        server = _LiveServer(session, **config)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        if server._thread.is_alive():
+            server.stop()
+
+
+@pytest.fixture()
+def keyfile(tmp_path):
+    path = tmp_path / "keys.json"
+    path.write_text(json.dumps({
+        "tenants": {
+            "heavy": {"weight": 4, "rate_per_s": 1, "burst": 1,
+                      "priority": 5},
+            "light": {"weight": 1},
+        },
+        "keys": {"heavy-key": "heavy", "light-key": "light"},
+    }))
+    return str(path)
+
+
+class TestServeQoS:
+    def test_unknown_key_is_403_known_key_resolves(self, live, keyfile):
+        server = live(batch_wait_s=0.0, api_keys=keyfile)
+        status, _, body = server.request(
+            "GET", "/healthz", headers={"X-Api-Key": "heavy-key-typo"})
+        assert status == 403
+        assert b"unknown API key" in body
+        status, _, _ = server.request(
+            "GET", "/healthz", headers={"X-Api-Key": "heavy-key"})
+        assert status == 200
+        status, _, _ = server.request("GET", "/healthz")  # anon still works
+        assert status == 200
+        assert server.stop() == 0
+
+    def test_throttle_answers_429_with_computed_retry_after(self, live,
+                                                            keyfile):
+        server = live(batch_wait_s=0.0, api_keys=keyfile)
+        # frozen clock: heavy's burst-1 bucket admits exactly one request
+        server.server.limiter = RateLimiter(clock=lambda: 100.0)
+        key = {"X-Api-Key": "heavy-key"}
+        status, _, _ = server.request(
+            "POST", "/v1/measure", {"design": DESIGN}, headers=key)
+        assert status == 200
+        status, headers, body = server.request(
+            "POST", "/v1/measure", {"design": DESIGN}, headers=key)
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        # a different tenant is untouched by heavy's empty bucket
+        status, _, _ = server.request(
+            "POST", "/v1/measure", {"design": DESIGN},
+            headers={"X-Api-Key": "light-key"})
+        assert status == 200
+        status, _, body = server.request("GET", "/metrics")
+        text = body.decode()
+        assert 'repro_qos_throttled{tenant="heavy"} 1' in text
+        assert server.stop() == 0
+
+    def test_jobs_expose_tenant_priority_and_filter(self, live, keyfile):
+        server = live(batch_wait_s=0.0, api_keys=keyfile)
+        tiny = {"bsc_configs": 0, "bambu_configs": 1, "xls_stages": 1}
+        status, _, body = server.request(
+            "POST", "/v1/jobs", {"kind": "fig1", "params": tiny,
+                                 "priority": 2},
+            headers={"X-Api-Key": "heavy-key"})
+        assert status == 202
+        heavy_job = json.loads(body)
+        assert (heavy_job["tenant"], heavy_job["priority"]) == ("heavy", 2)
+        status, _, body = server.request(
+            "POST", "/v1/jobs", {"kind": "fig1", "params": tiny})
+        assert status == 202
+        anon_job = json.loads(body)
+        assert (anon_job["tenant"], anon_job["priority"]) == (ANON, 0)
+        # a non-integer priority is a 400, not a silent coercion
+        status, _, _ = server.request(
+            "POST", "/v1/jobs", {"kind": "fig1", "priority": True})
+        assert status == 400
+        status, _, body = server.request("GET", "/v1/jobs?tenant=heavy")
+        assert status == 200
+        listed = json.loads(body)["jobs"]
+        assert [job["id"] for job in listed] == [heavy_job["id"]]
+        status, _, body = server.request("GET", "/v1/jobs")
+        assert {job["id"] for job in json.loads(body)["jobs"]} == \
+            {heavy_job["id"], anon_job["id"]}
+
+        def both_done():
+            _, _, out = server.request("GET", "/v1/jobs")
+            return all(job["status"] in ("done", "failed")
+                       for job in json.loads(out)["jobs"])
+
+        _wait(both_done, timeout=300)
+        assert server.stop() == 0
+
+    def test_quota_429_retry_after_and_preregistered_series(self, live,
+                                                            keyfile):
+        server = live(batch_wait_s=0.0, api_keys=keyfile, tenant_quota=0)
+        # every keyring tenant's QoS series exists at zero before any event
+        status, _, body = server.request("GET", "/metrics")
+        text = body.decode()
+        for tenant in (ANON, "heavy", "light"):
+            assert f'repro_qos_throttled{{tenant="{tenant}"}} 0' in text
+            assert f'repro_qos_preemptions{{tenant="{tenant}"}} 0' in text
+            assert f'repro_qos_quota_rejections{{tenant="{tenant}"}} 0' \
+                in text
+        status, headers, body = server.request(
+            "POST", "/v1/jobs", {"kind": "fig1"})
+        assert status == 429                      # anon quota is zero
+        assert b"quota" in body
+        assert int(headers["Retry-After"]) >= 1
+        status, _, body = server.request("GET", "/metrics")
+        text = body.decode()
+        assert 'repro_qos_quota_rejections{tenant="anon"} 1' in text
+        assert server.stop() == 0

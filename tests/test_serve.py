@@ -318,13 +318,20 @@ class _LiveServer:
         self.exit_code = self.server.serve_forever(announce=announce)
 
     def request(self, method, path, payload=None, timeout=120):
+        status, _headers, body = self.request_full(method, path, payload,
+                                                   timeout=timeout)
+        return status, body
+
+    def request_full(self, method, path, payload=None, timeout=120):
+        """Like :meth:`request`, but also returns the response headers
+        (429 tests assert the computed ``Retry-After``)."""
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=timeout)
         try:
             body = None if payload is None else json.dumps(payload).encode()
             conn.request(method, path, body=body)
             response = conn.getresponse()
-            return response.status, response.read()
+            return response.status, dict(response.headers), response.read()
         finally:
             conn.close()
 
@@ -459,10 +466,12 @@ class TestLiveServer:
                    and time.time() < deadline):
                 time.sleep(0.01)
             assert server.server.admission.inflight == 1
-            status, body = server.request(
+            status, headers, body = server.request_full(
                 "POST", "/v1/idct", {"design": DESIGN, "blocks": [block]})
             assert status == 429
             assert b"overloaded" in body
+            # turned-away clients are told when to come back, never hung
+            assert int(headers["Retry-After"]) >= 1
             status, metrics_body = server.request("GET", "/metrics")
             text = metrics_body.decode()
             assert "repro_serve_rejected_total 1" in text
